@@ -1,0 +1,145 @@
+// Command flowctl creates, validates and inspects flow definitions — the
+// command-line Flow Builder and Configuration Wizard (§4 steps 1–2).
+//
+// Usage:
+//
+//	flowctl init [-peak 3000] [-o flow.json]   write the default click-stream flow
+//	flowctl validate flow.json                 check a definition
+//	flowctl show flow.json                     summarise a definition
+//	flowctl plan [-budget 0.29] flow.json      Pareto-optimal resource shares (§3.2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/flow"
+	"repro/internal/nsga2"
+	"repro/internal/sim"
+
+	flower "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowctl: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "init":
+		cmdInit(os.Args[2:])
+	case "validate":
+		cmdValidate(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "plan":
+		cmdPlan(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flowctl <init|validate|show|plan> [args]")
+	os.Exit(2)
+}
+
+func cmdInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	peak := fs.Float64("peak", 3000, "peak click rate (records/s)")
+	out := fs.String("o", "flow.json", "output path ('-' for stdout)")
+	fs.Parse(args)
+
+	spec, err := flower.DefaultClickstream(*peak)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := spec.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func load(args []string) flower.Spec {
+	if len(args) != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := flower.DecodeSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return spec
+}
+
+// cmdPlan runs the resource-share analyzer (§3.2) over a flow definition:
+// given the budget and the spec's allocation ranges and prices, NSGA-II
+// returns the Pareto-optimal (shards, VMs, WCU) plans. A -budget flag
+// overrides the spec's budget_per_hour.
+func cmdPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	budget := fs.Float64("budget", 0, "hourly budget (overrides the spec's budget_per_hour)")
+	seed := fs.Int64("seed", 42, "NSGA-II seed")
+	fs.Parse(args)
+
+	spec := load(fs.Args())
+	if *budget > 0 {
+		spec.BudgetPerHour = *budget
+	}
+	mgr, err := flower.New(spec, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := mgr.AnalyzeShares(nil, nsga2.Config{PopSize: 120, Generations: 250, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto-optimal resource shares for %q at $%.3f/hour (%d plans):\n",
+		spec.Name, spec.BudgetPerHour, len(plans))
+	fmt.Printf("  %-10s %-10s %-10s %-10s\n", "shards(I)", "vms(A)", "wcu(S)", "$/hour")
+	for _, plan := range plans {
+		fmt.Printf("  %-10.0f %-10.0f %-10.0f %-10.4f\n",
+			plan.Amounts[0], plan.Amounts[1], plan.Amounts[2], plan.HourlyCost)
+	}
+	fmt.Println("pick one manually or at random (§3.2); feed it back as the layers' max allocations")
+}
+
+func cmdValidate(args []string) {
+	spec := load(args)
+	fmt.Printf("%s: valid flow definition (%d layers)\n", args[0], len(spec.Layers))
+}
+
+func cmdShow(args []string) {
+	spec := load(args)
+	fmt.Printf("flow %q\n", spec.Name)
+	fmt.Printf("  workload: %s base=%.0f peak=%.0f poisson=%v\n",
+		spec.Workload.Pattern, spec.Workload.Base, spec.Workload.Peak, spec.Workload.Poisson)
+	for _, l := range spec.Layers {
+		fmt.Printf("  %-10s %-14s resource=%-7s alloc=[%g..%g] init=%g controller=%s",
+			l.Kind, l.System, l.Resource, l.Min, l.Max, l.Initial, l.Controller.Type)
+		if l.Controller.Type != flow.ControllerNone {
+			fmt.Printf(" ref=%.0f%% window=%v", l.Controller.Ref, l.Controller.Window.D())
+		}
+		fmt.Println()
+	}
+	if spec.BudgetPerHour > 0 {
+		fmt.Printf("  budget: $%.3f/hour\n", spec.BudgetPerHour)
+	}
+	fmt.Printf("  prices: shard $%.4g/h, VM $%.4g/h, WCU $%.4g/h, RCU $%.4g/h\n",
+		spec.Prices.ShardHour, spec.Prices.VMHour, spec.Prices.WCUHour, spec.Prices.RCUHour)
+}

@@ -1,0 +1,107 @@
+// Command flowerbench regenerates the paper's quantitative artefacts: one
+// experiment per figure/equation/claim, each printing the table recorded
+// in EXPERIMENTS.md. The repository-level Go benchmarks call the same
+// experiment functions, so the two outputs always agree.
+//
+// Usage:
+//
+//	flowerbench -exp all            run every experiment
+//	flowerbench -exp fig2           E1: Fig. 2 ingestion↔CPU correlation
+//	flowerbench -exp eq2            E2: Eq. 2 regression
+//	flowerbench -exp fig4           E3: Fig. 4 Pareto front
+//	flowerbench -exp controllers    E4: adaptive vs fixed/quasi/rule
+//	flowerbench -exp cost           E5: multi- vs single-tier saving
+//	flowerbench -exp rules          E6: flash-crowd, rules vs adaptive
+//	flowerbench -exp monitor        E7: all-in-one-place coverage
+//	flowerbench -exp predictive     E8: reactive vs predictive elasticity
+//	flowerbench -exp gainmem        ablation: Eq. 7 gain memory on/off
+//	flowerbench -exp windows        sweep: monitoring window vs SLOs
+//	flowerbench -exp gamma          sweep: gain adaptation rate vs SLOs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowerbench: ")
+
+	exp := flag.String("exp", "all", "experiment: all|fig2|eq2|fig4|controllers|cost|rules|monitor|predictive|gainmem|windows|gamma")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	flag.Parse()
+
+	runners := map[string]func(int64) (string, error){
+		"fig2": func(s int64) (string, error) {
+			r, err := exper.Fig2(s)
+			return r.Table(), err
+		},
+		"eq2": func(s int64) (string, error) {
+			r, err := exper.Eq2(s)
+			return r.Table(), err
+		},
+		"fig4": func(s int64) (string, error) {
+			r, err := exper.Fig4(s)
+			return r.Table(), err
+		},
+		"controllers": func(s int64) (string, error) {
+			r, err := exper.Controllers(s)
+			return r.Table(), err
+		},
+		"cost": func(s int64) (string, error) {
+			r, err := exper.CostSaving(s)
+			return r.Table(), err
+		},
+		"rules": func(s int64) (string, error) {
+			r, err := exper.RuleVsAdaptive(s)
+			return r.Table(), err
+		},
+		"monitor": func(s int64) (string, error) {
+			r, err := exper.Monitor(s)
+			return r.Table(), err
+		},
+		"predictive": func(s int64) (string, error) {
+			r, err := exper.Predictive(s)
+			return r.Table(), err
+		},
+		"gainmem": func(s int64) (string, error) {
+			r, err := exper.GainMemory(s)
+			return r.Table(), err
+		},
+		"windows": func(s int64) (string, error) {
+			r, err := exper.WindowSweep(s)
+			return r.Table(), err
+		},
+		"gamma": func(s int64) (string, error) {
+			r, err := exper.GammaSweep(s)
+			return r.Table(), err
+		},
+	}
+	order := []string{"fig2", "eq2", "fig4", "controllers", "cost", "rules", "monitor", "predictive", "gainmem", "windows", "gamma"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		table, err := runners[name](*seed)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(table)
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,156 @@
+// Command flowerd runs a Flower-managed data analytics flow: it
+// materialises a flow definition (a JSON file written by cmd/flowctl, or
+// the built-in click-stream default), drives it for the requested
+// simulated duration under elasticity management, and reports the outcome
+// plus the consolidated dashboard — the command-line equivalent of the
+// demo's "run the service ... and observe its performance live" (§4).
+//
+// Usage:
+//
+//	flowerd [-spec flow.json] [-for 2h] [-step 10s] [-seed 1] [-peak 3000] [-csv out.csv]
+//	flowerd -http :8080 [-pace 60]    serve the control plane + dashboard
+//
+// With -http, flowerd serves the HTTP control plane (internal/httpapi): a
+// JSON API (flow definition, live status, per-layer controller tuning,
+// metric queries, dependency analysis, POST /api/advance) and an HTML
+// dashboard at /. The -pace flag advances simulated time continuously at
+// that many simulated seconds per wall second; with -pace 0 time only
+// moves through POST /api/advance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/httpapi"
+	"repro/internal/persist"
+	"repro/internal/sim"
+
+	flower "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowerd: ")
+
+	specPath := flag.String("spec", "", "path to a JSON flow definition (default: built-in click-stream flow)")
+	duration := flag.Duration("for", 2*time.Hour, "simulated duration to run")
+	step := flag.Duration("step", 10*time.Second, "simulation tick")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	peak := flag.Float64("peak", 3000, "peak click rate for the built-in flow (records/s)")
+	csvPath := flag.String("csv", "", "export the full metric history to this CSV file")
+	window := flag.Duration("window", 30*time.Minute, "dashboard window")
+	httpAddr := flag.String("http", "", "serve the HTTP control plane on this address instead of a batch run")
+	pace := flag.Float64("pace", 60, "with -http: simulated seconds advanced per wall second (0 = manual)")
+	journalPath := flag.String("journal", "", "append every metric datapoint to this journal file (replayable with flowmon -replay)")
+	flag.Parse()
+
+	var spec flower.Spec
+	var err error
+	if *specPath != "" {
+		data, readErr := os.ReadFile(*specPath)
+		if readErr != nil {
+			log.Fatalf("read spec: %v", readErr)
+		}
+		spec, err = flower.DecodeSpec(data)
+	} else {
+		spec, err = flower.DefaultClickstream(*peak)
+	}
+	if err != nil {
+		log.Fatalf("flow definition: %v", err)
+	}
+
+	mgr, err := flower.New(spec, sim.Options{Step: *step, Seed: *seed})
+	if err != nil {
+		log.Fatalf("manager: %v", err)
+	}
+
+	if *journalPath != "" {
+		j, err := persist.OpenFileJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		j.Attach(mgr.Store())
+		defer func() {
+			if err := j.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			} else {
+				fmt.Printf("\n%d datapoints journaled to %s\n", j.Records(), *journalPath)
+			}
+		}()
+	}
+
+	if *httpAddr != "" {
+		srv := httpapi.NewServer(mgr)
+		if *pace > 0 {
+			srv.StartPacing(*pace, 250*time.Millisecond)
+			defer srv.StopPacing()
+		}
+		fmt.Printf("flower: serving flow %q on %s (pace %.0f sim-s per wall-s)\n", spec.Name, *httpAddr, *pace)
+		fmt.Printf("  dashboard:  http://%s/\n  api:        http://%s/api/status\n", *httpAddr, *httpAddr)
+
+		httpSrv := &http.Server{Addr: *httpAddr, Handler: srv}
+		// Serve until interrupted; a clean shutdown lets the deferred
+		// journal close and pacer stop run, so no recorded datapoints are
+		// lost on ctrl-c.
+		errCh := make(chan error, 1)
+		go func() { errCh <- httpSrv.ListenAndServe() }()
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-errCh:
+			log.Printf("serve: %v", err)
+		case sig := <-sigCh:
+			fmt.Printf("\nflower: %v — shutting down\n", sig)
+			httpSrv.Close()
+		}
+		return
+	}
+
+	fmt.Printf("flower: managing flow %q for %v (step %v, seed %d)\n", spec.Name, *duration, *step, *seed)
+	res, err := mgr.Run(*duration)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Printf("\n=== run summary ===\n")
+	fmt.Printf("records offered:    %d (rejected %d)\n", res.Offered, res.Rejected)
+	fmt.Printf("violation rate:     %.2f%% of ticks\n", 100*res.ViolationRate)
+	for _, kind := range []flow.LayerKind{flow.Ingestion, flow.Analytics, flow.Storage} {
+		fmt.Printf("  %-10s mean util %.1f%%, violations %d ticks, resize actions %d\n",
+			kind, res.MeanUtil[kind], res.Violations[kind], res.Actions[kind])
+	}
+	fmt.Printf("total cost:         $%.4f (peak run rate $%.4f/h)\n", res.TotalCost, res.PeakRunRate)
+	fmt.Printf("final allocation:   %d shards, %d VMs, %.0f WCU\n\n",
+		res.FinalAllocation.Shards, res.FinalAllocation.VMs, res.FinalAllocation.WCU)
+
+	if err := mgr.RenderDashboard(os.Stdout, *window); err != nil {
+		log.Fatalf("dashboard: %v", err)
+	}
+
+	if deps, err := mgr.AnalyzeDependencies(); err == nil && len(deps) > 0 {
+		fmt.Printf("\n=== learned workload dependencies (Eq. 1) ===\n")
+		for _, d := range deps {
+			fmt.Printf("  %s\n", d)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatalf("csv: %v", err)
+		}
+		defer f.Close()
+		if err := mgr.WriteCSV(f, time.Minute); err != nil {
+			log.Fatalf("csv: %v", err)
+		}
+		fmt.Printf("\nmetric history written to %s\n", *csvPath)
+	}
+}

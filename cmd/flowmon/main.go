@@ -1,0 +1,102 @@
+// Command flowmon runs a managed flow and renders Flower's
+// all-in-one-place monitoring view (§3.4): one consolidated dashboard over
+// every platform of the flow, optionally exporting the full history as
+// CSV for offline plotting.
+//
+// Usage:
+//
+//	flowmon [-spec flow.json] [-for 1h] [-window 30m] [-csv out.csv]
+//	flowmon -replay metrics.jsonl [-window 30m]   render from a recorded journal
+//
+// With -replay, flowmon renders the dashboard from a metric journal
+// recorded by `flowerd -journal` (internal/persist) instead of running a
+// simulation — monitoring a run after the fact, CloudWatch-style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/monitor"
+	"repro/internal/persist"
+	"repro/internal/sim"
+
+	flower "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowmon: ")
+
+	specPath := flag.String("spec", "", "path to a JSON flow definition (default: built-in click-stream flow)")
+	duration := flag.Duration("for", time.Hour, "simulated duration to run before snapshotting")
+	window := flag.Duration("window", 30*time.Minute, "dashboard window")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvPath := flag.String("csv", "", "export the metric history to this CSV file")
+	replayPath := flag.String("replay", "", "render from this metric journal instead of running a simulation")
+	flag.Parse()
+
+	if *replayPath != "" {
+		store := metricstore.NewStore()
+		n, err := persist.ReplayFile(*replayPath, store)
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		// Anchor the dashboard at the journal's last observation.
+		var last time.Time
+		for _, ns := range store.Namespaces() {
+			for _, id := range store.ListMetrics(ns) {
+				if p, ok := store.Latest(id.Namespace, id.Name, id.Dimensions); ok && p.T.After(last) {
+					last = p.T
+				}
+			}
+		}
+		fmt.Printf("replayed %d datapoints from %s\n\n", n, *replayPath)
+		snap := monitor.Collect(store, last, *window)
+		if err := monitor.Render(os.Stdout, snap); err != nil {
+			log.Fatalf("dashboard: %v", err)
+		}
+		return
+	}
+
+	var spec flower.Spec
+	var err error
+	if *specPath != "" {
+		data, readErr := os.ReadFile(*specPath)
+		if readErr != nil {
+			log.Fatalf("read spec: %v", readErr)
+		}
+		spec, err = flower.DecodeSpec(data)
+	} else {
+		spec, err = flower.DefaultClickstream(3000)
+	}
+	if err != nil {
+		log.Fatalf("flow definition: %v", err)
+	}
+
+	mgr, err := flower.New(spec, sim.Options{Seed: *seed})
+	if err != nil {
+		log.Fatalf("manager: %v", err)
+	}
+	if _, err := mgr.Run(*duration); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if err := mgr.RenderDashboard(os.Stdout, *window); err != nil {
+		log.Fatalf("dashboard: %v", err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := mgr.WriteCSV(f, time.Minute); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metric history written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: manage the paper's click-stream flow (Fig. 1) for two
+// simulated hours and print what the elasticity manager did.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+
+	flower "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the default flow: Kinesis-like stream → Storm-like topology
+	//    → DynamoDB-like table, each under an adaptive controller holding
+	//    60% utilisation, fed by a diurnal click-stream peaking at 3000
+	//    clicks/second.
+	spec, err := flower.DefaultClickstream(3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Attach the manager and run.
+	mgr, err := flower.New(spec, sim.Options{Step: 10 * time.Second, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := mgr.Run(2 * time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the outcome.
+	fmt.Printf("processed %d click events (%d rejected at ingestion)\n", res.Offered, res.Rejected)
+	fmt.Printf("SLO violations on %.1f%% of ticks\n", 100*res.ViolationRate)
+	fmt.Printf("spend: $%.4f; final allocation: %d shards / %d VMs / %.0f WCU\n\n",
+		res.TotalCost, res.FinalAllocation.Shards, res.FinalAllocation.VMs, res.FinalAllocation.WCU)
+
+	// 4. The cross-platform dashboard (§3.4) over the last 30 minutes.
+	if err := mgr.RenderDashboard(os.Stdout, 30*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+}

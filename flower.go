@@ -1,0 +1,120 @@
+// Package flower is the public API of this reproduction of "Flower: A
+// Data Analytics Flow Elasticity Manager" (Khoshkbarforoushha, Ranjan,
+// Wang, Friedrich — PVLDB 10(12), 2017).
+//
+// Flower manages the elasticity of a three-layer cloud data analytics
+// flow — ingestion (a Kinesis-like sharded stream), analytics (a Storm-like
+// topology on a VM cluster) and storage (a DynamoDB-like provisioned-
+// throughput table) — holistically: it learns cross-layer workload
+// dependencies with linear regression, splits a budget into per-layer
+// resource shares with NSGA-II, keeps each layer at its desired
+// utilisation with adaptive-gain feedback controllers, and consolidates
+// all platforms' metrics in one monitoring view.
+//
+// The cloud substrates are simulated (this module is offline and
+// stdlib-only); see DESIGN.md for the substitution table and EXPERIMENTS.md
+// for the reproduced figures.
+//
+// Quickstart:
+//
+//	spec, err := flower.DefaultClickstream(3000) // 3000 clicks/s peak
+//	if err != nil { ... }
+//	mgr, err := flower.New(spec, flower.Options{})
+//	if err != nil { ... }
+//	res, err := mgr.Run(2 * time.Hour)
+//	if err != nil { ... }
+//	fmt.Printf("cost $%.2f, violations %.1f%%\n", res.TotalCost, 100*res.ViolationRate)
+//	mgr.RenderDashboard(os.Stdout, 30*time.Minute)
+package flower
+
+import (
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/flow"
+	"repro/internal/monitor"
+	"repro/internal/nsga2"
+	"repro/internal/share"
+	"repro/internal/sim"
+)
+
+// Manager is a Flower instance managing one flow; see core.Manager.
+type Manager = core.Manager
+
+// Options tunes the simulation harness underneath a manager.
+type Options = sim.Options
+
+// Result summarises a managed run.
+type Result = sim.Result
+
+// Flow-definition types (the programmatic Flow Builder and Configuration
+// Wizard).
+type (
+	// Spec is a complete flow definition.
+	Spec = flow.Spec
+	// Builder assembles a Spec fluently.
+	Builder = flow.Builder
+	// LayerSpec configures one layer.
+	LayerSpec = flow.LayerSpec
+	// ControllerSpec configures a layer's controller.
+	ControllerSpec = flow.ControllerSpec
+	// WorkloadSpec selects the generator pattern.
+	WorkloadSpec = flow.WorkloadSpec
+	// Duration is a JSON-friendly duration.
+	Duration = flow.Duration
+)
+
+// Layer kinds.
+const (
+	Ingestion = flow.Ingestion
+	Analytics = flow.Analytics
+	Storage   = flow.Storage
+)
+
+// Controller types.
+const (
+	ControllerNone          = flow.ControllerNone
+	ControllerAdaptive      = flow.ControllerAdaptive
+	ControllerMemoryless    = flow.ControllerMemoryless
+	ControllerFixedGain     = flow.ControllerFixedGain
+	ControllerQuasiAdaptive = flow.ControllerQuasiAdaptive
+	ControllerRule          = flow.ControllerRule
+)
+
+// Analysis result types.
+type (
+	// Dependency is a learned cross-layer relationship (Eq. 1).
+	Dependency = deps.Dependency
+	// MetricRef names one monitored measure of one layer.
+	MetricRef = deps.MetricRef
+	// Plan is one Pareto-optimal provisioning plan (Fig. 4).
+	Plan = share.Plan
+	// ShareProblem is the Eq. 3–5 program.
+	ShareProblem = share.Problem
+	// ShareConstraint is one linear constraint of the program.
+	ShareConstraint = share.Constraint
+	// NSGA2Config tunes the genetic search.
+	NSGA2Config = nsga2.Config
+	// Snapshot is one all-in-one-place monitoring view.
+	Snapshot = monitor.Snapshot
+)
+
+// New materialises a flow and attaches the elasticity manager.
+func New(spec Spec, opts Options) (*Manager, error) {
+	return core.NewManager(spec, opts)
+}
+
+// NewBuilder starts a flow definition.
+func NewBuilder(name string) *Builder { return flow.NewBuilder(name) }
+
+// DefaultClickstream builds the paper's Fig. 1 click-stream flow with
+// adaptive controllers on all three layers.
+func DefaultClickstream(peak float64) (Spec, error) {
+	return flow.DefaultClickstream(peak)
+}
+
+// DefaultAdaptive returns the wizard's default adaptive-controller
+// configuration for a layer with allocations of magnitude scale.
+var DefaultAdaptive = flow.DefaultAdaptive
+
+// DecodeSpec parses and validates a JSON flow definition.
+func DecodeSpec(data []byte) (Spec, error) { return flow.Decode(data) }

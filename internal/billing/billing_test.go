@@ -1,0 +1,96 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/metricstore"
+)
+
+var t0 = time.Date(2017, 8, 28, 0, 0, 0, 0, time.UTC)
+
+func TestDefaultPriceBookValid(t *testing.T) {
+	if err := DefaultPriceBook().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PriceBook{ShardHour: 0.01} // others zero
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid price book accepted")
+	}
+}
+
+func TestHourlyCost(t *testing.T) {
+	p := PriceBook{ShardHour: 0.015, VMHour: 0.10, WCUHour: 0.00065, RCUHour: 0.00013}
+	a := Allocation{Shards: 2, VMs: 3, WCU: 1000, RCU: 500}
+	want := 2*0.015 + 3*0.10 + 1000*0.00065 + 500*0.00013
+	if got := p.HourlyCost(a); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("HourlyCost = %v, want %v", got, want)
+	}
+}
+
+func TestMeterAccrual(t *testing.T) {
+	alloc := Allocation{Shards: 1, VMs: 1, WCU: 100, RCU: 100}
+	m, err := NewMeter(DefaultPriceBook(), AllocationFunc(func() Allocation { return alloc }), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		m.Tick(t0.Add(time.Duration(i)*time.Minute), time.Minute)
+	}
+	want := DefaultPriceBook().HourlyCost(alloc) // one hour at constant allocation
+	if got := m.Total(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Total after 1h = %v, want %v", got, want)
+	}
+}
+
+func TestMeterTracksChangingAllocationAndPeak(t *testing.T) {
+	vms := 1
+	m, err := NewMeter(DefaultPriceBook(), AllocationFunc(func() Allocation {
+		return Allocation{Shards: 1, VMs: vms, WCU: 1, RCU: 1}
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Tick(t0, time.Hour)
+	lowRate := m.PeakRunRate()
+	vms = 10
+	m.Tick(t0.Add(time.Hour), time.Hour)
+	if m.PeakRunRate() <= lowRate {
+		t.Fatalf("peak run rate did not rise: %v -> %v", lowRate, m.PeakRunRate())
+	}
+	cheap := DefaultPriceBook().HourlyCost(Allocation{Shards: 1, VMs: 1, WCU: 1, RCU: 1})
+	rich := DefaultPriceBook().HourlyCost(Allocation{Shards: 1, VMs: 10, WCU: 1, RCU: 1})
+	if got := m.Total(); math.Abs(got-(cheap+rich)) > 1e-9 {
+		t.Fatalf("Total = %v, want %v", got, cheap+rich)
+	}
+}
+
+func TestMeterPublishesMetrics(t *testing.T) {
+	ms := metricstore.NewStore()
+	m, err := NewMeter(DefaultPriceBook(), AllocationFunc(func() Allocation {
+		return Allocation{Shards: 2, VMs: 2, WCU: 10, RCU: 10}
+	}), ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Tick(t0, time.Minute)
+	d := map[string]string{"Meter": "flow"}
+	if _, ok := ms.Latest(Namespace, MetricTickCost, d); !ok {
+		t.Fatal("TickCost not published")
+	}
+	rr, ok := ms.Latest(Namespace, MetricRunRate, d)
+	want := DefaultPriceBook().HourlyCost(Allocation{Shards: 2, VMs: 2, WCU: 10, RCU: 10})
+	if !ok || math.Abs(rr.V-want) > 1e-12 {
+		t.Fatalf("RunRate = %v, want %v", rr.V, want)
+	}
+}
+
+func TestNewMeterValidation(t *testing.T) {
+	if _, err := NewMeter(PriceBook{}, AllocationFunc(func() Allocation { return Allocation{} }), nil); err == nil {
+		t.Fatal("invalid prices accepted")
+	}
+	if _, err := NewMeter(DefaultPriceBook(), nil, nil); err == nil {
+		t.Fatal("nil reader accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeStepSettling(t *testing.T) {
+	// Approach 100 → 60 with an undershoot to 52, then settled.
+	ys := []float64{100, 85, 70, 52, 58, 61, 60, 59, 60, 60}
+	m, err := AnalyzeStep(ys, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SettleIndex != 4 {
+		t.Fatalf("SettleIndex = %d, want 4", m.SettleIndex)
+	}
+	// Approaching from above: overshoot is the dip below 60 → 8/60.
+	if math.Abs(m.OvershootPct-8.0/60*100) > 1e-9 {
+		t.Fatalf("OvershootPct = %v, want %v", m.OvershootPct, 8.0/60*100)
+	}
+	if math.Abs(m.SteadyStateError) > 1 {
+		t.Fatalf("SteadyStateError = %v, want ≈0", m.SteadyStateError)
+	}
+	if m.ISE <= 0 {
+		t.Fatal("ISE must be positive for a non-trivial response")
+	}
+}
+
+func TestAnalyzeStepNeverSettles(t *testing.T) {
+	ys := []float64{100, 20, 100, 20, 100, 20, 100, 20}
+	m, err := AnalyzeStep(ys, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SettleIndex != -1 {
+		t.Fatalf("SettleIndex = %d, want -1", m.SettleIndex)
+	}
+}
+
+func TestAnalyzeStepFromBelow(t *testing.T) {
+	// Approach 20 → 60 with overshoot to 72.
+	ys := []float64{20, 40, 72, 64, 60, 60}
+	m, err := AnalyzeStep(ys, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.OvershootPct-20) > 1e-9 { // 12/60
+		t.Fatalf("OvershootPct = %v, want 20", m.OvershootPct)
+	}
+}
+
+func TestAnalyzeStepValidation(t *testing.T) {
+	if _, err := AnalyzeStep(nil, 60, 5); err == nil {
+		t.Fatal("empty response accepted")
+	}
+	if _, err := AnalyzeStep([]float64{1}, 60, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+}
+
+func TestStableGainBound(t *testing.T) {
+	if _, err := StableGainBound(0); err == nil {
+		t.Fatal("zero plant gain accepted")
+	}
+	b, err := StableGainBound(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.25) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.25", b)
+	}
+}
+
+func TestVerifyGainBounds(t *testing.T) {
+	c, err := NewAdaptiveGain(0.02, 0.01, 0.01, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant gain 8 → bound 0.25 > lmax 0.2: fine.
+	if err := VerifyGainBounds(c, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Plant gain 12 → bound 0.167 < lmax 0.2: flagged.
+	if err := VerifyGainBounds(c, 12); err == nil {
+		t.Fatal("unstable configuration accepted")
+	}
+}
+
+func TestUtilizationPlantGain(t *testing.T) {
+	if _, err := UtilizationPlantGain(0, 60); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+	if _, err := UtilizationPlantGain(5, -1); err == nil {
+		t.Fatal("negative utilisation accepted")
+	}
+	g, err := UtilizationPlantGain(10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 6 {
+		t.Fatalf("plant gain = %v, want 6", g)
+	}
+}
+
+// Closed-loop sanity: the stability bound is not vacuous — a gain far
+// above it oscillates on the utilisation plant, a gain below it converges.
+func TestStabilityBoundPredictsBehaviour(t *testing.T) {
+	simulate := func(l float64) (converged bool) {
+		load, cap := 600.0, 100.0
+		u := 5.0
+		for k := 0; k < 200; k++ {
+			y := load / (u * cap) * 100
+			if y > 100 {
+				y = 100
+			}
+			u += l * (y - 60)
+			if u < 0.5 {
+				u = 0.5
+			}
+		}
+		finalY := load / (u * cap) * 100
+		return math.Abs(finalY-60) < 5
+	}
+	// Operating point: u* = 10, y* = 60 → plant gain 6 → bound 1/3.
+	if !simulate(0.05) {
+		t.Fatal("well-below-bound gain failed to converge")
+	}
+	if simulate(3.0) {
+		t.Fatal("gain 9× above the bound should not converge")
+	}
+}

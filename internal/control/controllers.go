@@ -1,0 +1,312 @@
+// Package control implements Flower's Resource Provisioning component
+// (§3.3): per-layer feedback controllers that keep a monitored resource
+// utilisation at a desired reference value by resizing the layer's
+// resource allocation.
+//
+// The paper's controller (Eq. 6–7) is an integral controller with a
+// bounded *adaptive* gain:
+//
+//	u(k+1) = u(k) + l(k+1)·(y(k) − yr)                       (Eq. 6)
+//	l(k+1) = clamp(l(k) + γ·(y(k) − yr), lmin, lmax)          (Eq. 7)
+//
+// where u is the actuator value (shards, VMs, capacity units), y the
+// sensed utilisation, yr the desired utilisation, and l the controller
+// gain. Carrying l(k) across control periods is the paper's "memory of
+// recent controller decisions which leads to rapid elasticity": persistent
+// error accumulates gain, so sustained load changes are answered with
+// increasingly aggressive resizing, while the [lmin, lmax] clamp preserves
+// stability (analysed rigorously in the companion paper [9]).
+//
+// The package also implements the baselines the paper positions against:
+//
+//   - FixedGain: the constant-gain integral controller of Lim, Babu and
+//     Chase (ICAC'10), reference [12];
+//   - QuasiAdaptive: a self-tuning regulator in the style of Padala et
+//     al. (EuroSys'07), reference [14], which estimates a first-order
+//     plant model online by recursive least squares and inverts it;
+//   - Rule: threshold-step autoscaling as offered by cloud providers [1],
+//     the approach §1 argues "often fail[s] to adapt to unplanned or
+//     unforeseen changes in demand".
+package control
+
+import (
+	"fmt"
+	"math"
+)
+
+// Controller computes a new actuator value from the current actuator
+// value u, the sensed measurement y, and the reference yr. Implementations
+// carry their own state between calls; Reset clears it.
+type Controller interface {
+	// Next returns the new desired actuator value.
+	Next(u, y, yr float64) float64
+	// Name identifies the controller in dashboards and experiment tables.
+	Name() string
+	// Reset clears internal state (gain memory, model estimates).
+	Reset()
+}
+
+// AdaptiveGain is the paper's controller (Eq. 6–7).
+type AdaptiveGain struct {
+	// L0 is the initial gain l(0).
+	L0 float64
+	// Gamma is the gain adaptation rate γ > 0.
+	Gamma float64
+	// LMin and LMax bound the gain, 0 < LMin <= LMax.
+	LMin, LMax float64
+	// Memoryless, when true, resets the gain to L0 before every step —
+	// the ablation knob that removes the paper's "memory of recent
+	// controller decisions" while keeping everything else identical.
+	Memoryless bool
+
+	l           float64
+	initialized bool
+}
+
+// NewAdaptiveGain constructs the paper's controller with validation.
+func NewAdaptiveGain(l0, gamma, lmin, lmax float64) (*AdaptiveGain, error) {
+	if lmin <= 0 || lmax <= 0 || lmin > lmax {
+		return nil, fmt.Errorf("control: need 0 < lmin <= lmax, got lmin=%v lmax=%v", lmin, lmax)
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("control: gamma must be positive, got %v", gamma)
+	}
+	if l0 < lmin || l0 > lmax {
+		return nil, fmt.Errorf("control: l0=%v outside [%v, %v]", l0, lmin, lmax)
+	}
+	return &AdaptiveGain{L0: l0, Gamma: gamma, LMin: lmin, LMax: lmax}, nil
+}
+
+// Name implements Controller.
+func (c *AdaptiveGain) Name() string {
+	if c.Memoryless {
+		return "adaptive-memoryless"
+	}
+	return "adaptive"
+}
+
+// Reset implements Controller.
+func (c *AdaptiveGain) Reset() { c.initialized = false }
+
+// Gain reports the current gain l(k) (L0 before the first step).
+func (c *AdaptiveGain) Gain() float64 {
+	if !c.initialized {
+		return c.L0
+	}
+	return c.l
+}
+
+// Next implements Eq. 6–7. The error convention is e = y − yr: utilisation
+// above the reference yields a positive error and therefore an increased
+// allocation (the plant has utilisation decreasing in u, so positive gain
+// is the stabilising sign).
+func (c *AdaptiveGain) Next(u, y, yr float64) float64 {
+	if !c.initialized || c.Memoryless {
+		c.l = c.L0
+		c.initialized = true
+	}
+	e := y - yr
+	// Eq. 7: bounded gain update.
+	l := c.l + c.Gamma*e
+	if l < c.LMin {
+		l = c.LMin
+	}
+	if l > c.LMax {
+		l = c.LMax
+	}
+	c.l = l
+	// Eq. 6.
+	return u + l*e
+}
+
+// FixedGain is the constant-gain integral controller baseline [12]:
+// u(k+1) = u(k) + l·(y(k) − yr).
+type FixedGain struct {
+	// L is the constant gain.
+	L float64
+}
+
+// NewFixedGain validates and constructs the baseline controller.
+func NewFixedGain(l float64) (*FixedGain, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("control: fixed gain must be positive, got %v", l)
+	}
+	return &FixedGain{L: l}, nil
+}
+
+// Name implements Controller.
+func (c *FixedGain) Name() string { return "fixed-gain" }
+
+// Reset implements Controller.
+func (c *FixedGain) Reset() {}
+
+// Next implements Controller.
+func (c *FixedGain) Next(u, y, yr float64) float64 {
+	return u + c.L*(y-yr)
+}
+
+// QuasiAdaptive is a self-tuning regulator in the style of [14]: it
+// estimates the local linear plant model
+//
+//	y(k) ≈ a·y(k−1) + b·u(k−1)
+//
+// by recursive least squares with a forgetting factor, then chooses the u
+// that would drive the model's next output to the reference:
+//
+//	u(k) = (yr − a·y(k)) / b.
+//
+// Per-step relative movement is clamped to avoid the wild transients an
+// unconverged model would otherwise command.
+type QuasiAdaptive struct {
+	// Forgetting is the RLS forgetting factor λ in (0, 1]; smaller values
+	// track plant changes faster at the cost of noisier estimates.
+	Forgetting float64
+	// MaxRelStep caps |u(k+1) − u(k)| at MaxRelStep·u(k) (default 0.5).
+	MaxRelStep float64
+
+	a, b  float64
+	p     [2][2]float64 // RLS covariance
+	prevY float64
+	prevU float64
+	ready bool
+}
+
+// NewQuasiAdaptive constructs the baseline with the given forgetting
+// factor (0.95 is typical).
+func NewQuasiAdaptive(forgetting float64) (*QuasiAdaptive, error) {
+	if forgetting <= 0 || forgetting > 1 {
+		return nil, fmt.Errorf("control: forgetting factor %v outside (0, 1]", forgetting)
+	}
+	c := &QuasiAdaptive{Forgetting: forgetting, MaxRelStep: 0.5}
+	c.Reset()
+	return c, nil
+}
+
+// Name implements Controller.
+func (c *QuasiAdaptive) Name() string { return "quasi-adaptive" }
+
+// Reset implements Controller.
+func (c *QuasiAdaptive) Reset() {
+	// Prior: utilisation persists (a = 1, a random walk) and decreases
+	// with allocation (b = −1). An a prior well below 1 would make the
+	// controller read a persistently high y as "about to decay on its
+	// own" and scale the layer down.
+	c.a, c.b = 1, -1
+	c.p = [2][2]float64{{100, 0}, {0, 100}}
+	c.ready = false
+}
+
+// Model reports the current (a, b) estimates.
+func (c *QuasiAdaptive) Model() (a, b float64) { return c.a, c.b }
+
+// Next implements Controller.
+func (c *QuasiAdaptive) Next(u, y, yr float64) float64 {
+	if c.ready {
+		// RLS update with regressor φ = [y(k−1), u(k−1)] and target y(k).
+		phi := [2]float64{c.prevY, c.prevU}
+		// K = P φ / (λ + φᵀ P φ)
+		pPhi := [2]float64{
+			c.p[0][0]*phi[0] + c.p[0][1]*phi[1],
+			c.p[1][0]*phi[0] + c.p[1][1]*phi[1],
+		}
+		denom := c.Forgetting + phi[0]*pPhi[0] + phi[1]*pPhi[1]
+		k := [2]float64{pPhi[0] / denom, pPhi[1] / denom}
+		pred := c.a*phi[0] + c.b*phi[1]
+		err := y - pred
+		c.a += k[0] * err
+		c.b += k[1] * err
+		// P = (P − K φᵀ P) / λ
+		var np [2][2]float64
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				np[i][j] = (c.p[i][j] - k[i]*pPhi[j]) / c.Forgetting
+			}
+		}
+		c.p = np
+	}
+	c.prevY, c.prevU = y, u
+	c.ready = true
+
+	// The plant is known to have utilisation decreasing in allocation
+	// (b < 0). An unexcited regressor (flat y and u, e.g. a saturated
+	// layer pinned at its minimum allocation) lets the RLS b estimate
+	// drift to zero or flip sign, which would freeze or invert the
+	// control action; floor it at a small negative value so the commanded
+	// direction always matches the physical plant.
+	b := c.b
+	if b > -0.05 {
+		b = -0.05
+	}
+	next := (yr - c.a*y) / b
+	// Clamp the relative step.
+	maxStep := c.MaxRelStep * math.Max(math.Abs(u), 1)
+	if next > u+maxStep {
+		next = u + maxStep
+	}
+	if next < u-maxStep {
+		next = u - maxStep
+	}
+	if next < 0 {
+		next = 0
+	}
+	return next
+}
+
+// Rule is the provider-style threshold autoscaler baseline [1]: step the
+// allocation up when the measurement breaches the high threshold, down
+// when it falls below the low threshold, otherwise hold. yr is ignored —
+// rules are tuned by hand, which is exactly the §1 critique ("considerable
+// manual efforts in tuning each system individually").
+type Rule struct {
+	// High and Low are the utilisation thresholds.
+	High, Low float64
+	// UpFactor and DownFactor scale the allocation on a breach (e.g. 1.5
+	// and 0.7). Both must move the allocation in the right direction.
+	UpFactor, DownFactor float64
+	// Cooldown is how many control periods to hold after an action
+	// (providers impose cooldowns to damp oscillation).
+	Cooldown int
+
+	holdFor int
+}
+
+// NewRule validates and constructs the rule baseline.
+func NewRule(high, low, upFactor, downFactor float64, cooldown int) (*Rule, error) {
+	if high <= low {
+		return nil, fmt.Errorf("control: rule high %v must exceed low %v", high, low)
+	}
+	if upFactor <= 1 {
+		return nil, fmt.Errorf("control: rule up factor %v must exceed 1", upFactor)
+	}
+	if downFactor <= 0 || downFactor >= 1 {
+		return nil, fmt.Errorf("control: rule down factor %v must be in (0, 1)", downFactor)
+	}
+	if cooldown < 0 {
+		return nil, fmt.Errorf("control: negative cooldown")
+	}
+	return &Rule{High: high, Low: low, UpFactor: upFactor, DownFactor: downFactor, Cooldown: cooldown}, nil
+}
+
+// Name implements Controller.
+func (c *Rule) Name() string { return "rule-based" }
+
+// Reset implements Controller.
+func (c *Rule) Reset() { c.holdFor = 0 }
+
+// Next implements Controller.
+func (c *Rule) Next(u, y, yr float64) float64 {
+	if c.holdFor > 0 {
+		c.holdFor--
+		return u
+	}
+	switch {
+	case y > c.High:
+		c.holdFor = c.Cooldown
+		return u * c.UpFactor
+	case y < c.Low:
+		c.holdFor = c.Cooldown
+		return u * c.DownFactor
+	default:
+		return u
+	}
+}

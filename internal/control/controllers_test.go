@@ -1,0 +1,254 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAdaptiveGainValidation(t *testing.T) {
+	if _, err := NewAdaptiveGain(0.05, 0.001, 0.01, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ l0, gamma, lmin, lmax float64 }{
+		{0.05, 0.001, 0, 0.2},     // lmin zero
+		{0.05, 0.001, 0.3, 0.2},   // lmin > lmax
+		{0.05, 0, 0.01, 0.2},      // gamma zero
+		{0.5, 0.001, 0.01, 0.2},   // l0 out of range
+		{0.001, 0.001, 0.01, 0.2}, // l0 below lmin
+	}
+	for i, c := range cases {
+		if _, err := NewAdaptiveGain(c.l0, c.gamma, c.lmin, c.lmax); err == nil {
+			t.Errorf("case %d accepted invalid params %+v", i, c)
+		}
+	}
+}
+
+func TestAdaptiveGainGrowsUnderPersistentError(t *testing.T) {
+	c, err := NewAdaptiveGain(0.02, 0.002, 0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 10.0
+	// Persistent +20 error: gain should climb, so steps should grow.
+	var deltas []float64
+	for i := 0; i < 5; i++ {
+		next := c.Next(u, 80, 60)
+		deltas = append(deltas, next-u)
+		u = next
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] <= deltas[i-1] {
+			t.Fatalf("deltas not growing under persistent error: %v", deltas)
+		}
+	}
+	if c.Gain() <= 0.02 {
+		t.Fatalf("gain did not grow: %v", c.Gain())
+	}
+}
+
+func TestAdaptiveGainStaysBounded(t *testing.T) {
+	c, err := NewAdaptiveGain(0.05, 0.01, 0.01, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Next(10, 100, 0) // enormous positive error
+	}
+	if got := c.Gain(); got != 0.2 {
+		t.Fatalf("gain = %v, want clamp at lmax 0.2", got)
+	}
+	for i := 0; i < 200; i++ {
+		c.Next(10, 0, 100) // enormous negative error
+	}
+	if got := c.Gain(); got != 0.01 {
+		t.Fatalf("gain = %v, want clamp at lmin 0.01", got)
+	}
+}
+
+// Property: for any error sequence the adaptive gain never leaves
+// [lmin, lmax] — the stability invariant of Eq. 7.
+func TestAdaptiveGainBoundsProperty(t *testing.T) {
+	f := func(errsRaw []int8) bool {
+		c, err := NewAdaptiveGain(0.05, 0.005, 0.01, 0.3)
+		if err != nil {
+			return false
+		}
+		u := 5.0
+		for _, e := range errsRaw {
+			u = c.Next(u, 50+float64(e), 50)
+			if g := c.Gain(); g < 0.01-1e-12 || g > 0.3+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveGainMemorylessAblation(t *testing.T) {
+	mem, _ := NewAdaptiveGain(0.02, 0.002, 0.01, 0.5)
+	nomem, _ := NewAdaptiveGain(0.02, 0.002, 0.01, 0.5)
+	nomem.Memoryless = true
+
+	uMem, uNo := 10.0, 10.0
+	for i := 0; i < 5; i++ {
+		uMem = mem.Next(uMem, 90, 60)
+		uNo = nomem.Next(uNo, 90, 60)
+	}
+	if uMem <= uNo {
+		t.Fatalf("gain memory should act faster under sustained error: mem=%v memoryless=%v", uMem, uNo)
+	}
+	if g := nomem.Gain(); math.Abs(g-(0.02+0.002*30)) > 1e-12 {
+		t.Fatalf("memoryless gain = %v, want single-step update from L0", g)
+	}
+	if nomem.Name() != "adaptive-memoryless" || mem.Name() != "adaptive" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestAdaptiveGainReset(t *testing.T) {
+	c, _ := NewAdaptiveGain(0.02, 0.01, 0.01, 0.5)
+	c.Next(10, 100, 50)
+	grown := c.Gain()
+	if grown <= 0.02 {
+		t.Fatalf("gain should have grown, got %v", grown)
+	}
+	c.Reset()
+	if c.Gain() != 0.02 {
+		t.Fatalf("gain after reset = %v, want L0", c.Gain())
+	}
+}
+
+func TestFixedGain(t *testing.T) {
+	if _, err := NewFixedGain(0); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	c, err := NewFixedGain(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Next(10, 80, 60); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("Next = %v, want 12", got)
+	}
+	if got := c.Next(10, 40, 60); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("Next = %v, want 8", got)
+	}
+	// Fixed gain: same error always yields the same step.
+	d1 := c.Next(10, 80, 60) - 10
+	d2 := c.Next(10, 80, 60) - 10
+	if d1 != d2 {
+		t.Fatal("fixed-gain steps varied")
+	}
+	if c.Name() != "fixed-gain" {
+		t.Fatal("name")
+	}
+	c.Reset() // must not panic
+}
+
+func TestQuasiAdaptiveLearnsLinearPlant(t *testing.T) {
+	c, err := NewQuasiAdaptive(0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open-loop identification of the pure linear plant
+	// y(k) = 0.5·y(k−1) − 3·u(k−1), driven by an exploratory input so the
+	// regressor stays persistently exciting. The controller output is
+	// ignored; only the RLS estimator inside Next is exercised.
+	y := 50.0
+	for k := 0; k < 300; k++ {
+		u := 3 + 2*math.Sin(float64(k)/3)
+		c.Next(u, y, 30)
+		y = 0.5*y - 3*u
+	}
+	a, b := c.Model()
+	if math.Abs(a-0.5) > 0.05 {
+		t.Fatalf("estimated a = %v, want ≈0.5", a)
+	}
+	if math.Abs(b-(-3)) > 0.2 {
+		t.Fatalf("estimated b = %v, want ≈−3", b)
+	}
+}
+
+func TestQuasiAdaptiveValidationAndClamp(t *testing.T) {
+	if _, err := NewQuasiAdaptive(0); err == nil {
+		t.Fatal("zero forgetting accepted")
+	}
+	if _, err := NewQuasiAdaptive(1.5); err == nil {
+		t.Fatal(">1 forgetting accepted")
+	}
+	c, _ := NewQuasiAdaptive(0.95)
+	// However wild the model, one step moves u by at most 50%.
+	next := c.Next(10, 90, 10)
+	if next < 5-1e-9 || next > 15+1e-9 {
+		t.Fatalf("first step %v escaped the ±50%% clamp around 10", next)
+	}
+	if c.Name() != "quasi-adaptive" {
+		t.Fatal("name")
+	}
+}
+
+func TestQuasiAdaptiveNeverNegative(t *testing.T) {
+	c, _ := NewQuasiAdaptive(0.95)
+	u := 1.0
+	for i := 0; i < 50; i++ {
+		u = c.Next(u, 0, 90)
+		if u < 0 {
+			t.Fatalf("u went negative: %v", u)
+		}
+	}
+}
+
+func TestRuleController(t *testing.T) {
+	if _, err := NewRule(50, 70, 1.5, 0.7, 0); err == nil {
+		t.Fatal("high<low accepted")
+	}
+	if _, err := NewRule(70, 50, 0.9, 0.7, 0); err == nil {
+		t.Fatal("up factor < 1 accepted")
+	}
+	if _, err := NewRule(70, 50, 1.5, 1.2, 0); err == nil {
+		t.Fatal("down factor > 1 accepted")
+	}
+	c, err := NewRule(70, 30, 1.5, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Next(10, 80, 0); got != 15 {
+		t.Fatalf("breach-high Next = %v, want 15", got)
+	}
+	if got := c.Next(10, 20, 0); got != 5 {
+		t.Fatalf("breach-low Next = %v, want 5", got)
+	}
+	if got := c.Next(10, 50, 0); got != 10 {
+		t.Fatalf("in-band Next = %v, want 10 (hold)", got)
+	}
+	if c.Name() != "rule-based" {
+		t.Fatal("name")
+	}
+}
+
+func TestRuleCooldownHolds(t *testing.T) {
+	c, err := NewRule(70, 30, 2, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Next(10, 90, 0); got != 20 {
+		t.Fatalf("first breach = %v, want 20", got)
+	}
+	// Next two periods are cooldown even though still breaching.
+	if got := c.Next(20, 90, 0); got != 20 {
+		t.Fatalf("cooldown 1 = %v, want hold", got)
+	}
+	if got := c.Next(20, 90, 0); got != 20 {
+		t.Fatalf("cooldown 2 = %v, want hold", got)
+	}
+	if got := c.Next(20, 90, 0); got != 40 {
+		t.Fatalf("post-cooldown = %v, want 40", got)
+	}
+	c.Reset()
+	if got := c.Next(40, 90, 0); got != 80 {
+		t.Fatalf("after reset = %v, want immediate action", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package core assembles Flower itself: the elasticity manager that owns a
+// managed data analytics flow and exposes the paper's four capabilities as
+// one API (§1):
+//
+//   - Workload Dependency Analysis — AnalyzeDependencies (§3.1);
+//   - Resource Share Analysis — ShareProblem / AnalyzeShares (§3.2);
+//   - Resource Provisioning — Run, which drives the per-layer adaptive
+//     control loops of internal/sim (§3.3);
+//   - Cross-Platform Monitoring — Snapshot / RenderDashboard / WriteCSV
+//     (§3.4).
+//
+// A Manager wraps one materialised flow (internal/sim.Harness) plus the
+// analysis components, mirroring the architecture of Fig. 3.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/deps"
+	"repro/internal/flow"
+	"repro/internal/kvstore"
+	"repro/internal/metricstore"
+	"repro/internal/monitor"
+	"repro/internal/nsga2"
+	"repro/internal/share"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// Manager is a Flower instance managing one data analytics flow.
+type Manager struct {
+	spec    flow.Spec
+	harness *sim.Harness
+}
+
+// NewManager materialises the flow described by spec and attaches the
+// elasticity-management layer to it.
+func NewManager(spec flow.Spec, opts sim.Options) (*Manager, error) {
+	h, err := sim.New(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{spec: spec, harness: h}, nil
+}
+
+// Spec returns the managed flow's definition.
+func (m *Manager) Spec() flow.Spec { return m.spec }
+
+// Harness exposes the underlying simulation harness (substrates, loops).
+func (m *Manager) Harness() *sim.Harness { return m.harness }
+
+// Store exposes the cross-platform metric repository.
+func (m *Manager) Store() *metricstore.Store { return m.harness.Store }
+
+// Run advances the managed flow by d under control; results accumulate
+// across calls.
+func (m *Manager) Run(d time.Duration) (sim.Result, error) {
+	return m.harness.Run(d)
+}
+
+// StandardRefs returns the canonical cross-layer measures the dependency
+// analyzer scans: ingestion arrival volume, analytics CPU, and storage
+// consumed write capacity — the measures §3.1 discusses.
+func (m *Manager) StandardRefs() []deps.MetricRef {
+	name := m.spec.Name
+	return []deps.MetricRef{
+		{Layer: deps.Ingestion, Namespace: stream.Namespace, Name: stream.MetricIncomingRecords,
+			Dimensions: map[string]string{"StreamName": name}},
+		{Layer: deps.Analytics, Namespace: compute.Namespace, Name: compute.MetricCPUUtilization,
+			Dimensions: map[string]string{"Topology": name}},
+		{Layer: deps.Storage, Namespace: kvstore.Namespace, Name: kvstore.MetricConsumedWCU,
+			Dimensions: map[string]string{"TableName": name}},
+	}
+}
+
+// AnalyzeDependencies runs Workload Dependency Analysis over the standard
+// cross-layer measures of the flow's history. Call after Run has produced
+// some history.
+func (m *Manager) AnalyzeDependencies() ([]deps.Dependency, error) {
+	a := &deps.Analyzer{Store: m.harness.Store}
+	return a.AnalyzeAll(m.StandardRefs())
+}
+
+// AnalyzeDependency fits the Eq. 1 model for one specific pair.
+func (m *Manager) AnalyzeDependency(from, to deps.MetricRef) (deps.Dependency, error) {
+	a := &deps.Analyzer{Store: m.harness.Store}
+	return a.Analyze(from, to)
+}
+
+// ShareProblem derives the Eq. 3–5 program from the flow definition: one
+// decision variable per layer resource, cost dimensions from the price
+// book, bounds from the layer specs, and the flow's hourly budget. Callers
+// append dependency constraints (learned via AnalyzeDependencies and
+// share.FromDependency, or asserted as in the paper's §3.2 example).
+func (m *Manager) ShareProblem() (share.Problem, error) {
+	if m.spec.BudgetPerHour <= 0 {
+		return share.Problem{}, fmt.Errorf("core: flow %q has no hourly budget for share analysis", m.spec.Name)
+	}
+	ing, _ := m.spec.Layer(flow.Ingestion)
+	ana, _ := m.spec.Layer(flow.Analytics)
+	sto, _ := m.spec.Layer(flow.Storage)
+	return share.Problem{
+		Resources: []share.Resource{
+			{Layer: deps.Ingestion, Name: ing.Resource, CostPerUnit: m.spec.Prices.ShardHour,
+				Min: ing.Min, Max: ing.Max, Integer: true},
+			{Layer: deps.Analytics, Name: ana.Resource, CostPerUnit: m.spec.Prices.VMHour,
+				Min: ana.Min, Max: ana.Max, Integer: true},
+			{Layer: deps.Storage, Name: sto.Resource, CostPerUnit: m.spec.Prices.WCUHour,
+				Min: sto.Min, Max: sto.Max, Integer: true},
+		},
+		Budget: m.spec.BudgetPerHour,
+	}, nil
+}
+
+// AnalyzeShares solves the share problem (with any extra constraints) and
+// returns the Pareto-optimal provisioning plans.
+func (m *Manager) AnalyzeShares(extra []share.Constraint, cfg nsga2.Config) ([]share.Plan, error) {
+	p, err := m.ShareProblem()
+	if err != nil {
+		return nil, err
+	}
+	p.Constraints = append(p.Constraints, extra...)
+	return share.Analyze(p, cfg)
+}
+
+// Snapshot collects the all-in-one-place monitoring view over the trailing
+// window.
+func (m *Manager) Snapshot(window time.Duration) monitor.Snapshot {
+	return monitor.Collect(m.harness.Store, m.harness.Clock.Now(), window)
+}
+
+// RenderDashboard writes the consolidated text dashboard.
+func (m *Manager) RenderDashboard(w io.Writer, window time.Duration) error {
+	return monitor.Render(w, m.Snapshot(window))
+}
+
+// WriteCSV exports the flow's full metric history for offline plotting.
+func (m *Manager) WriteCSV(w io.Writer, period time.Duration) error {
+	return monitor.WriteCSV(w, m.harness.Store, period)
+}

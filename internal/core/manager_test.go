@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/nsga2"
+	"repro/internal/share"
+	"repro/internal/sim"
+)
+
+func manager(t *testing.T) *Manager {
+	t.Helper()
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidates(t *testing.T) {
+	if _, err := NewManager(flow.Spec{}, sim.Options{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestManagerRunAndAccessors(t *testing.T) {
+	m := manager(t)
+	if m.Spec().Name != "clickstream" {
+		t.Fatal("Spec accessor wrong")
+	}
+	if m.Harness() == nil || m.Store() == nil {
+		t.Fatal("nil harness/store")
+	}
+	res, err := m.Run(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestManagerDependencyAnalysis(t *testing.T) {
+	m := manager(t)
+	if _, err := m.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	refs := m.StandardRefs()
+	if len(refs) != 3 {
+		t.Fatalf("standard refs = %d, want 3", len(refs))
+	}
+	d, err := m.AnalyzeDependency(refs[0], refs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Correlation) < 0.3 {
+		t.Fatalf("ingestion→analytics correlation %v unexpectedly weak", d.Correlation)
+	}
+	if _, err := m.AnalyzeDependencies(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerShareAnalysis(t *testing.T) {
+	m := manager(t)
+	p, err := m.ShareProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Resources) != 3 {
+		t.Fatalf("resources = %d, want 3", len(p.Resources))
+	}
+	if p.Budget != m.Spec().BudgetPerHour {
+		t.Fatal("budget not propagated")
+	}
+	extra := []share.Constraint{{Coeffs: []float64{1, -5, 0}, Bound: 0, Label: "5·vms ≥ shards"}}
+	plans, err := m.AnalyzeShares(extra, nsga2.Config{PopSize: 60, Generations: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	for _, plan := range plans {
+		if plan.HourlyCost > p.Budget+1e-9 {
+			t.Fatalf("plan %v over budget", plan.Amounts)
+		}
+		if plan.Amounts[0] > 5*plan.Amounts[1]+1e-9 {
+			t.Fatalf("plan %v violates extra constraint", plan.Amounts)
+		}
+	}
+}
+
+func TestManagerShareProblemRequiresBudget(t *testing.T) {
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.BudgetPerHour = 0
+	m, err := NewManager(spec, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ShareProblem(); err == nil {
+		t.Fatal("missing budget accepted")
+	}
+}
+
+func TestManagerDashboardAndCSV(t *testing.T) {
+	m := manager(t)
+	if _, err := m.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	var dash bytes.Buffer
+	if err := m.RenderDashboard(&dash, 20*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ingestion/Stream", "Analytics/Compute", "Storage/KVStore", "Billing"} {
+		if !strings.Contains(dash.String(), want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	snap := m.Snapshot(20 * time.Minute)
+	if len(snap.Sections) < 4 {
+		t.Fatalf("snapshot sections = %d, want >= 4", len(snap.Sections))
+	}
+	var csv bytes.Buffer
+	if err := m.WriteCSV(&csv, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "time,namespace,metric,dimensions,value") {
+		t.Fatal("csv header missing")
+	}
+	if strings.Count(csv.String(), "\n") < 50 {
+		t.Fatal("csv suspiciously short")
+	}
+}

@@ -1,0 +1,274 @@
+// Package deps implements Flower's Workload Dependency Analysis (§3.1):
+// it mines the metric store for statistical relationships between
+// resource-usage measures of *different* layers of a data analytics flow,
+// fitting the paper's linear dependency model
+//
+//	r(L1) = β0 + β1·r(L2) + ε                                (Eq. 1)
+//
+// e.g. the Fig. 2 finding that ingestion arrival rate and analytics CPU
+// are correlated with coefficient 0.95, summarised as
+// CPU ≈ 0.0002·WriteCapacity + 4.8 (Eq. 2).
+//
+// Because layers react with a delay (records queue before they consume
+// CPU), the analyzer also scans a configurable lag range and reports the
+// lag with the strongest cross-correlation.
+package deps
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/regress"
+	"repro/internal/timeseries"
+)
+
+// Layer identifies which of the paper's three layers a measure belongs to.
+type Layer string
+
+// The three layers of a data analytics flow (§1).
+const (
+	Ingestion Layer = "ingestion"
+	Analytics Layer = "analytics"
+	Storage   Layer = "storage"
+)
+
+// MetricRef names one monitored measure of one layer.
+type MetricRef struct {
+	Layer      Layer
+	Namespace  string
+	Name       string
+	Dimensions map[string]string
+}
+
+// String renders the ref for reports.
+func (r MetricRef) String() string {
+	return fmt.Sprintf("%s:%s/%s", r.Layer, r.Namespace, r.Name)
+}
+
+// Dependency is a discovered cross-layer relationship: To ≈ β0 + β1·From
+// with From shifted Lag periods earlier.
+type Dependency struct {
+	From, To    MetricRef
+	Model       regress.Model
+	Correlation float64 // Pearson correlation at the chosen lag
+	Lag         int     // periods by which From leads To (>= 0)
+	Period      time.Duration
+	Samples     int
+}
+
+// String renders the dependency the way §3.1 writes Eq. 2.
+func (d Dependency) String() string {
+	lag := ""
+	if d.Lag != 0 {
+		lag = fmt.Sprintf(" (lag %d×%v)", d.Lag, d.Period)
+	}
+	return fmt.Sprintf("%s ≈ %.6g·%s + %.4g  [r=%.3f, n=%d]%s",
+		d.To, d.Model.Slope, d.From, d.Model.Intercept, d.Correlation, d.Samples, lag)
+}
+
+// Analyzer mines dependencies from a metric store.
+type Analyzer struct {
+	// Store is the metric repository to read.
+	Store *metricstore.Store
+	// Period is the resampling period used to align the two series
+	// (default 1 minute, matching the paper's per-minute plots).
+	Period time.Duration
+	// MaxLag bounds the lag scan in periods (default 5; 0 disables).
+	MaxLag int
+	// MinCorrelation is the |r| threshold below which AnalyzeAll drops a
+	// pair as "not dependent" — the paper notes "not all the layers are
+	// dependent on each other" (default 0.7).
+	MinCorrelation float64
+	// MinSamples is the minimum aligned observations required (default 10).
+	MinSamples int
+}
+
+func (a *Analyzer) defaults() Analyzer {
+	d := *a
+	if d.Period <= 0 {
+		d.Period = time.Minute
+	}
+	if d.MaxLag < 0 {
+		d.MaxLag = 0
+	} else if d.MaxLag == 0 {
+		d.MaxLag = 5
+	}
+	if d.MinCorrelation <= 0 {
+		d.MinCorrelation = 0.7
+	}
+	if d.MinSamples <= 0 {
+		d.MinSamples = 10
+	}
+	return d
+}
+
+// Analyze fits the Eq. 1 model of `to` on `from`. It aligns both series on
+// the analyzer period, finds the best non-negative lag (From leading To),
+// and regresses the lag-shifted values.
+func (a *Analyzer) Analyze(from, to MetricRef) (Dependency, error) {
+	cfg := a.defaults()
+	if cfg.Store == nil {
+		return Dependency{}, fmt.Errorf("deps: analyzer store is required")
+	}
+	fromSeries := cfg.Store.Raw(from.Namespace, from.Name, from.Dimensions)
+	if fromSeries == nil {
+		return Dependency{}, fmt.Errorf("deps: metric %s not found", from)
+	}
+	toSeries := cfg.Store.Raw(to.Namespace, to.Name, to.Dimensions)
+	if toSeries == nil {
+		return Dependency{}, fmt.Errorf("deps: metric %s not found", to)
+	}
+	xs, ys := timeseries.AlignedValues(fromSeries, toSeries, cfg.Period)
+	if len(xs) < cfg.MinSamples {
+		return Dependency{}, fmt.Errorf("deps: only %d aligned samples for %s vs %s, need %d",
+			len(xs), from, to, cfg.MinSamples)
+	}
+
+	// Scan non-negative lags only: the upstream layer leads.
+	bestLag := 0
+	bestCorr := regress.Pearson(xs, ys)
+	for lag := 1; lag <= cfg.MaxLag; lag++ {
+		c := regress.CrossCorrelation(xs, ys, lag)
+		if abs(c) > abs(bestCorr) {
+			bestCorr = c
+			bestLag = lag
+		}
+	}
+
+	// Shift by the chosen lag and fit.
+	x, y := xs, ys
+	if bestLag > 0 {
+		x = xs[:len(xs)-bestLag]
+		y = ys[bestLag:]
+	}
+	model, err := regress.Fit(x, y)
+	if err != nil {
+		return Dependency{}, fmt.Errorf("deps: fit %s on %s: %w", to, from, err)
+	}
+	return Dependency{
+		From:        from,
+		To:          to,
+		Model:       model,
+		Correlation: bestCorr,
+		Lag:         bestLag,
+		Period:      cfg.Period,
+		Samples:     len(x),
+	}, nil
+}
+
+// AnalyzeAll analyzes every ordered cross-layer pair of refs and returns
+// the dependencies whose |correlation| clears MinCorrelation, strongest
+// first. Same-layer pairs are skipped: Eq. 1 is defined for L1 ≠ L2.
+func (a *Analyzer) AnalyzeAll(refs []MetricRef) ([]Dependency, error) {
+	cfg := a.defaults()
+	var out []Dependency
+	for _, from := range refs {
+		for _, to := range refs {
+			if from.Layer == to.Layer {
+				continue
+			}
+			d, err := a.Analyze(from, to)
+			if err != nil {
+				// Missing metrics or degenerate series are data
+				// conditions, not failures of the scan.
+				continue
+			}
+			if abs(d.Correlation) >= cfg.MinCorrelation {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if ci, cj := abs(out[i].Correlation), abs(out[j].Correlation); ci != cj {
+			return ci > cj
+		}
+		return out[i].String() < out[j].String()
+	})
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MultiDependency is a multiple-regression dependency: one layer's measure
+// explained jointly by several other layers' measures,
+// to ≈ β0 + Σ βj·from[j]. Useful when a layer's resource usage responds to
+// more than one upstream signal (e.g. storage write volume driven by both
+// ingest rate and analytics emit rate).
+type MultiDependency struct {
+	From    []MetricRef
+	To      MetricRef
+	Model   regress.MultipleModel
+	Period  time.Duration
+	Samples int
+}
+
+// String renders the fitted hyperplane.
+func (d MultiDependency) String() string {
+	var b []byte
+	b = fmt.Appendf(b, "%s ≈ %.4g", d.To, d.Model.Coefficients[0])
+	for j, from := range d.From {
+		b = fmt.Appendf(b, " + %.6g·%s", d.Model.Coefficients[j+1], from)
+	}
+	b = fmt.Appendf(b, "  [R²=%.3f, n=%d]", d.Model.R2, d.Samples)
+	return string(b)
+}
+
+// AnalyzeMultiple fits `to` on all `from` measures jointly. All series are
+// aligned pairwise against `to` on the analyzer period; rows where any
+// predictor is missing are dropped by truncating to the shortest aligned
+// length.
+func (a *Analyzer) AnalyzeMultiple(from []MetricRef, to MetricRef) (MultiDependency, error) {
+	cfg := a.defaults()
+	if cfg.Store == nil {
+		return MultiDependency{}, fmt.Errorf("deps: analyzer store is required")
+	}
+	if len(from) == 0 {
+		return MultiDependency{}, fmt.Errorf("deps: at least one predictor is required")
+	}
+	toSeries := cfg.Store.Raw(to.Namespace, to.Name, to.Dimensions)
+	if toSeries == nil {
+		return MultiDependency{}, fmt.Errorf("deps: metric %s not found", to)
+	}
+	cols := make([][]float64, len(from))
+	var y []float64
+	n := -1
+	for j, f := range from {
+		fs := cfg.Store.Raw(f.Namespace, f.Name, f.Dimensions)
+		if fs == nil {
+			return MultiDependency{}, fmt.Errorf("deps: metric %s not found", f)
+		}
+		xs, ys := timeseries.AlignedValues(fs, toSeries, cfg.Period)
+		if n < 0 || len(xs) < n {
+			n = len(xs)
+		}
+		cols[j] = xs
+		if j == 0 {
+			y = ys
+		}
+	}
+	if n < cfg.MinSamples {
+		return MultiDependency{}, fmt.Errorf("deps: only %d aligned samples, need %d", n, cfg.MinSamples)
+	}
+	// Truncate all columns to the common tail of length n.
+	X := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(cols))
+		for j := range cols {
+			row[j] = cols[j][len(cols[j])-n+i]
+		}
+		X[i] = row
+	}
+	y = y[len(y)-n:]
+	model, err := regress.FitMultiple(X, y)
+	if err != nil {
+		return MultiDependency{}, fmt.Errorf("deps: multiple fit: %w", err)
+	}
+	return MultiDependency{From: from, To: to, Model: model, Period: cfg.Period, Samples: n}, nil
+}

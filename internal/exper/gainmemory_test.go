@@ -1,0 +1,50 @@
+package exper
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGainMemoryAblation pins the paper's §3.3 claim mechanism: carrying
+// the Eq. 7 gain across control periods ("memory of recent controller
+// decisions") tracks a sustained ramp at least as tightly as the ablated
+// memoryless variant, and never worse on catch-up time.
+func TestGainMemoryAblation(t *testing.T) {
+	r, err := GainMemory(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table())
+	if math.IsInf(r.WithMemory.CatchUpMinutes, 1) {
+		t.Fatal("with-memory controller never caught up")
+	}
+	if r.WithMemory.CatchUpMinutes > r.Memoryless.CatchUpMinutes {
+		t.Errorf("with-memory catch-up %.0f min slower than memoryless %.0f min",
+			r.WithMemory.CatchUpMinutes, r.Memoryless.CatchUpMinutes)
+	}
+	if r.WithMemory.MeanAbsError > r.Memoryless.MeanAbsError*1.02 {
+		t.Errorf("with-memory |err| %.2f worse than memoryless %.2f",
+			r.WithMemory.MeanAbsError, r.Memoryless.MeanAbsError)
+	}
+}
+
+// TestPredictiveBeatsReactiveOnSteepRamp pins E8's shape: with a steep ramp
+// and a realistic analytics boot delay, forecast pre-provisioning must cut
+// the violation rate materially below reactive-only scaling.
+func TestPredictiveBeatsReactiveOnSteepRamp(t *testing.T) {
+	r, err := Predictive(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table())
+	if r.ReactiveViolationRate < 0.05 {
+		t.Fatalf("scenario too easy: reactive violation rate %.3f", r.ReactiveViolationRate)
+	}
+	if r.PredictiveViolationRate > r.ReactiveViolationRate*0.7 {
+		t.Errorf("predictive %.3f not materially better than reactive %.3f",
+			r.PredictiveViolationRate, r.ReactiveViolationRate)
+	}
+	if r.PreScaleActions == 0 {
+		t.Error("no predictive scale-ups applied")
+	}
+}

@@ -1,0 +1,139 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/timeseries"
+)
+
+// Parameter sweeps backing the demo's step 3: attendees "adjust parameters
+// of the controllers, such as elasticity speed, monitoring period, or even
+// their internal settings and compare their impacts on SLOs" (§4). Each
+// sweep runs the same flow under one varied knob and reports the SLO-facing
+// outcomes, so the trade-off each knob embodies is visible in one table.
+
+// SweepRow is one knob setting's outcome.
+type SweepRow struct {
+	Setting string
+	// ViolationRate is the fraction of ticks with any layer in violation.
+	ViolationRate float64
+	// Actions counts applied resizes across all layers (resize churn).
+	Actions int
+	// MeanAbsError is the mean |CPU − ref| of the analytics layer.
+	MeanAbsError float64
+	// TotalCost is the metered spend.
+	TotalCost float64
+}
+
+// SweepResult is a full sweep.
+type SweepResult struct {
+	Knob string
+	Rows []SweepRow
+}
+
+// Table renders the sweep.
+func (r SweepResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep — %s\n", r.Knob)
+	fmt.Fprintf(&b, "  %-12s %-12s %-10s %-12s %-10s\n",
+		"setting", "viol. rate", "actions", "|err| mean", "cost ($)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %-12.3f %-10d %-12.2f %-10.3f\n",
+			row.Setting, row.ViolationRate, row.Actions, row.MeanAbsError, row.TotalCost)
+	}
+	return b.String()
+}
+
+// sweepScenario runs the standard diurnal day under the given controller
+// factory and returns its outcome row.
+func sweepScenario(seed int64, setting string, ctrl func(scale float64) flow.ControllerSpec) (SweepRow, error) {
+	spec, err := flow.NewBuilder("clickstream").
+		WithWorkload(flow.WorkloadSpec{
+			Pattern: "diurnal",
+			Base:    500,
+			Peak:    3000,
+			Period:  flow.Duration(9 * time.Hour),
+			Poisson: true,
+			Seed:    seed,
+		}).
+		WithIngestion(2, 1, 50, ctrl(4)).
+		WithAnalytics(2, 1, 50, ctrl(4)).
+		WithStorage(200, 50, 20000, ctrl(400)).
+		Build()
+	if err != nil {
+		return SweepRow{}, err
+	}
+	h, err := sim.New(spec, sim.Options{Step: 10 * time.Second, Seed: seed})
+	if err != nil {
+		return SweepRow{}, err
+	}
+	res, err := h.Run(9 * time.Hour)
+	if err != nil {
+		return SweepRow{}, err
+	}
+
+	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+		map[string]string{"Topology": spec.Name})
+	perMin := cpu.Resample(time.Minute, timeseries.AggMean)
+	var absErr float64
+	vals := perMin.Values()
+	for _, v := range vals {
+		absErr += math.Abs(v - 60)
+	}
+	if len(vals) > 0 {
+		absErr /= float64(len(vals))
+	}
+	actions := 0
+	for _, n := range res.Actions {
+		actions += n
+	}
+	return SweepRow{
+		Setting:       setting,
+		ViolationRate: res.ViolationRate,
+		Actions:       actions,
+		MeanAbsError:  absErr,
+		TotalCost:     res.TotalCost,
+	}, nil
+}
+
+// WindowSweep varies the monitoring window / control period: short windows
+// react fast but act on noisy statistics (churn); long windows smooth the
+// signal but lag the workload.
+func WindowSweep(seed int64) (SweepResult, error) {
+	out := SweepResult{Knob: "monitoring window (control period)"}
+	for _, w := range []time.Duration{30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute} {
+		row, err := sweepScenario(seed, w.String(), func(scale float64) flow.ControllerSpec {
+			return flow.DefaultAdaptive(60, w, scale)
+		})
+		if err != nil {
+			return SweepResult{}, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// GammaSweep varies the Eq. 7 adaptation rate γ — the demo's "elasticity
+// speed": small γ barely adapts the gain (fixed-gain-like), large γ slams
+// it to lmax on any persistent error (aggressive but jumpy).
+func GammaSweep(seed int64) (SweepResult, error) {
+	out := SweepResult{Knob: "gain adaptation rate γ (multiples of default)"}
+	for _, mult := range []float64{0.125, 0.5, 1, 4, 16} {
+		row, err := sweepScenario(seed, fmt.Sprintf("%gx", mult), func(scale float64) flow.ControllerSpec {
+			cs := flow.DefaultAdaptive(60, 2*time.Minute, scale)
+			cs.Gamma *= mult
+			return cs
+		})
+		if err != nil {
+			return SweepResult{}, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

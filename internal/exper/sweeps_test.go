@@ -1,0 +1,41 @@
+package exper
+
+import "testing"
+
+func TestWindowSweepShape(t *testing.T) {
+	r, err := WindowSweep(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table())
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	// Longer windows mean strictly fewer control opportunities; resize
+	// churn must fall monotonically by at least a factor over the sweep.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.Actions <= last.Actions {
+		t.Errorf("actions did not fall with window: %d (30s) vs %d (10m)", first.Actions, last.Actions)
+	}
+	for _, row := range r.Rows {
+		if row.TotalCost <= 0 {
+			t.Errorf("%s: no cost metered", row.Setting)
+		}
+	}
+}
+
+func TestGammaSweepShape(t *testing.T) {
+	r, err := GammaSweep(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Table())
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ViolationRate > 0.25 {
+			t.Errorf("%s: violation rate %.3f implausibly high", row.Setting, row.ViolationRate)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package flow
+
+import (
+	"time"
+
+	"repro/internal/billing"
+)
+
+// Builder assembles a Spec fluently — the programmatic Flow Builder. Each
+// With* method returns the builder for chaining; Build validates the
+// result.
+type Builder struct {
+	spec Spec
+}
+
+// NewBuilder starts a flow definition with default prices and the
+// reference click-stream workload.
+func NewBuilder(name string) *Builder {
+	return &Builder{spec: Spec{
+		Name:   name,
+		Prices: billing.DefaultPriceBook(),
+		Workload: WorkloadSpec{
+			Pattern: "diurnal",
+			Base:    500,
+			Peak:    3000,
+			Period:  Duration(9 * time.Hour),
+			Poisson: true,
+			Seed:    1,
+		},
+	}}
+}
+
+// WithIngestion adds the ingestion layer (stream shards).
+func (b *Builder) WithIngestion(initial, min, max float64, ctrl ControllerSpec) *Builder {
+	b.spec.Layers = append(b.spec.Layers, LayerSpec{
+		Kind:       Ingestion,
+		System:     "kinesis-sim",
+		Resource:   "shards",
+		Initial:    initial,
+		Min:        min,
+		Max:        max,
+		Controller: ctrl,
+	})
+	return b
+}
+
+// WithAnalytics adds the analytics layer (cluster VMs).
+func (b *Builder) WithAnalytics(initial, min, max float64, ctrl ControllerSpec) *Builder {
+	b.spec.Layers = append(b.spec.Layers, LayerSpec{
+		Kind:               Analytics,
+		System:             "storm-sim",
+		Resource:           "vms",
+		Initial:            initial,
+		Min:                min,
+		Max:                max,
+		Controller:         ctrl,
+		VMCapacityMsPerSec: 1000,
+		CPUNoiseStd:        1.5,
+		BaseCPUPct:         4.8,
+	})
+	return b
+}
+
+// WithStorage adds the storage layer (table write capacity units).
+func (b *Builder) WithStorage(initial, min, max float64, ctrl ControllerSpec) *Builder {
+	b.spec.Layers = append(b.spec.Layers, LayerSpec{
+		Kind:       Storage,
+		System:     "dynamodb-sim",
+		Resource:   "wcu",
+		Initial:    initial,
+		Min:        min,
+		Max:        max,
+		Controller: ctrl,
+		RCU:        100,
+	})
+	return b
+}
+
+// EditLayer applies fn to the named layer's spec, if present — the hook
+// for the wizard's "internal settings" (provisioning delay, CPU noise, VM
+// capacity, partitions) that have sensible defaults but are tunable per
+// flow. Unknown layers are ignored; Build's validation still runs.
+func (b *Builder) EditLayer(kind LayerKind, fn func(*LayerSpec)) *Builder {
+	for i := range b.spec.Layers {
+		if b.spec.Layers[i].Kind == kind {
+			fn(&b.spec.Layers[i])
+		}
+	}
+	return b
+}
+
+// WithProvisionDelay sets how long the named layer's resize actions take
+// to become effective (VM boot time, cluster rebalance). The layer must
+// already have been added.
+func (b *Builder) WithProvisionDelay(kind LayerKind, d time.Duration) *Builder {
+	return b.EditLayer(kind, func(l *LayerSpec) { l.ProvisionDelay = Duration(d) })
+}
+
+// WithDashboard attaches the read-side query workload to the storage
+// layer: a dashboard issuing reads at the given query-rate pattern, with a
+// dedicated read-capacity controller.
+func (b *Builder) WithDashboard(initialRCU, minRCU, maxRCU float64, qps WorkloadSpec, ctrl ControllerSpec) *Builder {
+	b.spec.Dashboard = DashboardSpec{
+		Enabled:    true,
+		Workload:   qps,
+		InitialRCU: initialRCU,
+		MinRCU:     minRCU,
+		MaxRCU:     maxRCU,
+		Controller: ctrl,
+	}
+	return b
+}
+
+// WithWorkload replaces the workload spec.
+func (b *Builder) WithWorkload(w WorkloadSpec) *Builder {
+	b.spec.Workload = w
+	return b
+}
+
+// WithPrices replaces the price book.
+func (b *Builder) WithPrices(p billing.PriceBook) *Builder {
+	b.spec.Prices = p
+	return b
+}
+
+// WithBudget sets the hourly budget for share analysis.
+func (b *Builder) WithBudget(perHour float64) *Builder {
+	b.spec.BudgetPerHour = perHour
+	return b
+}
+
+// Build validates and returns the spec.
+func (b *Builder) Build() (Spec, error) {
+	if err := b.spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return b.spec, nil
+}
+
+// DefaultAdaptive returns the wizard's default adaptive-controller
+// configuration (Eq. 6–7) for a layer whose allocation is of magnitude
+// `scale` units: gains are scaled so that a 10-point utilisation error at
+// the initial gain moves the allocation by roughly 5% of scale, with the
+// gain free to grow 15× under sustained error (the paper's rapid
+// elasticity) and to fall to half under over-provisioning.
+func DefaultAdaptive(ref float64, window time.Duration, scale float64) ControllerSpec {
+	l0 := 0.005 * scale
+	return ControllerSpec{
+		Type:     ControllerAdaptive,
+		Ref:      ref,
+		Window:   Duration(window),
+		DeadBand: 5,
+		L0:       l0,
+		Gamma:    l0 / 2,
+		LMin:     l0 / 2,
+		LMax:     l0 * 15,
+	}
+}
+
+// DefaultClickstream builds the paper's Fig. 1 flow with adaptive
+// controllers on all three layers, a 9-hour diurnal click-stream workload
+// peaking at `peak` records/second, and 2017-era prices. It is both the
+// quickstart configuration and the basis of the experiments.
+func DefaultClickstream(peak float64) (Spec, error) {
+	window := 2 * time.Minute
+	return NewBuilder("clickstream").
+		WithWorkload(WorkloadSpec{
+			Pattern: "diurnal",
+			Base:    peak / 6,
+			Peak:    peak,
+			Period:  Duration(9 * time.Hour),
+			Poisson: true,
+			Seed:    1,
+		}).
+		WithIngestion(2, 1, 50, DefaultAdaptive(60, window, 4)).
+		WithAnalytics(2, 1, 50, DefaultAdaptive(60, window, 4)).
+		WithStorage(200, 50, 20000, DefaultAdaptive(60, window, 400)).
+		WithBudget(1.0).
+		Build()
+}

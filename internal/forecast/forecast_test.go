@@ -1,0 +1,243 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSES(t *testing.T) {
+	if _, err := NewSES(0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := NewSES(1.5); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	s, err := NewSES(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ready() {
+		t.Fatal("ready before data")
+	}
+	s.Observe(10)
+	if !s.Ready() || s.Forecast(1) != 10 {
+		t.Fatalf("first forecast = %v, want 10", s.Forecast(1))
+	}
+	s.Observe(20)
+	if got := s.Forecast(5); !approx(got, 15, 1e-12) {
+		t.Fatalf("forecast = %v, want 15 (flat)", got)
+	}
+}
+
+func TestSESConvergesToConstant(t *testing.T) {
+	s, _ := NewSES(0.3)
+	for i := 0; i < 100; i++ {
+		s.Observe(42)
+	}
+	if got := s.Forecast(1); !approx(got, 42, 1e-9) {
+		t.Fatalf("forecast = %v, want 42", got)
+	}
+}
+
+func TestHoltTracksLinearTrend(t *testing.T) {
+	if _, err := NewHolt(0.5, 0); err == nil {
+		t.Fatal("beta 0 accepted")
+	}
+	h, err := NewHolt(0.8, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect ramp: x(t) = 100 + 5t.
+	for i := 0; i < 50; i++ {
+		h.Observe(100 + 5*float64(i))
+	}
+	// One step ahead: 100 + 5·50 = 350.
+	if got := h.Forecast(1); !approx(got, 350, 2) {
+		t.Fatalf("1-step forecast = %v, want ≈350", got)
+	}
+	// Ten steps ahead: 100 + 5·59 = 395.
+	if got := h.Forecast(10); !approx(got, 395, 5) {
+		t.Fatalf("10-step forecast = %v, want ≈395", got)
+	}
+}
+
+func TestHoltWintersLearnsSeasonality(t *testing.T) {
+	if _, err := NewHoltWinters(0.5, 0.5, 0.5, 1); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+	hw, err := NewHoltWinters(0.4, 0.1, 0.4, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	season := func(i int) float64 {
+		return 500 + 300*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	for i := 0; i < 24*6; i++ { // six "days"
+		hw.Observe(season(i))
+	}
+	if !hw.Ready() {
+		t.Fatal("not ready after six periods")
+	}
+	// Forecast the next half period and compare with the true seasonal
+	// value.
+	n := 24 * 6
+	var worst float64
+	for steps := 1; steps <= 12; steps++ {
+		got := hw.Forecast(steps)
+		want := season(n + steps - 1)
+		if d := math.Abs(got - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 60 { // 60 of a 600-wide swing = 10%
+		t.Fatalf("worst seasonal forecast error = %v, want <= 60", worst)
+	}
+}
+
+func TestHoltWintersNotReadyFallsBack(t *testing.T) {
+	hw, _ := NewHoltWinters(0.4, 0.1, 0.4, 10)
+	if hw.Forecast(1) != 0 {
+		t.Fatal("empty fallback not 0")
+	}
+	hw.Observe(7)
+	if hw.Forecast(3) != 7 {
+		t.Fatal("pre-season fallback should be last observation")
+	}
+}
+
+func TestAR1RecoversCoefficients(t *testing.T) {
+	if _, err := NewAR1(2); err == nil {
+		t.Fatal("window 2 accepted")
+	}
+	a, err := NewAR1(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x(t) = 10 + 0.8·x(t−1) + noise.
+	rng := rand.New(rand.NewSource(1))
+	x := 50.0
+	for i := 0; i < 400; i++ {
+		x = 10 + 0.8*x + rng.NormFloat64()*0.5
+		a.Observe(x)
+	}
+	c, phi, err := a.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(phi, 0.8, 0.1) {
+		t.Fatalf("phi = %v, want ≈0.8", phi)
+	}
+	if !approx(c, 10, 5) {
+		t.Fatalf("c = %v, want ≈10", c)
+	}
+	// Long-horizon forecast approaches the stationary mean c/(1−φ) = 50.
+	if got := a.Forecast(200); !approx(got, 50, 5) {
+		t.Fatalf("long forecast = %v, want ≈50", got)
+	}
+}
+
+func TestAR1ConstantSeries(t *testing.T) {
+	a, _ := NewAR1(64)
+	for i := 0; i < 10; i++ {
+		a.Observe(5)
+	}
+	c, phi, err := a.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 0 || !approx(c, 5, 1e-9) {
+		t.Fatalf("constant fit = (%v, %v), want (5, 0)", c, phi)
+	}
+	if got := a.Forecast(3); !approx(got, 5, 1e-9) {
+		t.Fatalf("forecast = %v, want 5", got)
+	}
+}
+
+func TestAR1WindowSlides(t *testing.T) {
+	a, _ := NewAR1(8)
+	for i := 0; i < 100; i++ {
+		a.Observe(float64(i))
+	}
+	if len(a.hist) != 8 {
+		t.Fatalf("window length = %d, want 8", len(a.hist))
+	}
+}
+
+func TestEvaluateRanksModelsOnSeasonalData(t *testing.T) {
+	series := make([]float64, 24*8)
+	for i := range series {
+		series[i] = 500 + 300*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	mapeHW := Evaluate(func() Predictor {
+		hw, _ := NewHoltWinters(0.4, 0.1, 0.4, 24)
+		return hw
+	}, series)
+	mapeSES := Evaluate(func() Predictor {
+		s, _ := NewSES(0.5)
+		return s
+	}, series)
+	if math.IsNaN(mapeHW) || math.IsNaN(mapeSES) {
+		t.Fatal("MAPE NaN")
+	}
+	if mapeHW >= mapeSES {
+		t.Fatalf("Holt-Winters MAPE %v not better than SES %v on seasonal data", mapeHW, mapeSES)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if !math.IsNaN(Evaluate(func() Predictor { s, _ := NewSES(0.5); return s }, nil)) {
+		t.Fatal("empty series should be NaN")
+	}
+}
+
+func TestPredictiveSizer(t *testing.T) {
+	s := PredictiveSizer{UnitCapacity: 1000, TargetUtil: 60, Headroom: 1.1, Min: 1, Max: 50}
+	// 3000 rec/s at 60% target = 5 units, ×1.1 headroom = 5.5 → ceil 6.
+	if got := s.Size(3000); got != 6 {
+		t.Fatalf("Size(3000) = %v, want 6", got)
+	}
+	if got := s.Size(-100); got != 1 {
+		t.Fatalf("negative forecast = %v, want Min", got)
+	}
+	if got := s.Size(1e9); got != 50 {
+		t.Fatalf("huge forecast = %v, want Max", got)
+	}
+	// Defaults: headroom 1, target 60.
+	d := PredictiveSizer{UnitCapacity: 1000, Min: 1}
+	if got := d.Size(600); got != 1 {
+		t.Fatalf("default Size(600) = %v, want 1", got)
+	}
+}
+
+// Property: all predictors produce finite forecasts for finite inputs.
+func TestPredictorsFiniteProperty(t *testing.T) {
+	f := func(raw []int16, steps uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		mks := []func() Predictor{
+			func() Predictor { p, _ := NewSES(0.5); return p },
+			func() Predictor { p, _ := NewHolt(0.5, 0.3); return p },
+			func() Predictor { p, _ := NewHoltWinters(0.4, 0.2, 0.3, 12); return p },
+			func() Predictor { p, _ := NewAR1(64); return p },
+		}
+		for _, mk := range mks {
+			p := mk()
+			for _, v := range raw {
+				p.Observe(float64(v))
+			}
+			got := p.Forecast(int(steps%20) + 1)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

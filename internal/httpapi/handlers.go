@@ -1,0 +1,501 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/compute"
+	"repro/internal/control"
+	"repro/internal/flow"
+	"repro/internal/kvstore"
+	"repro/internal/metricstore"
+	"repro/internal/stream"
+	"repro/internal/timeseries"
+)
+
+// handleFlow serves the flow definition.
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	spec := s.mgr.Spec()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, spec)
+}
+
+// statusResponse is the live run summary.
+type statusResponse struct {
+	Flow          string             `json:"flow"`
+	SimTime       time.Time          `json:"sim_time"`
+	Elapsed       string             `json:"elapsed"`
+	Ticks         int                `json:"ticks"`
+	Offered       int64              `json:"offered_records"`
+	Rejected      int64              `json:"rejected_records"`
+	ViolationRate float64            `json:"violation_rate"`
+	TotalCost     float64            `json:"total_cost_usd"`
+	PeakRunRate   float64            `json:"peak_run_rate_usd_per_h"`
+	Allocation    allocationResponse `json:"allocation"`
+}
+
+type allocationResponse struct {
+	Shards int     `json:"shards"`
+	VMs    int     `json:"vms"`
+	WCU    float64 `json:"wcu"`
+	RCU    float64 `json:"rcu"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.mgr.Harness()
+	res := h.Result()
+	now := h.Clock.Now()
+	elapsed := h.Clock.Elapsed()
+	name := s.mgr.Spec().Name
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, statusResponse{
+		Flow:          name,
+		SimTime:       now,
+		Elapsed:       elapsed.String(),
+		Ticks:         res.Ticks,
+		Offered:       res.Offered,
+		Rejected:      res.Rejected,
+		ViolationRate: res.ViolationRate,
+		TotalCost:     res.TotalCost,
+		PeakRunRate:   res.PeakRunRate,
+		Allocation: allocationResponse{
+			Shards: res.FinalAllocation.Shards,
+			VMs:    res.FinalAllocation.VMs,
+			WCU:    res.FinalAllocation.WCU,
+			RCU:    res.FinalAllocation.RCU,
+		},
+	})
+}
+
+// layerResponse is one layer's live state.
+type layerResponse struct {
+	Kind        flow.LayerKind      `json:"kind"`
+	System      string              `json:"system"`
+	Resource    string              `json:"resource"`
+	Allocation  float64             `json:"allocation"`
+	Min         float64             `json:"min"`
+	Max         float64             `json:"max"`
+	Utilization float64             `json:"utilization_pct"`
+	MeanUtil    float64             `json:"mean_utilization_pct"`
+	Violations  int                 `json:"violation_ticks"`
+	Controller  *controllerResponse `json:"controller,omitempty"`
+}
+
+type controllerResponse struct {
+	Type     string  `json:"type"`
+	Ref      float64 `json:"ref"`
+	Window   string  `json:"window"`
+	DeadBand float64 `json:"dead_band"`
+	Gain     float64 `json:"gain,omitempty"`
+	Actions  int     `json:"actions"`
+}
+
+// layerMetric maps a layer to its primary utilisation metric.
+func layerMetric(kind flow.LayerKind, name string) (ns, metric string, dims map[string]string) {
+	switch kind {
+	case flow.Ingestion:
+		return stream.Namespace, stream.MetricWriteUtilization, map[string]string{"StreamName": name}
+	case flow.Analytics:
+		return compute.Namespace, compute.MetricCPUUtilization, map[string]string{"Topology": name}
+	case flow.Storage:
+		return kvstore.Namespace, kvstore.MetricWriteUtilization, map[string]string{"TableName": name}
+	}
+	return "", "", nil
+}
+
+func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.mgr.Harness()
+	spec := s.mgr.Spec()
+	res := h.Result()
+
+	var out []layerResponse
+	for _, l := range spec.Layers {
+		lr := layerResponse{
+			Kind:       l.Kind,
+			System:     l.System,
+			Resource:   l.Resource,
+			Min:        l.Min,
+			Max:        l.Max,
+			MeanUtil:   res.MeanUtil[l.Kind],
+			Violations: res.Violations[l.Kind],
+		}
+		switch l.Kind {
+		case flow.Ingestion:
+			lr.Allocation = float64(h.Stream.ShardCount())
+		case flow.Analytics:
+			lr.Allocation = float64(h.Cluster.VMCount())
+		case flow.Storage:
+			lr.Allocation = h.Table.WCU()
+		}
+		if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
+			if p, ok := h.Store.Latest(ns, metric, dims); ok {
+				lr.Utilization = p.V
+			}
+		}
+		if loop, ok := h.Loops[l.Kind]; ok {
+			lr.Controller = controllerJSON(loop)
+		}
+		out = append(out, lr)
+	}
+	// The dashboard's read-capacity resource reports as a virtual layer.
+	if spec.Dashboard.Enabled {
+		lr := layerResponse{
+			Kind:       flow.StorageReads,
+			System:     "dynamodb-sim",
+			Resource:   "rcu",
+			Allocation: h.Table.RCU(),
+			Min:        spec.Dashboard.MinRCU,
+			Max:        spec.Dashboard.MaxRCU,
+			MeanUtil:   res.MeanUtil[flow.StorageReads],
+			Violations: res.Violations[flow.StorageReads],
+		}
+		if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
+			map[string]string{"TableName": spec.Name}); ok {
+			lr.Utilization = p.V
+		}
+		if loop, ok := h.Loops[flow.StorageReads]; ok {
+			lr.Controller = controllerJSON(loop)
+		}
+		out = append(out, lr)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// controllerJSON renders a loop's controller state.
+func controllerJSON(loop *control.Loop) *controllerResponse {
+	cr := &controllerResponse{
+		Type:     loop.Controller().Name(),
+		Ref:      loop.Ref(),
+		Window:   loop.Window().String(),
+		DeadBand: loop.DeadBand(),
+		Actions:  loop.Actions(),
+	}
+	if ag, ok := loop.Controller().(*control.AdaptiveGain); ok {
+		cr.Gain = ag.Gain()
+	}
+	return cr
+}
+
+// decisionResponse is one recorded control action.
+type decisionResponse struct {
+	At       time.Time `json:"at"`
+	Measured float64   `json:"measured"`
+	Ref      float64   `json:"ref"`
+	OldU     float64   `json:"old_allocation"`
+	NewU     float64   `json:"new_allocation"`
+	Applied  bool      `json:"applied"`
+	Note     string    `json:"note,omitempty"`
+}
+
+func (s *Server) loopFor(kind string) (*control.Loop, bool) {
+	loop, ok := s.mgr.Harness().Loops[flow.LayerKind(kind)]
+	return loop, ok
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loop, ok := s.loopFor(r.PathValue("kind"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no controller for layer %q", r.PathValue("kind"))
+		return
+	}
+	n := 20
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid n %q", raw)
+			return
+		}
+		n = parsed
+	}
+	all := loop.Decisions()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]decisionResponse, len(all))
+	for i, d := range all {
+		out[i] = decisionResponse{
+			At: d.At, Measured: d.Measured, Ref: d.Ref,
+			OldU: d.OldU, NewU: d.NewU, Applied: d.Applied, Note: d.Note,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tuneRequest is the controller-tuning payload; absent fields are left
+// unchanged. This is the API form of the demo's step 3: "adjust parameters
+// of the controllers, such as elasticity speed, monitoring period".
+type tuneRequest struct {
+	Ref      *float64 `json:"ref,omitempty"`
+	Window   *string  `json:"window,omitempty"`
+	DeadBand *float64 `json:"dead_band,omitempty"`
+}
+
+func (s *Server) handleTuneController(w http.ResponseWriter, r *http.Request) {
+	var req tuneRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loop, ok := s.loopFor(r.PathValue("kind"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no controller for layer %q", r.PathValue("kind"))
+		return
+	}
+	if req.Ref != nil {
+		if *req.Ref <= 0 || *req.Ref > 100 {
+			writeError(w, http.StatusBadRequest, "ref %v outside (0, 100]", *req.Ref)
+			return
+		}
+		loop.SetRef(*req.Ref)
+	}
+	if req.Window != nil {
+		d, err := time.ParseDuration(*req.Window)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid window %q", *req.Window)
+			return
+		}
+		loop.SetWindow(d)
+	}
+	if req.DeadBand != nil {
+		if *req.DeadBand < 0 {
+			writeError(w, http.StatusBadRequest, "negative dead_band")
+			return
+		}
+		loop.SetDeadBand(*req.DeadBand)
+	}
+	writeJSON(w, http.StatusOK, controllerResponse{
+		Type:     loop.Controller().Name(),
+		Ref:      loop.Ref(),
+		Window:   loop.Window().String(),
+		DeadBand: loop.DeadBand(),
+		Actions:  loop.Actions(),
+	})
+}
+
+// metricIDResponse is one listable metric.
+type metricIDResponse struct {
+	Namespace  string            `json:"namespace"`
+	Name       string            `json:"name"`
+	Dimensions map[string]string `json:"dimensions,omitempty"`
+}
+
+func (s *Server) handleListMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	store := s.mgr.Store()
+	out := make(map[string][]metricIDResponse)
+	for _, ns := range store.Namespaces() {
+		for _, id := range store.ListMetrics(ns) {
+			out[ns] = append(out[ns], metricIDResponse{
+				Namespace: id.Namespace, Name: id.Name, Dimensions: id.Dimensions,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// seriesResponse is a metric query result.
+type seriesResponse struct {
+	Namespace string        `json:"namespace"`
+	Name      string        `json:"name"`
+	Stat      string        `json:"stat"`
+	Period    string        `json:"period"`
+	Points    []pointOnWire `json:"points"`
+}
+
+type pointOnWire struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// parseStat maps a CloudWatch-flavoured statistic name to an aggregation.
+func parseStat(s string) (timeseries.Agg, bool) {
+	switch strings.ToLower(s) {
+	case "", "avg", "average", "mean":
+		return timeseries.AggMean, true
+	case "sum":
+		return timeseries.AggSum, true
+	case "min", "minimum":
+		return timeseries.AggMin, true
+	case "max", "maximum":
+		return timeseries.AggMax, true
+	case "count", "samplecount":
+		return timeseries.AggCount, true
+	case "p50":
+		return timeseries.AggP50, true
+	case "p90":
+		return timeseries.AggP90, true
+	case "p99":
+		return timeseries.AggP99, true
+	}
+	return 0, false
+}
+
+func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ns, name := q.Get("ns"), q.Get("name")
+	if ns == "" || name == "" {
+		writeError(w, http.StatusBadRequest, "ns and name are required")
+		return
+	}
+	stat, ok := parseStat(q.Get("stat"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown stat %q", q.Get("stat"))
+		return
+	}
+	window := 30 * time.Minute
+	if raw := q.Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid window %q", raw)
+			return
+		}
+		window = d
+	}
+	period := time.Minute
+	if raw := q.Get("period"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid period %q", raw)
+			return
+		}
+		period = d
+	}
+	dims := make(map[string]string)
+	for key, vals := range q {
+		if rest, found := strings.CutPrefix(key, "dim."); found && len(vals) > 0 {
+			dims[rest] = vals[0]
+		}
+	}
+
+	s.mu.Lock()
+	now := s.mgr.Harness().Clock.Now()
+	series, err := s.mgr.Store().GetStatistics(metricstore.Query{
+		Namespace:  ns,
+		Name:       name,
+		Dimensions: dims,
+		From:       now.Add(-window),
+		To:         now.Add(time.Nanosecond),
+		Period:     period,
+		Stat:       stat,
+	})
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "query: %v", err)
+		return
+	}
+
+	resp := seriesResponse{
+		Namespace: ns, Name: name,
+		Stat: stat.String(), Period: period.String(),
+		Points: make([]pointOnWire, 0, series.Len()),
+	}
+	for i := 0; i < series.Len(); i++ {
+		p := series.At(i)
+		resp.Points = append(resp.Points, pointOnWire{T: p.T, V: p.V})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	window := 30 * time.Minute
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid window %q", raw)
+			return
+		}
+		window = d
+	}
+	s.mu.Lock()
+	snap := s.mgr.Snapshot(window)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// dependencyResponse is one learned Eq. 1 relationship.
+type dependencyResponse struct {
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	Slope       float64 `json:"slope"`
+	Intercept   float64 `json:"intercept"`
+	R2          float64 `json:"r2"`
+	Correlation float64 `json:"correlation"`
+	Lag         int     `json:"lag_periods"`
+	Samples     int     `json:"samples"`
+	Equation    string  `json:"equation"`
+}
+
+func (s *Server) handleDependencies(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	found, err := s.mgr.AnalyzeDependencies()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "dependency analysis: %v", err)
+		return
+	}
+	out := make([]dependencyResponse, 0, len(found))
+	for _, d := range found {
+		out = append(out, dependencyResponse{
+			From:        d.From.String(),
+			To:          d.To.String(),
+			Slope:       d.Model.Slope,
+			Intercept:   d.Model.Intercept,
+			R2:          d.Model.R2,
+			Correlation: d.Correlation,
+			Lag:         d.Lag,
+			Samples:     d.Samples,
+			Equation:    d.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// advanceRequest asks the server to run the simulation forward.
+type advanceRequest struct {
+	Duration string `json:"duration"`
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("d")
+	if raw == "" {
+		var req advanceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "need ?d= or JSON {\"duration\": ...}: %v", err)
+			return
+		}
+		raw = req.Duration
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		writeError(w, http.StatusBadRequest, "invalid duration %q", raw)
+		return
+	}
+	if d > 24*365*time.Hour {
+		writeError(w, http.StatusBadRequest, "duration %v too large", d)
+		return
+	}
+	res, err := s.Advance(d)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "advance: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"advanced":       d.String(),
+		"ticks":          res.Ticks,
+		"violation_rate": res.ViolationRate,
+		"total_cost_usd": res.TotalCost,
+	})
+}

@@ -1,0 +1,139 @@
+// Package httpapi is Flower's HTTP control plane: the programmatic
+// equivalent of the demo's web UI (§4). It serves
+//
+//   - the flow definition and live run status,
+//   - per-layer controller state with runtime tuning ("adjust parameters
+//     of the controllers, such as elasticity speed, monitoring period"),
+//   - the cross-platform metric store behind the all-in-one-place
+//     visualizer (§3.4), queryable per metric,
+//   - learned workload dependencies (§3.1),
+//   - an HTML dashboard consolidating every platform's measures,
+//
+// over a plain JSON API. The simulation clock only advances through the
+// POST /api/advance endpoint (or the optional wall-clock pacer), so a
+// browser can inspect a paused flow deterministically — which is also what
+// makes the package testable with httptest.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Server exposes one managed flow over HTTP. All simulation access is
+// serialised by an internal mutex: the harness itself is single-threaded.
+type Server struct {
+	mu  sync.Mutex
+	mgr *core.Manager
+	mux *http.ServeMux
+
+	pacerStop chan struct{}
+	pacerDone chan struct{}
+}
+
+// NewServer wraps a manager.
+func NewServer(mgr *core.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/flow", s.handleFlow)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /api/layers", s.handleLayers)
+	s.mux.HandleFunc("GET /api/layers/{kind}/decisions", s.handleDecisions)
+	s.mux.HandleFunc("POST /api/layers/{kind}/controller", s.handleTuneController)
+	s.mux.HandleFunc("GET /api/metrics", s.handleListMetrics)
+	s.mux.HandleFunc("GET /api/metrics/query", s.handleQueryMetrics)
+	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /api/dependencies", s.handleDependencies)
+	s.mux.HandleFunc("POST /api/advance", s.handleAdvance)
+	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
+}
+
+// Handler returns the HTTP handler (for httptest and custom servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Advance runs the simulation forward by d under the server lock.
+func (s *Server) Advance(d time.Duration) (sim.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Run(d)
+}
+
+// StartPacing advances the simulation continuously: every wall tick, the
+// flow moves `pace` simulated seconds per wall second. It replaces any
+// pacer already running. Use StopPacing (or stop serving) to halt.
+func (s *Server) StartPacing(pace float64, wallTick time.Duration) {
+	if pace <= 0 || wallTick <= 0 {
+		return
+	}
+	s.StopPacing()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.pacerStop, s.pacerDone = stop, done
+	perWallTick := time.Duration(pace * float64(wallTick))
+	simStep := s.mgr.Harness().Scheduler.Step()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(wallTick)
+		defer t.Stop()
+		var debt time.Duration // simulated time owed but not yet advanced
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// The scheduler advances in whole simulation steps, so
+				// carry sub-step remainders forward instead of losing them.
+				debt += perWallTick
+				if due := debt / simStep * simStep; due > 0 {
+					debt -= due
+					if _, err := s.Advance(due); err != nil {
+						return
+					}
+				}
+			}
+		}
+	}()
+}
+
+// StopPacing halts the background pacer, if any, and waits for it to exit.
+func (s *Server) StopPacing() {
+	if s.pacerStop == nil {
+		return
+	}
+	close(s.pacerStop)
+	<-s.pacerDone
+	s.pacerStop, s.pacerDone = nil, nil
+}
+
+// --- JSON plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,421 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+// newTestServer materialises the default click-stream flow behind a Server
+// and advances it far enough that every metric exists.
+func newTestServer(t *testing.T) (*Server, *core.Manager) {
+	t.Helper()
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(mgr)
+	if _, err := s.Advance(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return s, mgr
+}
+
+// get performs a GET against the server and decodes JSON into out.
+func get(t *testing.T, s *Server, path string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	resp := rec.Result()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestFlowEndpointRoundTripsSpec(t *testing.T) {
+	s, mgr := newTestServer(t)
+	var spec flow.Spec
+	resp := get(t, s, "/api/flow", &spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if spec.Name != mgr.Spec().Name {
+		t.Errorf("flow name %q, want %q", spec.Name, mgr.Spec().Name)
+	}
+	if len(spec.Layers) != 3 {
+		t.Errorf("layers = %d, want 3", len(spec.Layers))
+	}
+}
+
+func TestStatusReportsProgress(t *testing.T) {
+	s, _ := newTestServer(t)
+	var st statusResponse
+	if resp := get(t, s, "/api/status", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Ticks != 90 { // 15 min at 10s ticks
+		t.Errorf("ticks = %d, want 90", st.Ticks)
+	}
+	if st.Offered == 0 {
+		t.Error("no records offered")
+	}
+	if st.Allocation.Shards <= 0 || st.Allocation.VMs <= 0 {
+		t.Errorf("implausible allocation %+v", st.Allocation)
+	}
+	if st.TotalCost <= 0 {
+		t.Error("no cost metered")
+	}
+}
+
+func TestLayersExposeControllersAndUtilization(t *testing.T) {
+	s, _ := newTestServer(t)
+	var layers []layerResponse
+	if resp := get(t, s, "/api/layers", &layers); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(layers))
+	}
+	for _, l := range layers {
+		if l.Controller == nil {
+			t.Errorf("%s: no controller in response", l.Kind)
+			continue
+		}
+		if l.Controller.Type != "adaptive" {
+			t.Errorf("%s: controller type %q", l.Kind, l.Controller.Type)
+		}
+		if l.Controller.Ref != 60 {
+			t.Errorf("%s: ref %v, want 60", l.Kind, l.Controller.Ref)
+		}
+		if l.Controller.Gain <= 0 {
+			t.Errorf("%s: gain %v not exposed", l.Kind, l.Controller.Gain)
+		}
+		if l.Allocation <= 0 {
+			t.Errorf("%s: allocation %v", l.Kind, l.Allocation)
+		}
+	}
+}
+
+func TestAdvanceMovesSimulatedTime(t *testing.T) {
+	s, _ := newTestServer(t)
+	var before, after statusResponse
+	get(t, s, "/api/status", &before)
+
+	req := httptest.NewRequest(http.MethodPost, "/api/advance?d=10m", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("advance status = %d: %s", rec.Code, rec.Body)
+	}
+
+	get(t, s, "/api/status", &after)
+	if got := after.Ticks - before.Ticks; got != 60 {
+		t.Errorf("advance added %d ticks, want 60", got)
+	}
+}
+
+func TestAdvanceJSONBody(t *testing.T) {
+	s, _ := newTestServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/api/advance",
+		strings.NewReader(`{"duration": "5m"}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestAdvanceRejectsBadDurations(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, d := range []string{"", "-5m", "bogus", "20000h"} {
+		req := httptest.NewRequest(http.MethodPost, "/api/advance?d="+d, strings.NewReader("{}"))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("d=%q: status = %d, want 400", d, rec.Code)
+		}
+	}
+}
+
+func TestTuneControllerUpdatesLoop(t *testing.T) {
+	s, mgr := newTestServer(t)
+	body := `{"ref": 70, "window": "4m", "dead_band": 8}`
+	req := httptest.NewRequest(http.MethodPost, "/api/layers/analytics/controller",
+		strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	loop := mgr.Harness().Loops[flow.Analytics]
+	if loop.Ref() != 70 {
+		t.Errorf("ref = %v, want 70", loop.Ref())
+	}
+	if loop.Window() != 4*time.Minute {
+		t.Errorf("window = %v, want 4m", loop.Window())
+	}
+	if loop.DeadBand() != 8 {
+		t.Errorf("dead band = %v, want 8", loop.DeadBand())
+	}
+}
+
+func TestTuneControllerValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/api/layers/analytics/controller", `{"ref": -5}`, http.StatusBadRequest},
+		{"/api/layers/analytics/controller", `{"ref": 120}`, http.StatusBadRequest},
+		{"/api/layers/analytics/controller", `{"window": "0s"}`, http.StatusBadRequest},
+		{"/api/layers/analytics/controller", `{"dead_band": -1}`, http.StatusBadRequest},
+		{"/api/layers/analytics/controller", `not json`, http.StatusBadRequest},
+		{"/api/layers/nosuch/controller", `{"ref": 50}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, c.path, strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != c.want {
+			t.Errorf("%s %s: status = %d, want %d", c.path, c.body, rec.Code, c.want)
+		}
+	}
+}
+
+func TestDecisionsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	// 15 minutes at a 2-minute window = several decisions.
+	var ds []decisionResponse
+	if resp := get(t, s, "/api/layers/ingestion/decisions?n=5", &ds); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(ds) == 0 || len(ds) > 5 {
+		t.Fatalf("decisions = %d, want 1..5", len(ds))
+	}
+	for _, d := range ds {
+		if d.Ref != 60 {
+			t.Errorf("decision ref %v, want 60", d.Ref)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/layers/ingestion/decisions?n=x", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestMetricsListCoversAllPlatforms(t *testing.T) {
+	s, _ := newTestServer(t)
+	var out map[string][]metricIDResponse
+	if resp := get(t, s, "/api/metrics", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, ns := range []string{"Ingestion/Stream", "Analytics/Compute", "Storage/KVStore", "Workload/Generator", "Billing"} {
+		if len(out[ns]) == 0 {
+			t.Errorf("namespace %s missing from listing", ns)
+		}
+	}
+}
+
+func TestMetricsQueryReturnsSeries(t *testing.T) {
+	s, mgr := newTestServer(t)
+	path := fmt.Sprintf(
+		"/api/metrics/query?ns=Analytics/Compute&name=CPUUtilization&dim.Topology=%s&window=10m&period=1m&stat=avg",
+		mgr.Spec().Name)
+	var series seriesResponse
+	if resp := get(t, s, path, &series); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// 10-minute window at 1-minute periods: 10 buckets, or 11 when the
+	// window boundary splits a bucket.
+	if len(series.Points) < 10 || len(series.Points) > 11 {
+		t.Errorf("points = %d, want 10-11 (one per minute)", len(series.Points))
+	}
+	if series.Stat != "Average" {
+		t.Errorf("stat = %q", series.Stat)
+	}
+	for _, p := range series.Points {
+		if p.V < 0 || p.V > 100 {
+			t.Errorf("CPU point %v out of range", p.V)
+		}
+	}
+}
+
+func TestMetricsQueryValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/metrics/query", http.StatusBadRequest},
+		{"/api/metrics/query?ns=X", http.StatusBadRequest},
+		{"/api/metrics/query?ns=X&name=Y&stat=bogus", http.StatusBadRequest},
+		{"/api/metrics/query?ns=X&name=Y&window=-1m", http.StatusBadRequest},
+		{"/api/metrics/query?ns=X&name=Y&period=zzz", http.StatusBadRequest},
+		{"/api/metrics/query?ns=NoSuch&name=Nope", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, c.path, nil))
+		if rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d", c.path, rec.Code, c.want)
+		}
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	var snap struct {
+		Sections []struct {
+			Namespace string
+			Metrics   []struct{ Last float64 }
+		}
+	}
+	if resp := get(t, s, "/api/snapshot?window=10m", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(snap.Sections) < 5 {
+		t.Errorf("sections = %d, want >= 5 platforms", len(snap.Sections))
+	}
+}
+
+func TestDependenciesEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	// Advance enough for the dependency analyzer's minimum sample count.
+	if _, err := s.Advance(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var out []dependencyResponse
+	if resp := get(t, s, "/api/dependencies", &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out) == 0 {
+		t.Fatal("no dependencies learned")
+	}
+	for _, d := range out {
+		if d.Equation == "" || d.Samples == 0 {
+			t.Errorf("incomplete dependency %+v", d)
+		}
+	}
+}
+
+func TestDashboardRendersHTML(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<html", "ingestion", "analytics", "storage", "<svg", "Flower"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+func TestUnknownRouteIs404(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestPacerAdvancesAndStops(t *testing.T) {
+	s, _ := newTestServer(t)
+	var before statusResponse
+	get(t, s, "/api/status", &before)
+
+	// 20 simulated minutes per wall second, ticking every 10ms: each wall
+	// tick owes 12s of simulated time, comfortably above the 10s sim step.
+	s.StartPacing(1200, 10*time.Millisecond)
+	time.Sleep(120 * time.Millisecond)
+	s.StopPacing()
+
+	var after statusResponse
+	get(t, s, "/api/status", &after)
+	if after.Ticks <= before.Ticks {
+		t.Errorf("pacer did not advance: %d -> %d ticks", before.Ticks, after.Ticks)
+	}
+	// After StopPacing, time must stand still.
+	var later statusResponse
+	time.Sleep(50 * time.Millisecond)
+	get(t, s, "/api/status", &later)
+	if later.Ticks != after.Ticks {
+		t.Errorf("pacer still running after stop: %d -> %d ticks", after.Ticks, later.Ticks)
+	}
+}
+
+func TestStopPacingWithoutStartIsNoop(t *testing.T) {
+	s, _ := newTestServer(t)
+	s.StopPacing() // must not panic
+}
+
+func TestLayersIncludeReadResourceWhenDashboardEnabled(t *testing.T) {
+	spec, err := flow.NewBuilder("clicks").
+		WithWorkload(flow.WorkloadSpec{Pattern: "constant", Base: 1000}).
+		WithIngestion(2, 1, 50, flow.DefaultAdaptive(60, 2*time.Minute, 4)).
+		WithAnalytics(2, 1, 50, flow.DefaultAdaptive(60, 2*time.Minute, 4)).
+		WithStorage(200, 50, 20000, flow.DefaultAdaptive(60, 2*time.Minute, 400)).
+		WithDashboard(50, 10, 5000,
+			flow.WorkloadSpec{Pattern: "constant", Base: 40, Poisson: true},
+			flow.DefaultAdaptive(60, 2*time.Minute, 100)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := core.NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(mgr)
+	if _, err := s.Advance(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	var layers []layerResponse
+	if resp := get(t, s, "/api/layers", &layers); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(layers) != 4 {
+		t.Fatalf("layers = %d, want 4 (three layers + storage-reads)", len(layers))
+	}
+	reads := layers[3]
+	if reads.Kind != flow.StorageReads || reads.Resource != "rcu" {
+		t.Fatalf("virtual layer = %+v", reads)
+	}
+	if reads.Controller == nil || reads.Controller.Type != "adaptive" {
+		t.Error("read controller not exposed")
+	}
+	// The read controller is tunable through the same endpoint.
+	req := httptest.NewRequest(http.MethodPost, "/api/layers/storage-reads/controller",
+		strings.NewReader(`{"ref": 50}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tune status = %d: %s", rec.Code, rec.Body)
+	}
+	if got := mgr.Harness().Loops[flow.StorageReads].Ref(); got != 50 {
+		t.Errorf("read loop ref = %v, want 50", got)
+	}
+}

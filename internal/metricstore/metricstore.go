@@ -1,0 +1,248 @@
+// Package metricstore implements the CloudWatch analogue of the
+// reproduction: a namespaced repository of timestamped metrics with
+// dimension filtering, period statistics, retention, and threshold alarms.
+//
+// Every simulated subsystem (stream, compute, kvstore, workload, billing)
+// publishes its per-tick measurements here, and every Flower component
+// (sensors, the dependency analyzer, the cross-platform monitor) reads them
+// back — exactly the role CloudWatch plays in the paper's architecture
+// (Fig. 3): "Flower's sensor module periodically collects live data from
+// multiple sources such as CloudWatch".
+package metricstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// MetricID identifies one metric stream: a namespace (one per simulated
+// platform, e.g. "Ingestion/Stream"), a metric name, and a dimension set
+// (e.g. StreamName=clicks).
+type MetricID struct {
+	Namespace  string
+	Name       string
+	Dimensions map[string]string
+}
+
+// Key returns the canonical map key for the metric: namespace, name, and
+// the dimension pairs sorted by dimension name.
+func (id MetricID) Key() string {
+	var b strings.Builder
+	b.WriteString(id.Namespace)
+	b.WriteByte('|')
+	b.WriteString(id.Name)
+	b.WriteByte('|')
+	keys := make([]string, 0, len(id.Dimensions))
+	for k := range id.Dimensions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(id.Dimensions[k])
+	}
+	return b.String()
+}
+
+// String renders the ID in a human-readable form for dashboards and errors.
+func (id MetricID) String() string {
+	key := id.Key()
+	return strings.ReplaceAll(key, "|", " ")
+}
+
+// Query selects datapoints for GetStatistics.
+type Query struct {
+	Namespace  string
+	Name       string
+	Dimensions map[string]string
+	From, To   time.Time // half-open interval [From, To)
+	Period     time.Duration
+	Stat       timeseries.Agg
+}
+
+// Store is the metric repository. It is safe for concurrent use; the
+// simulation itself is single-goroutine, but cmd/ tools and the monitor may
+// read while a run is in flight.
+type Store struct {
+	mu        sync.RWMutex
+	series    map[string]*entry
+	retention time.Duration // 0 means keep everything
+	alarms    map[string]*Alarm
+	onPut     func(id MetricID, t time.Time, v float64)
+}
+
+type entry struct {
+	id MetricID
+	ts *timeseries.Series
+}
+
+// NewStore returns an empty store that retains all datapoints.
+func NewStore() *Store {
+	return &Store{
+		series: make(map[string]*entry),
+		alarms: make(map[string]*Alarm),
+	}
+}
+
+// SetRetention bounds how much history Put keeps per metric; datapoints
+// older than d relative to the newest datapoint of the same metric are
+// dropped lazily on insert. Zero disables pruning.
+func (s *Store) SetRetention(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retention = d
+}
+
+// Put records one observation. Timestamps per metric must be non-decreasing
+// (the simulation has one clock, so this holds by construction).
+func (s *Store) Put(namespace, name string, dims map[string]string, t time.Time, v float64) error {
+	if namespace == "" || name == "" {
+		return fmt.Errorf("metricstore: namespace and name are required")
+	}
+	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
+	key := id.Key()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.series[key]
+	if !ok {
+		// Copy dims so callers can reuse their map.
+		cp := make(map[string]string, len(dims))
+		for k, v := range dims {
+			cp[k] = v
+		}
+		id.Dimensions = cp
+		e = &entry{id: id, ts: timeseries.New(1024)}
+		s.series[key] = e
+	}
+	if err := e.ts.Append(t, v); err != nil {
+		return fmt.Errorf("metricstore: put %s: %w", id, err)
+	}
+	if s.retention > 0 {
+		cutoff := t.Add(-s.retention)
+		if first := e.ts.At(0).T; first.Before(cutoff) {
+			e.ts = e.ts.Between(cutoff, t.Add(time.Nanosecond))
+		}
+	}
+	if s.onPut != nil {
+		s.onPut(e.id, t, v)
+	}
+	return nil
+}
+
+// SetOnPut installs an observer invoked after every successful Put with the
+// stored metric's canonical ID — the hook internal/persist uses to journal
+// the metric stream durably. The observer runs under the store lock (Puts
+// are ordered), so it must not call back into the store; pass nil to
+// remove it.
+func (s *Store) SetOnPut(fn func(id MetricID, t time.Time, v float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onPut = fn
+}
+
+// MustPut is Put for simulation components that own the clock; a failure is
+// a wiring bug.
+func (s *Store) MustPut(namespace, name string, dims map[string]string, t time.Time, v float64) {
+	if err := s.Put(namespace, name, dims, t, v); err != nil {
+		panic(err)
+	}
+}
+
+// GetStatistics aggregates the selected metric into Period buckets using
+// q.Stat, CloudWatch-style. A zero Period returns the raw points between
+// From and To.
+func (s *Store) GetStatistics(q Query) (*timeseries.Series, error) {
+	id := MetricID{Namespace: q.Namespace, Name: q.Name, Dimensions: q.Dimensions}
+	s.mu.RLock()
+	e, ok := s.series[id.Key()]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("metricstore: no such metric %s", id)
+	}
+	to := q.To
+	if to.IsZero() {
+		if last, ok := e.ts.Last(); ok {
+			to = last.T.Add(time.Nanosecond)
+		}
+	}
+	from := q.From
+	raw := e.ts.Between(from, to)
+	if q.Period <= 0 {
+		return raw, nil
+	}
+	return raw.Resample(q.Period, q.Stat), nil
+}
+
+// Latest returns the most recent datapoint of the metric.
+func (s *Store) Latest(namespace, name string, dims map[string]string) (timeseries.Point, bool) {
+	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.series[id.Key()]
+	if !ok {
+		return timeseries.Point{}, false
+	}
+	return e.ts.Last()
+}
+
+// Raw returns a copy of the full stored series for the metric, or nil if
+// the metric does not exist.
+func (s *Store) Raw(namespace, name string, dims map[string]string) *timeseries.Series {
+	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.series[id.Key()]
+	if !ok {
+		return nil
+	}
+	if e.ts.Len() == 0 {
+		return timeseries.New(0)
+	}
+	last, _ := e.ts.Last()
+	return e.ts.Between(e.ts.At(0).T, last.T.Add(time.Nanosecond))
+}
+
+// ListMetrics returns the IDs of all metrics in the namespace (all
+// namespaces if ns is empty), sorted by key for deterministic output.
+func (s *Store) ListMetrics(ns string) []MetricID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.series))
+	for k, e := range s.series {
+		if ns == "" || e.id.Namespace == ns {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]MetricID, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.series[k].id)
+	}
+	return out
+}
+
+// Namespaces returns the distinct namespaces present, sorted.
+func (s *Store) Namespaces() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, e := range s.series {
+		set[e.id.Namespace] = true
+	}
+	out := make([]string, 0, len(set))
+	for ns := range set {
+		out = append(out, ns)
+	}
+	sort.Strings(out)
+	return out
+}

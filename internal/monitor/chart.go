@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Chart renders a time series as a fixed-size ASCII line chart — the
+// terminal stand-in for the demo's per-controller performance plots
+// (Fig. 6). Values are bucketed to the chart width by mean; the y-axis is
+// scaled to the data range and annotated with min/max labels.
+func Chart(w io.Writer, title string, s *timeseries.Series, width, height int) error {
+	if width < 8 || height < 2 {
+		return fmt.Errorf("monitor: chart needs width >= 8 and height >= 2")
+	}
+	if s == nil || s.Len() == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+
+	vals := s.Values()
+	// Downsample to width buckets by mean.
+	cols := make([]float64, width)
+	if len(vals) <= width {
+		// Stretch: repeat the last value to fill.
+		for i := range cols {
+			idx := i * len(vals) / width
+			cols[i] = vals[idx]
+		}
+	} else {
+		per := float64(len(vals)) / float64(width)
+		for i := 0; i < width; i++ {
+			lo := int(float64(i) * per)
+			hi := int(float64(i+1) * per)
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			if lo >= hi {
+				lo = hi - 1
+			}
+			cols[i] = timeseries.Mean(vals[lo:hi])
+		}
+	}
+
+	lo, hi := timeseries.Min(cols), timeseries.Max(cols)
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		if math.IsNaN(v) {
+			continue
+		}
+		row := int((v - lo) / (hi - lo) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[height-1-row][c] = '*'
+	}
+
+	first := s.At(0).T
+	last, _ := s.Last()
+	if _, err := fmt.Fprintf(w, "%s  [%s .. %s]\n", title,
+		first.Format(time.RFC3339), last.T.Format(time.RFC3339)); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", lo)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	s := timeseries.New(0)
+	for i := 0; i < 200; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Minute), float64(i%60))
+	}
+	var buf bytes.Buffer
+	if err := Chart(&buf, "cpu", s, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Fatalf("chart rows = %d, want 9:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "cpu") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data points plotted")
+	}
+	// Axis labels on first and last rows.
+	if !strings.Contains(lines[1], ".") || !strings.Contains(lines[8], ".") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartShortSeriesStretches(t *testing.T) {
+	s := timeseries.FromValues(t0, time.Minute, []float64{1, 5, 3})
+	var buf bytes.Buffer
+	if err := Chart(&buf, "short", s, 12, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("short series not plotted")
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chart(&buf, "bad", timeseries.New(0), 4, 1); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+	if err := Chart(&buf, "empty", timeseries.New(0), 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty series should say so")
+	}
+	// Flat series must not divide by zero.
+	flat := timeseries.FromValues(t0, time.Minute, []float64{5, 5, 5, 5})
+	buf.Reset()
+	if err := Chart(&buf, "flat", flat, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+// Package monitor implements Flower's Cross-Platform Monitoring component
+// (§3.4): the "all-in-one-place visualizer" that consolidates performance
+// measures from every system of a data analytics flow into one integrated
+// view, so that the admin no longer has to "check out different systems
+// and user interfaces in order to track any possible performance failures
+// or slowdowns".
+//
+// The demo's web dashboards are replaced by a terminal renderer: one
+// section per platform namespace, one row per metric with its latest
+// value, summary statistics and a Unicode sparkline of the recent window;
+// plus a CSV exporter for offline plotting.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// MetricView is one consolidated metric row.
+type MetricView struct {
+	ID     metricstore.MetricID
+	Last   float64
+	Mean   float64
+	Min    float64
+	Max    float64
+	Spark  string
+	Points int
+}
+
+// SectionView groups the metrics of one platform (namespace).
+type SectionView struct {
+	Namespace string
+	Metrics   []MetricView
+}
+
+// Snapshot is one consolidated view over the whole flow.
+type Snapshot struct {
+	At       time.Time
+	Window   time.Duration
+	Sections []SectionView
+	// Alarms lists the names of alarms in ALARM state at At.
+	Alarms []string
+}
+
+// sparkRunes are the eight block characters used for sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width Unicode sparkline, downsampling
+// by bucket means when len(vals) exceeds width.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	// Downsample to width buckets.
+	buckets := make([]float64, 0, width)
+	if len(vals) <= width {
+		buckets = vals
+	} else {
+		per := float64(len(vals)) / float64(width)
+		for i := 0; i < width; i++ {
+			lo := int(float64(i) * per)
+			hi := int(float64(i+1) * per)
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			if lo >= hi {
+				lo = hi - 1
+			}
+			buckets = append(buckets, timeseries.Mean(vals[lo:hi]))
+		}
+	}
+	lo, hi := timeseries.Min(buckets), timeseries.Max(buckets)
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if hi > lo && !math.IsNaN(v) {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Collect builds a consolidated snapshot of every metric in the store over
+// the window ending at now. Sections and rows are sorted for deterministic
+// rendering.
+func Collect(store *metricstore.Store, now time.Time, window time.Duration) Snapshot {
+	snap := Snapshot{At: now, Window: window}
+	byNS := make(map[string][]MetricView)
+	for _, id := range store.ListMetrics("") {
+		raw := store.Raw(id.Namespace, id.Name, id.Dimensions)
+		if raw == nil || raw.Len() == 0 {
+			continue
+		}
+		recent := raw.Between(now.Add(-window), now.Add(time.Nanosecond))
+		if recent.Len() == 0 {
+			continue
+		}
+		vals := recent.Values()
+		last, _ := recent.Last()
+		byNS[id.Namespace] = append(byNS[id.Namespace], MetricView{
+			ID:     id,
+			Last:   last.V,
+			Mean:   timeseries.Mean(vals),
+			Min:    timeseries.Min(vals),
+			Max:    timeseries.Max(vals),
+			Spark:  Sparkline(vals, 32),
+			Points: len(vals),
+		})
+	}
+	namespaces := make([]string, 0, len(byNS))
+	for ns := range byNS {
+		namespaces = append(namespaces, ns)
+	}
+	sort.Strings(namespaces)
+	for _, ns := range namespaces {
+		rows := byNS[ns]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID.Key() < rows[j].ID.Key() })
+		snap.Sections = append(snap.Sections, SectionView{Namespace: ns, Metrics: rows})
+	}
+	snap.Alarms = store.EvaluateAlarms(now)
+	return snap
+}
+
+// Render writes the snapshot as a text dashboard.
+func Render(w io.Writer, s Snapshot) error {
+	if _, err := fmt.Fprintf(w, "=== Flower all-in-one-place monitor — %s (window %v) ===\n",
+		s.At.Format(time.RFC3339), s.Window); err != nil {
+		return err
+	}
+	if len(s.Alarms) > 0 {
+		if _, err := fmt.Fprintf(w, "!! ALARMS: %s\n", strings.Join(s.Alarms, ", ")); err != nil {
+			return err
+		}
+	}
+	for _, sec := range s.Sections {
+		if _, err := fmt.Fprintf(w, "\n[%s]\n", sec.Namespace); err != nil {
+			return err
+		}
+		for _, m := range sec.Metrics {
+			name := m.ID.Name
+			if len(m.ID.Dimensions) > 0 {
+				var dims []string
+				for k, v := range m.ID.Dimensions {
+					dims = append(dims, k+"="+v)
+				}
+				sort.Strings(dims)
+				name += "{" + strings.Join(dims, ",") + "}"
+			}
+			if _, err := fmt.Fprintf(w, "  %-58s %12.2f  %s  (mean %.2f, min %.2f, max %.2f, n=%d)\n",
+				name, m.Last, m.Spark, m.Mean, m.Min, m.Max, m.Points); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports every metric in the store, resampled to the period with
+// the mean statistic, as long-format CSV: time,namespace,metric,dims,value.
+func WriteCSV(w io.Writer, store *metricstore.Store, period time.Duration) error {
+	if period <= 0 {
+		return fmt.Errorf("monitor: csv period must be positive")
+	}
+	if _, err := fmt.Fprintln(w, "time,namespace,metric,dimensions,value"); err != nil {
+		return err
+	}
+	for _, id := range store.ListMetrics("") {
+		raw := store.Raw(id.Namespace, id.Name, id.Dimensions)
+		if raw == nil {
+			continue
+		}
+		resampled := raw.Resample(period, timeseries.AggMean)
+		var dims []string
+		for k, v := range id.Dimensions {
+			dims = append(dims, k+"="+v)
+		}
+		sort.Strings(dims)
+		dimStr := strings.Join(dims, ";")
+		for i := 0; i < resampled.Len(); i++ {
+			p := resampled.At(i)
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%g\n",
+				p.T.Format(time.RFC3339), id.Namespace, id.Name, dimStr, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,420 @@
+// Package nsga2 implements the NSGA-II multi-objective genetic algorithm
+// of Deb, Pratap, Agarwal and Meyarivan (IEEE TEVC 6(2), 2002) — the
+// search procedure Flower's Resource Share Analyzer uses to "efficiently
+// search the provisioning plan space" (§3.2, reference [8]).
+//
+// The implementation is the canonical one: fast non-dominated sorting,
+// crowding-distance diversity preservation, binary tournament selection
+// under Deb's constrained-domination rule, simulated binary crossover
+// (SBX) and polynomial mutation on real-coded variables.
+//
+// Objectives are minimised; callers with maximisation objectives (as in
+// Eq. 3 of the paper) negate them. Constraints are expressed as a single
+// aggregate violation value (0 = feasible, larger = worse), which the
+// resource-share layer builds from the paper's budget and dependency
+// constraints (Eq. 4–5).
+package nsga2
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Problem defines a real-coded multi-objective optimisation problem.
+type Problem struct {
+	// NumVars is the decision-vector length.
+	NumVars int
+	// NumObjectives is the number of objectives to minimise.
+	NumObjectives int
+	// Lower and Upper bound each decision variable.
+	Lower, Upper []float64
+	// Evaluate returns the objective vector (length NumObjectives) and
+	// the aggregate constraint violation (0 when feasible). It must be
+	// deterministic.
+	Evaluate func(x []float64) (objs []float64, violation float64)
+}
+
+// Validate checks problem invariants.
+func (p Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("nsga2: NumVars must be positive")
+	}
+	if p.NumObjectives <= 0 {
+		return fmt.Errorf("nsga2: NumObjectives must be positive")
+	}
+	if len(p.Lower) != p.NumVars || len(p.Upper) != p.NumVars {
+		return fmt.Errorf("nsga2: bounds length %d/%d != NumVars %d", len(p.Lower), len(p.Upper), p.NumVars)
+	}
+	for i := range p.Lower {
+		if !(p.Lower[i] <= p.Upper[i]) {
+			return fmt.Errorf("nsga2: lower[%d]=%v > upper[%d]=%v", i, p.Lower[i], i, p.Upper[i])
+		}
+	}
+	if p.Evaluate == nil {
+		return fmt.Errorf("nsga2: Evaluate is required")
+	}
+	return nil
+}
+
+// Config tunes the genetic algorithm. Zero values select the defaults Deb
+// et al. recommend.
+type Config struct {
+	PopSize       int     // population size (default 100)
+	Generations   int     // generations to run (default 250)
+	CrossoverProb float64 // SBX probability per pair (default 0.9)
+	MutationProb  float64 // mutation probability per variable (default 1/NumVars)
+	EtaCrossover  float64 // SBX distribution index (default 15)
+	EtaMutation   float64 // polynomial-mutation distribution index (default 20)
+	Seed          int64   // RNG seed
+}
+
+func (c Config) withDefaults(numVars int) Config {
+	if c.PopSize <= 0 {
+		c.PopSize = 100
+	}
+	if c.PopSize%2 != 0 {
+		c.PopSize++ // pairing requires an even population
+	}
+	if c.Generations <= 0 {
+		c.Generations = 250
+	}
+	if c.CrossoverProb <= 0 {
+		c.CrossoverProb = 0.9
+	}
+	if c.MutationProb <= 0 {
+		c.MutationProb = 1 / float64(numVars)
+	}
+	if c.EtaCrossover <= 0 {
+		c.EtaCrossover = 15
+	}
+	if c.EtaMutation <= 0 {
+		c.EtaMutation = 20
+	}
+	return c
+}
+
+// Solution is one member of the final non-dominated front.
+type Solution struct {
+	X          []float64
+	Objectives []float64
+	Violation  float64
+}
+
+// individual is the internal population member.
+type individual struct {
+	x         []float64
+	objs      []float64
+	violation float64
+
+	rank     int
+	crowding float64
+}
+
+// Run executes NSGA-II and returns the first non-dominated front of the
+// final population, sorted lexicographically by objectives for
+// deterministic output.
+func Run(p Problem, cfg Config) ([]Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(p.NumVars)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pop := make([]*individual, cfg.PopSize)
+	for i := range pop {
+		x := make([]float64, p.NumVars)
+		for j := range x {
+			x[j] = p.Lower[j] + rng.Float64()*(p.Upper[j]-p.Lower[j])
+		}
+		pop[i] = newIndividual(p, x)
+	}
+	fronts := sortFronts(pop)
+	assignCrowding(fronts)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		offspring := makeOffspring(p, cfg, rng, pop)
+		combined := append(pop, offspring...)
+		fronts = sortFronts(combined)
+		assignCrowding(fronts)
+		pop = selectNext(fronts, cfg.PopSize)
+	}
+
+	fronts = sortFronts(pop)
+	assignCrowding(fronts)
+	first := fronts[0]
+	out := make([]Solution, 0, len(first))
+	for _, ind := range first {
+		out = append(out, Solution{
+			X:          append([]float64(nil), ind.x...),
+			Objectives: append([]float64(nil), ind.objs...),
+			Violation:  ind.violation,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i].Objectives {
+			if out[i].Objectives[k] != out[j].Objectives[k] {
+				return out[i].Objectives[k] < out[j].Objectives[k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+func newIndividual(p Problem, x []float64) *individual {
+	objs, violation := p.Evaluate(x)
+	if len(objs) != p.NumObjectives {
+		panic(fmt.Sprintf("nsga2: Evaluate returned %d objectives, want %d", len(objs), p.NumObjectives))
+	}
+	return &individual{x: x, objs: objs, violation: violation}
+}
+
+// dominates implements Deb's constrained-domination: feasible beats
+// infeasible; among infeasible, smaller violation wins; among feasible,
+// standard Pareto dominance.
+func dominates(a, b *individual) bool {
+	aFeasible := a.violation <= 0
+	bFeasible := b.violation <= 0
+	switch {
+	case aFeasible && !bFeasible:
+		return true
+	case !aFeasible && bFeasible:
+		return false
+	case !aFeasible && !bFeasible:
+		return a.violation < b.violation
+	}
+	better := false
+	for i := range a.objs {
+		if a.objs[i] > b.objs[i] {
+			return false
+		}
+		if a.objs[i] < b.objs[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// sortFronts performs fast non-dominated sorting, returning fronts in rank
+// order and recording each individual's rank.
+func sortFronts(pop []*individual) [][]*individual {
+	n := len(pop)
+	dominatedBy := make([][]int, n) // indices this individual dominates
+	domCount := make([]int, n)      // how many dominate this individual
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case dominates(pop[i], pop[j]):
+				dominatedBy[i] = append(dominatedBy[i], j)
+				domCount[j]++
+			case dominates(pop[j], pop[i]):
+				dominatedBy[j] = append(dominatedBy[j], i)
+				domCount[i]++
+			}
+		}
+	}
+
+	var fronts [][]*individual
+	var current []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			current = append(current, i)
+		}
+	}
+	rank := 0
+	for len(current) > 0 {
+		front := make([]*individual, 0, len(current))
+		var next []int
+		for _, i := range current {
+			front = append(front, pop[i])
+			for _, j := range dominatedBy[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		fronts = append(fronts, front)
+		current = next
+		rank++
+	}
+	return fronts
+}
+
+// assignCrowding computes the crowding distance within each front.
+func assignCrowding(fronts [][]*individual) {
+	for _, front := range fronts {
+		for _, ind := range front {
+			ind.crowding = 0
+		}
+		if len(front) == 0 {
+			continue
+		}
+		numObjs := len(front[0].objs)
+		for m := 0; m < numObjs; m++ {
+			sort.Slice(front, func(i, j int) bool { return front[i].objs[m] < front[j].objs[m] })
+			front[0].crowding = math.Inf(1)
+			front[len(front)-1].crowding = math.Inf(1)
+			span := front[len(front)-1].objs[m] - front[0].objs[m]
+			if span == 0 {
+				continue
+			}
+			for i := 1; i < len(front)-1; i++ {
+				front[i].crowding += (front[i+1].objs[m] - front[i-1].objs[m]) / span
+			}
+		}
+	}
+}
+
+// crowdedLess is NSGA-II's crowded-comparison operator ≺n.
+func crowdedLess(a, b *individual) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowding > b.crowding
+}
+
+// tournament picks the better of two random individuals.
+func tournament(rng *rand.Rand, pop []*individual) *individual {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if dominates(a, b) {
+		return a
+	}
+	if dominates(b, a) {
+		return b
+	}
+	if crowdedLess(a, b) {
+		return a
+	}
+	return b
+}
+
+// makeOffspring produces PopSize children via tournament selection, SBX
+// and polynomial mutation.
+func makeOffspring(p Problem, cfg Config, rng *rand.Rand, pop []*individual) []*individual {
+	out := make([]*individual, 0, cfg.PopSize)
+	for len(out) < cfg.PopSize {
+		p1 := tournament(rng, pop)
+		p2 := tournament(rng, pop)
+		c1 := append([]float64(nil), p1.x...)
+		c2 := append([]float64(nil), p2.x...)
+		if rng.Float64() < cfg.CrossoverProb {
+			sbx(rng, cfg.EtaCrossover, p.Lower, p.Upper, c1, c2)
+		}
+		mutate(rng, cfg.MutationProb, cfg.EtaMutation, p.Lower, p.Upper, c1)
+		mutate(rng, cfg.MutationProb, cfg.EtaMutation, p.Lower, p.Upper, c2)
+		out = append(out, newIndividual(p, c1))
+		if len(out) < cfg.PopSize {
+			out = append(out, newIndividual(p, c2))
+		}
+	}
+	return out
+}
+
+// sbx performs simulated binary crossover in place.
+func sbx(rng *rand.Rand, eta float64, lower, upper, c1, c2 []float64) {
+	for i := range c1 {
+		if rng.Float64() > 0.5 {
+			continue
+		}
+		x1, x2 := c1[i], c2[i]
+		if math.Abs(x1-x2) < 1e-14 {
+			continue
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		lo, hi := lower[i], upper[i]
+		u := rng.Float64()
+
+		beta := 1 + 2*(x1-lo)/(x2-x1)
+		alpha := 2 - math.Pow(beta, -(eta+1))
+		var betaq float64
+		if u <= 1/alpha {
+			betaq = math.Pow(u*alpha, 1/(eta+1))
+		} else {
+			betaq = math.Pow(1/(2-u*alpha), 1/(eta+1))
+		}
+		y1 := 0.5 * ((x1 + x2) - betaq*(x2-x1))
+
+		beta = 1 + 2*(hi-x2)/(x2-x1)
+		alpha = 2 - math.Pow(beta, -(eta+1))
+		if u <= 1/alpha {
+			betaq = math.Pow(u*alpha, 1/(eta+1))
+		} else {
+			betaq = math.Pow(1/(2-u*alpha), 1/(eta+1))
+		}
+		y2 := 0.5 * ((x1 + x2) + betaq*(x2-x1))
+
+		y1 = clamp(y1, lo, hi)
+		y2 = clamp(y2, lo, hi)
+		if rng.Float64() < 0.5 {
+			c1[i], c2[i] = y2, y1
+		} else {
+			c1[i], c2[i] = y1, y2
+		}
+	}
+}
+
+// mutate applies polynomial mutation in place.
+func mutate(rng *rand.Rand, prob, eta float64, lower, upper, x []float64) {
+	for i := range x {
+		if rng.Float64() >= prob {
+			continue
+		}
+		lo, hi := lower[i], upper[i]
+		span := hi - lo
+		if span <= 0 {
+			continue
+		}
+		v := x[i]
+		d1 := (v - lo) / span
+		d2 := (hi - v) / span
+		u := rng.Float64()
+		mutPow := 1 / (eta + 1)
+		var deltaq float64
+		if u < 0.5 {
+			xy := 1 - d1
+			val := 2*u + (1-2*u)*math.Pow(xy, eta+1)
+			deltaq = math.Pow(val, mutPow) - 1
+		} else {
+			xy := 1 - d2
+			val := 2*(1-u) + 2*(u-0.5)*math.Pow(xy, eta+1)
+			deltaq = 1 - math.Pow(val, mutPow)
+		}
+		x[i] = clamp(v+deltaq*span, lo, hi)
+	}
+}
+
+// selectNext fills the next generation front-by-front, truncating the last
+// partially fitting front by crowding distance.
+func selectNext(fronts [][]*individual, popSize int) []*individual {
+	next := make([]*individual, 0, popSize)
+	for _, front := range fronts {
+		if len(next)+len(front) <= popSize {
+			next = append(next, front...)
+			continue
+		}
+		sorted := append([]*individual(nil), front...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].crowding > sorted[j].crowding })
+		next = append(next, sorted[:popSize-len(next)]...)
+		break
+	}
+	return next
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

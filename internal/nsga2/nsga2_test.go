@@ -1,0 +1,309 @@
+package nsga2
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// schaffer is the classic single-variable bi-objective problem: minimise
+// f1 = x², f2 = (x−2)². The Pareto set is x ∈ [0, 2].
+func schaffer() Problem {
+	return Problem{
+		NumVars:       1,
+		NumObjectives: 2,
+		Lower:         []float64{-10},
+		Upper:         []float64{10},
+		Evaluate: func(x []float64) ([]float64, float64) {
+			return []float64{x[0] * x[0], (x[0] - 2) * (x[0] - 2)}, 0
+		},
+	}
+}
+
+// zdt1 with n variables: a standard NSGA-II benchmark whose Pareto front
+// is f2 = 1 − sqrt(f1) at g(x)=1.
+func zdt1(n int) Problem {
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	for i := range upper {
+		upper[i] = 1
+	}
+	return Problem{
+		NumVars:       n,
+		NumObjectives: 2,
+		Lower:         lower,
+		Upper:         upper,
+		Evaluate: func(x []float64) ([]float64, float64) {
+			f1 := x[0]
+			g := 0.0
+			for _, v := range x[1:] {
+				g += v
+			}
+			g = 1 + 9*g/float64(n-1)
+			f2 := g * (1 - math.Sqrt(f1/g))
+			return []float64{f1, f2}, 0
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := schaffer()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.NumVars = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero vars accepted")
+	}
+	bad = p
+	bad.Lower = []float64{5}
+	bad.Upper = []float64{-5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+	bad = p
+	bad.Evaluate = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil Evaluate accepted")
+	}
+	bad = p
+	bad.Lower = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing bounds accepted")
+	}
+}
+
+func TestSchafferFront(t *testing.T) {
+	front, err := Run(schaffer(), Config{PopSize: 60, Generations: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 10 {
+		t.Fatalf("front size = %d, want a populated front", len(front))
+	}
+	for _, s := range front {
+		if s.X[0] < -0.1 || s.X[0] > 2.1 {
+			t.Fatalf("solution x=%v outside Pareto set [0,2]", s.X[0])
+		}
+		// On the true front, sqrt(f1) + sqrt(f2) = 2.
+		sum := math.Sqrt(s.Objectives[0]) + math.Sqrt(s.Objectives[1])
+		if math.Abs(sum-2) > 0.15 {
+			t.Fatalf("solution (%v,%v) off the Schaffer front (sum=%v)", s.Objectives[0], s.Objectives[1], sum)
+		}
+	}
+}
+
+func TestZDT1Convergence(t *testing.T) {
+	front, err := Run(zdt1(10), Config{PopSize: 100, Generations: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure mean distance to the analytic front f2 = 1 − sqrt(f1).
+	var total float64
+	for _, s := range front {
+		want := 1 - math.Sqrt(s.Objectives[0])
+		total += math.Abs(s.Objectives[1] - want)
+	}
+	mean := total / float64(len(front))
+	if mean > 0.05 {
+		t.Fatalf("mean deviation from ZDT1 front = %v, want < 0.05", mean)
+	}
+	// Diversity: front should span most of f1 ∈ [0,1].
+	minF1, maxF1 := math.Inf(1), math.Inf(-1)
+	for _, s := range front {
+		minF1 = math.Min(minF1, s.Objectives[0])
+		maxF1 = math.Max(maxF1, s.Objectives[0])
+	}
+	if maxF1-minF1 < 0.5 {
+		t.Fatalf("front span = %v, want > 0.5 (crowding should preserve diversity)", maxF1-minF1)
+	}
+}
+
+func TestFrontIsMutuallyNonDominated(t *testing.T) {
+	front, err := Run(zdt1(5), Config{PopSize: 60, Generations: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			a, b := front[i], front[j]
+			dominated := true
+			strictly := false
+			for k := range a.Objectives {
+				if a.Objectives[k] > b.Objectives[k] {
+					dominated = false
+					break
+				}
+				if a.Objectives[k] < b.Objectives[k] {
+					strictly = true
+				}
+			}
+			if dominated && strictly {
+				t.Fatalf("front member %v dominates member %v", a.Objectives, b.Objectives)
+			}
+		}
+	}
+}
+
+func TestConstrainedProblemYieldsFeasibleFront(t *testing.T) {
+	// Minimise (-x, -y) (i.e. maximise both) subject to x + y <= 10.
+	p := Problem{
+		NumVars:       2,
+		NumObjectives: 2,
+		Lower:         []float64{0, 0},
+		Upper:         []float64{10, 10},
+		Evaluate: func(x []float64) ([]float64, float64) {
+			violation := 0.0
+			if sum := x[0] + x[1]; sum > 10 {
+				violation = sum - 10
+			}
+			return []float64{-x[0], -x[1]}, violation
+		},
+	}
+	front, err := Run(p, Config{PopSize: 80, Generations: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range front {
+		if s.Violation > 1e-9 {
+			t.Fatalf("infeasible solution on final front: %+v", s)
+		}
+		// The constrained Pareto front is the line x + y = 10.
+		if sum := s.X[0] + s.X[1]; sum < 9.5 {
+			t.Fatalf("solution (%v,%v) far inside the budget line", s.X[0], s.X[1])
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a, err := Run(schaffer(), Config{PopSize: 40, Generations: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(schaffer(), Config{PopSize: 40, Generations: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for k := range a[i].X {
+			if a[i].X[k] != b[i].X[k] {
+				t.Fatalf("same-seed solutions differ at %d", i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Run(schaffer(), Config{PopSize: 40, Generations: 10, Seed: 1})
+	b, _ := Run(schaffer(), Config{PopSize: 40, Generations: 10, Seed: 2})
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].X[0] != b[i].X[0] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fronts")
+	}
+}
+
+func TestOddPopSizeRoundsUp(t *testing.T) {
+	front, err := Run(schaffer(), Config{PopSize: 31, Generations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	mk := func(objs []float64, v float64) *individual {
+		return &individual{objs: objs, violation: v}
+	}
+	cases := []struct {
+		a, b *individual
+		want bool
+	}{
+		{mk([]float64{1, 1}, 0), mk([]float64{2, 2}, 0), true},
+		{mk([]float64{2, 2}, 0), mk([]float64{1, 1}, 0), false},
+		{mk([]float64{1, 2}, 0), mk([]float64{2, 1}, 0), false}, // incomparable
+		{mk([]float64{1, 1}, 0), mk([]float64{1, 1}, 0), false}, // equal
+		{mk([]float64{9, 9}, 0), mk([]float64{1, 1}, 1), true},  // feasible beats infeasible
+		{mk([]float64{1, 1}, 2), mk([]float64{9, 9}, 1), false}, // higher violation loses
+		{mk([]float64{9, 9}, 1), mk([]float64{1, 1}, 2), true},  // lower violation wins
+	}
+	for i, c := range cases {
+		if got := dominates(c.a, c.b); got != c.want {
+			t.Errorf("case %d: dominates = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSortFrontsRanks(t *testing.T) {
+	// Three points on distinct ranks for a 2-objective min problem.
+	pop := []*individual{
+		{objs: []float64{1, 1}}, // rank 0
+		{objs: []float64{2, 2}}, // rank 1 (dominated by first)
+		{objs: []float64{3, 3}}, // rank 2
+		{objs: []float64{0, 5}}, // rank 0 (incomparable with {1,1})
+	}
+	fronts := sortFronts(pop)
+	if len(fronts) != 3 {
+		t.Fatalf("fronts = %d, want 3", len(fronts))
+	}
+	if len(fronts[0]) != 2 {
+		t.Fatalf("first front size = %d, want 2", len(fronts[0]))
+	}
+	if pop[0].rank != 0 || pop[3].rank != 0 || pop[1].rank != 1 || pop[2].rank != 2 {
+		t.Fatalf("ranks = %d %d %d %d", pop[0].rank, pop[1].rank, pop[2].rank, pop[3].rank)
+	}
+}
+
+func TestCrowdingBoundaryIsInfinite(t *testing.T) {
+	front := []*individual{
+		{objs: []float64{0, 3}},
+		{objs: []float64{1, 2}},
+		{objs: []float64{2, 1}},
+		{objs: []float64{3, 0}},
+	}
+	assignCrowding([][]*individual{front})
+	infinite := 0
+	for _, ind := range front {
+		if math.IsInf(ind.crowding, 1) {
+			infinite++
+		}
+	}
+	if infinite != 2 {
+		t.Fatalf("infinite-crowding members = %d, want the 2 extremes", infinite)
+	}
+}
+
+func TestRunRejectsInvalidProblem(t *testing.T) {
+	if _, err := Run(Problem{}, Config{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+func TestRunIsFastEnoughForInteractiveUse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	start := time.Now()
+	if _, err := Run(zdt1(10), Config{PopSize: 100, Generations: 100, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("run took %v; too slow for the demo's interactive share analysis", d)
+	}
+}

@@ -1,0 +1,201 @@
+package nsga2
+
+// Property-based tests of the NSGA-II invariants, complementing the unit
+// tests in nsga2_test.go: whatever random (bounded, feasible-or-not)
+// problem the search is given, its output front must be internally
+// non-dominated, inside bounds, and deterministic per seed.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProblem builds a small two-objective problem from raw fuzz bytes:
+// minimise (Σ w1·x, Σ w2·(U−x)) under a random linear budget constraint.
+func randomProblem(raw []uint8) Problem {
+	n := int(raw[0]%3) + 2 // 2..4 variables
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	w1 := make([]float64, n)
+	w2 := make([]float64, n)
+	budget := 1.0
+	for i := 0; i < n; i++ {
+		b := func(j int) float64 {
+			if idx := 1 + i*4 + j; idx < len(raw) {
+				return float64(raw[idx])
+			}
+			return float64(i + j + 1)
+		}
+		lower[i] = b(0) / 16
+		upper[i] = lower[i] + b(1)/4 + 1
+		w1[i] = b(2)/32 + 0.1
+		w2[i] = b(3)/32 + 0.1
+		budget += upper[i] * w1[i] / 2
+	}
+	return Problem{
+		NumVars:       n,
+		NumObjectives: 2,
+		Lower:         lower,
+		Upper:         upper,
+		Evaluate: func(x []float64) ([]float64, float64) {
+			var o1, o2, spend float64
+			for i, xi := range x {
+				o1 += w1[i] * xi
+				o2 += w2[i] * (upper[i] - xi)
+				spend += w1[i] * xi
+			}
+			violation := 0.0
+			if spend > budget {
+				violation = spend - budget
+			}
+			return []float64{o1, o2}, violation
+		},
+	}
+}
+
+func smallConfig(seed int64) Config {
+	return Config{PopSize: 24, Generations: 30, Seed: seed}
+}
+
+func TestFrontWithinBoundsProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := randomProblem(raw)
+		sols, err := Run(p, smallConfig(seed))
+		if err != nil || len(sols) == 0 {
+			return false
+		}
+		for _, s := range sols {
+			if len(s.X) != p.NumVars || len(s.Objectives) != p.NumObjectives {
+				return false
+			}
+			for i, xi := range s.X {
+				if xi < p.Lower[i]-1e-9 || xi > p.Upper[i]+1e-9 {
+					return false
+				}
+			}
+			if s.Violation < 0 || math.IsNaN(s.Violation) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// frontDominates reports whether a dominates b in minimisation with
+// constraint-domination (feasible beats infeasible; less violation beats
+// more).
+func frontDominates(a, b Solution) bool {
+	switch {
+	case a.Violation == 0 && b.Violation > 0:
+		return true
+	case a.Violation > 0 && b.Violation == 0:
+		return false
+	case a.Violation > 0 && b.Violation > 0:
+		return a.Violation < b.Violation
+	}
+	// Exact comparisons, matching the algorithm's own dominance test: an
+	// epsilon-tolerant check would manufacture false dominations between
+	// continuous solutions that legitimately differ by less than any
+	// fixed epsilon in one objective and more in another.
+	better := false
+	for i := range a.Objectives {
+		if a.Objectives[i] > b.Objectives[i] {
+			return false
+		}
+		if a.Objectives[i] < b.Objectives[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+func TestFrontMutuallyNonDominatedProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sols, err := Run(randomProblem(raw), smallConfig(seed))
+		if err != nil {
+			return false
+		}
+		for i := range sols {
+			for j := range sols {
+				if i != j && frontDominates(sols[i], sols[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := randomProblem(raw)
+		a, errA := Run(p, smallConfig(seed))
+		b, errB := Run(p, smallConfig(seed))
+		if (errA == nil) != (errB == nil) || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			for j := range a[i].X {
+				if a[i].X[j] != b[i].X[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontImprovesOnRandomSampling sanity-checks optimisation pressure:
+// the front's best first objective should not lose to the best of an
+// equal-budget random sample.
+func TestFrontImprovesOnRandomSampling(t *testing.T) {
+	raw := []uint8{2, 8, 16, 9, 7, 4, 20, 11, 6, 3, 12, 10, 5}
+	p := randomProblem(raw)
+	cfg := smallConfig(99)
+	sols, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestFront := math.Inf(1)
+	for _, s := range sols {
+		if s.Violation == 0 && s.Objectives[0] < bestFront {
+			bestFront = s.Objectives[0]
+		}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	bestRand := math.Inf(1)
+	for i := 0; i < cfg.PopSize*cfg.Generations; i++ {
+		x := make([]float64, p.NumVars)
+		for j := range x {
+			x[j] = p.Lower[j] + rng.Float64()*(p.Upper[j]-p.Lower[j])
+		}
+		objs, viol := p.Evaluate(x)
+		if viol == 0 && objs[0] < bestRand {
+			bestRand = objs[0]
+		}
+	}
+	if bestFront > bestRand*1.05 {
+		t.Errorf("NSGA-II best %.4f worse than random sampling best %.4f", bestFront, bestRand)
+	}
+}

@@ -1,0 +1,143 @@
+// Package randx provides the small set of random samplers the aggregate
+// simulation path needs: binomial and multinomial draws.
+//
+// The per-record simulation assigns every click event to a stream shard by
+// hashing its partition key; with user IDs drawn uniformly from a fixed
+// population, the vector of per-shard arrivals in a tick is exactly a
+// multinomial over the shards' key-population weights. The aggregate fast
+// path samples that multinomial directly — O(shards) instead of O(records)
+// per tick — which is what makes the 550-minute experiment runs and the
+// benchmark suite tractable. Statistical equivalence of the two paths is
+// asserted by TestAggregateMatchesPerRecord in internal/sim.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Binomial draws from Binomial(n, p).
+//
+// Three regimes: degenerate p, an exact Bernoulli-count loop for small n,
+// and a normal approximation (with continuity correction and clamping) when
+// n·p·(1−p) is large enough for it to be accurate. The cutoffs keep the
+// draw O(1) for the large ticks that dominate experiment runtime while
+// staying exact where the approximation would be visibly wrong.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Exact for small n: cost is bounded and accuracy guaranteed.
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if rng.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	if v := float64(n) * p * (1 - p); v >= 25 {
+		// Normal approximation with continuity correction.
+		k := int(math.Round(float64(n)*p + math.Sqrt(v)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	// Skewed tail (tiny or near-one p with large n): inverse-transform walk
+	// over the Poisson-like mass. Work from the rarer side so the expected
+	// number of steps is n·min(p, 1−p), which is < 25/(1−min(p,1−p)) here.
+	if p > 0.5 {
+		return n - Binomial(rng, n, 1-p)
+	}
+	// Inverse transform on the binomial PMF starting at k=0.
+	u := rng.Float64()
+	q := math.Pow(1-p, float64(n)) // P(X = 0)
+	cum := q
+	k := 0
+	for u > cum && k < n {
+		k++
+		q *= float64(n-k+1) / float64(k) * p / (1 - p)
+		cum += q
+	}
+	return k
+}
+
+// Multinomial distributes n draws over len(weights) cells with probability
+// proportional to weights, using a chain of conditional binomials. Weights
+// must be non-negative; a zero total yields all-zero counts. The returned
+// counts always sum to exactly n (when total weight is positive).
+func Multinomial(rng *rand.Rand, n int, weights []float64) []int {
+	counts := make([]int, len(weights))
+	if n <= 0 || len(weights) == 0 {
+		return counts
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+	}
+	if total <= 0 {
+		return counts
+	}
+	remaining := n
+	remWeight := total
+	for i, w := range weights {
+		if remaining == 0 {
+			break
+		}
+		if w <= 0 {
+			continue
+		}
+		if i == len(weights)-1 || w >= remWeight {
+			counts[i] = remaining
+			remaining = 0
+			break
+		}
+		k := Binomial(rng, remaining, w/remWeight)
+		counts[i] = k
+		remaining -= k
+		remWeight -= w
+	}
+	// Assign any residue (possible only if trailing weights were all zero)
+	// to the last positive-weight cell so the sum invariant holds.
+	if remaining > 0 {
+		for i := len(weights) - 1; i >= 0; i-- {
+			if weights[i] > 0 {
+				counts[i] += remaining
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// MultinomialEven distributes n draws uniformly over k cells; the common
+// case of near-equal shard weights, without allocating a weights slice.
+func MultinomialEven(rng *rand.Rand, n, k int) []int {
+	counts := make([]int, k)
+	if n <= 0 || k <= 0 {
+		return counts
+	}
+	remaining := n
+	for i := 0; i < k; i++ {
+		cells := k - i
+		if cells == 1 {
+			counts[i] = remaining
+			break
+		}
+		c := Binomial(rng, remaining, 1/float64(cells))
+		counts[i] = c
+		remaining -= c
+	}
+	return counts
+}

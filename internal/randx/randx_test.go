@@ -1,0 +1,193 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Binomial(rng, 0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d, want 0", got)
+	}
+	if got := Binomial(rng, -3, 0.5); got != 0 {
+		t.Errorf("Binomial(-3, .5) = %d, want 0", got)
+	}
+	if got := Binomial(rng, 100, 0); got != 0 {
+		t.Errorf("Binomial(100, 0) = %d, want 0", got)
+	}
+	if got := Binomial(rng, 100, 1); got != 100 {
+		t.Errorf("Binomial(100, 1) = %d, want 100", got)
+	}
+	if got := Binomial(rng, 100, 1.5); got != 100 {
+		t.Errorf("Binomial(100, 1.5) = %d, want 100", got)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Hit all three sampling regimes.
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.3},      // exact loop
+		{50000, 0.4},   // normal approximation
+		{100000, 1e-5}, // skewed inverse transform
+		{100000, 1 - 1e-5},
+		{65, 0.5},
+	}
+	for _, c := range cases {
+		for i := 0; i < 200; i++ {
+			k := Binomial(rng, c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d, %g) = %d out of range", c.n, c.p, k)
+			}
+		}
+	}
+}
+
+func TestBinomialMeanVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{40, 0.25}, {10000, 0.1}, {200000, 2e-5}} {
+		const draws = 4000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			k := float64(Binomial(rng, c.n, c.p))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		// 5-sigma band on the sample mean.
+		tol := 5 * math.Sqrt(wantVar/draws)
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Binomial(%d,%g): mean %.2f, want %.2f ± %.2f", c.n, c.p, mean, wantMean, tol)
+		}
+		if variance < wantVar/2 || variance > wantVar*2 {
+			t.Errorf("Binomial(%d,%g): variance %.2f, want within 2x of %.2f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialDeterministic(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if x, y := Binomial(a, 1000, 0.3), Binomial(b, 1000, 0.3); x != y {
+			t.Fatalf("draw %d: same seed gave %d and %d", i, x, y)
+		}
+	}
+}
+
+func TestMultinomialSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(n uint16, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		for i, r := range raw {
+			weights[i] = float64(r)
+		}
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		counts := Multinomial(rng, int(n), weights)
+		if len(counts) != len(weights) {
+			return false
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				return false
+			}
+			if weights[i] == 0 && c != 0 && total > 0 {
+				return false // zero-weight cells must stay empty
+			}
+			sum += c
+		}
+		if total == 0 {
+			return sum == 0
+		}
+		return sum == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomialEmptyAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if got := Multinomial(rng, 100, nil); len(got) != 0 {
+		t.Errorf("nil weights: got %v", got)
+	}
+	got := Multinomial(rng, 100, []float64{0, 0, 0})
+	for i, c := range got {
+		if c != 0 {
+			t.Errorf("zero weights: cell %d = %d", i, c)
+		}
+	}
+	got = Multinomial(rng, 0, []float64{1, 2})
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("n=0: got %v", got)
+	}
+}
+
+func TestMultinomialProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	weights := []float64{1, 3, 6}
+	const n = 300000
+	counts := Multinomial(rng, n, weights)
+	want := []float64{0.1, 0.3, 0.6}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-want[i]) > 0.01 {
+			t.Errorf("cell %d: fraction %.4f, want %.2f ± .01", i, frac, want[i])
+		}
+	}
+}
+
+func TestMultinomialEvenSumAndBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, k = 120000, 16
+	counts := MultinomialEven(rng, n, k)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != n {
+		t.Fatalf("sum = %d, want %d", sum, n)
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-float64(n)/k) > float64(n)/k*0.1 {
+			t.Errorf("cell %d: %d far from even share %d", i, c, n/k)
+		}
+	}
+	if got := MultinomialEven(rng, 10, 0); len(got) != 0 {
+		t.Errorf("k=0: got %v", got)
+	}
+	one := MultinomialEven(rng, 10, 1)
+	if one[0] != 10 {
+		t.Errorf("k=1: got %v", one)
+	}
+}
+
+func TestMultinomialTrailingZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := Multinomial(rng, 1000, []float64{2, 1, 0, 0})
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Errorf("zero cells populated: %v", counts)
+	}
+	if counts[0]+counts[1] != 1000 {
+		t.Errorf("sum = %d, want 1000", counts[0]+counts[1])
+	}
+}

@@ -1,0 +1,157 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+)
+
+// MultipleModel is a fitted multiple linear regression
+// y = β0 + Σ βj·xj + ε, used when a layer's resource usage depends on
+// measures from more than one other layer.
+type MultipleModel struct {
+	Coefficients []float64 // β0 first, then one per predictor column
+	R2           float64
+	StdErr       float64
+	N            int
+}
+
+// Predict evaluates the fitted hyperplane at the predictor vector x.
+func (m MultipleModel) Predict(x []float64) (float64, error) {
+	if len(x) != len(m.Coefficients)-1 {
+		return 0, fmt.Errorf("regress: predict with %d predictors, model has %d", len(x), len(m.Coefficients)-1)
+	}
+	y := m.Coefficients[0]
+	for j, v := range x {
+		y += m.Coefficients[j+1] * v
+	}
+	return y, nil
+}
+
+// FitMultiple estimates OLS coefficients for y on the predictor matrix X
+// (one row per observation) by solving the normal equations with
+// Gaussian elimination and partial pivoting.
+func FitMultiple(X [][]float64, y []float64) (MultipleModel, error) {
+	n := len(X)
+	if n != len(y) {
+		return MultipleModel{}, fmt.Errorf("regress: X rows %d != y length %d", n, len(y))
+	}
+	if n == 0 {
+		return MultipleModel{}, fmt.Errorf("regress: empty design matrix")
+	}
+	p := len(X[0])
+	if p == 0 {
+		return MultipleModel{}, fmt.Errorf("regress: zero predictors")
+	}
+	if n < p+2 {
+		return MultipleModel{}, fmt.Errorf("regress: need at least %d observations for %d predictors, got %d", p+2, p, n)
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return MultipleModel{}, fmt.Errorf("regress: ragged design matrix at row %d", i)
+		}
+		for _, v := range row {
+			if bad(v) {
+				return MultipleModel{}, fmt.Errorf("regress: non-finite predictor at row %d", i)
+			}
+		}
+		if bad(y[i]) {
+			return MultipleModel{}, fmt.Errorf("regress: non-finite response at row %d", i)
+		}
+	}
+
+	// Build the augmented design with an intercept column: Z is n×(p+1).
+	k := p + 1
+	// Normal equations: (ZᵀZ)β = Zᵀy.
+	ztz := make([][]float64, k)
+	zty := make([]float64, k)
+	for i := range ztz {
+		ztz[i] = make([]float64, k)
+	}
+	zrow := make([]float64, k)
+	for i := 0; i < n; i++ {
+		zrow[0] = 1
+		copy(zrow[1:], X[i])
+		for a := 0; a < k; a++ {
+			zty[a] += zrow[a] * y[i]
+			for b := 0; b < k; b++ {
+				ztz[a][b] += zrow[a] * zrow[b]
+			}
+		}
+	}
+
+	beta, err := solve(ztz, zty)
+	if err != nil {
+		return MultipleModel{}, err
+	}
+
+	// Diagnostics.
+	var my float64
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(n)
+	var rss, tss float64
+	for i := 0; i < n; i++ {
+		pred := beta[0]
+		for j := 0; j < p; j++ {
+			pred += beta[j+1] * X[i][j]
+		}
+		r := y[i] - pred
+		rss += r * r
+		d := y[i] - my
+		tss += d * d
+	}
+	r2 := 0.0
+	if tss > 0 {
+		r2 = 1 - rss/tss
+	}
+	return MultipleModel{
+		Coefficients: beta,
+		R2:           r2,
+		StdErr:       math.Sqrt(rss / float64(n-k)),
+		N:            n,
+	}, nil
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting on a
+// copy of A·x = b.
+func solve(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	// Copy to avoid mutating the caller's matrices.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("regress: singular design matrix (collinear predictors)")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back-substitute.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,278 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{7, 9, 11, 13, 15} // y = 2x + 5
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Slope, 2, 1e-12) || !approx(m.Intercept, 5, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 5", m)
+	}
+	if !approx(m.R2, 1, 1e-12) || !approx(m.R, 1, 1e-12) {
+		t.Fatalf("R=%v R2=%v, want 1", m.R, m.R2)
+	}
+	if !approx(m.Predict(10), 25, 1e-12) {
+		t.Fatalf("Predict(10) = %v, want 25", m.Predict(10))
+	}
+	if m.N != 5 {
+		t.Fatalf("N = %d", m.N)
+	}
+}
+
+func TestFitNoisyLineRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Paper's Eq. 2 shape: CPU ≈ 0.0002·WriteCapacity + 4.8.
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64() * 100000
+		y[i] = 0.0002*x[i] + 4.8 + rng.NormFloat64()*0.5
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Slope, 0.0002, 2e-5) {
+		t.Fatalf("slope = %v, want ≈0.0002", m.Slope)
+	}
+	if !approx(m.Intercept, 4.8, 0.3) {
+		t.Fatalf("intercept = %v, want ≈4.8", m.Intercept)
+	}
+	if m.R < 0.99 {
+		t.Fatalf("R = %v, want > 0.99", m.R)
+	}
+	if m.TStat < 10 {
+		t.Fatalf("slope t-stat = %v, want strongly significant", m.TStat)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("two points accepted")
+	}
+	if _, err := Fit([]float64{3, 3, 3}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("zero x-variance accepted")
+	}
+	if _, err := Fit([]float64{1, 2, math.NaN()}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := Model{Slope: 0.0002, Intercept: 4.8, R: 0.95, R2: 0.9, N: 550}
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPearsonMatchesFitR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 3*x[i] + rng.NormFloat64()
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Pearson(x, y); !approx(p, m.R, 1e-12) {
+		t.Fatalf("Pearson %v != Fit R %v", p, m.R)
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	// y is x delayed by 3 samples.
+	n := 120
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)/7) + rng.NormFloat64()*0.05
+	}
+	y := make([]float64, n)
+	for i := range y {
+		if i >= 3 {
+			y[i] = x[i-3]
+		}
+	}
+	lag, corr := BestLag(x, y, 10)
+	if lag != 3 {
+		t.Fatalf("BestLag = %d (corr %v), want 3", lag, corr)
+	}
+	if corr < 0.9 {
+		t.Fatalf("corr at best lag = %v, want > 0.9", corr)
+	}
+	// Symmetric case: x delayed relative to y gives negative lag.
+	lag2, _ := BestLag(y, x, 10)
+	if lag2 != -3 {
+		t.Fatalf("reverse BestLag = %d, want -3", lag2)
+	}
+}
+
+func TestCrossCorrelationEdges(t *testing.T) {
+	if !math.IsNaN(CrossCorrelation([]float64{1, 2}, []float64{1, 2}, 5)) {
+		t.Fatal("lag beyond series should be NaN")
+	}
+	if _, c := BestLag([]float64{1}, []float64{1}, 2); !math.IsNaN(c) {
+		t.Fatal("degenerate BestLag should be NaN")
+	}
+}
+
+// Property: fitting y = a·x + b exactly recovers a and b for random a, b.
+func TestFitRecoveryProperty(t *testing.T) {
+	f := func(aRaw, bRaw int16, seed int64) bool {
+		a := float64(aRaw) / 100
+		b := float64(bRaw) / 100
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 10)
+		y := make([]float64, 10)
+		for i := range x {
+			x[i] = rng.Float64()*100 + float64(i) // guarantees variance
+			y[i] = a*x[i] + b
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		return approx(m.Slope, a, 1e-6) && approx(m.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: R² of any fit is at most 1, and residual error is non-negative.
+func TestFitDiagnosticsBoundsProperty(t *testing.T) {
+	f := func(ys []int8, seed int64) bool {
+		if len(ys) < 3 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, len(ys))
+		y := make([]float64, len(ys))
+		for i := range ys {
+			x[i] = float64(i) + rng.Float64()
+			y[i] = float64(ys[i])
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return true
+		}
+		return m.R2 <= 1+1e-9 && m.StdErr >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitMultipleExact(t *testing.T) {
+	// y = 1 + 2·x1 − 3·x2.
+	X := [][]float64{
+		{1, 1}, {2, 1}, {3, 5}, {4, 2}, {0, 7}, {6, 1}, {2, 9},
+	}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 1 + 2*row[0] - 3*row[1]
+	}
+	m, err := FitMultiple(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3}
+	for i, w := range want {
+		if !approx(m.Coefficients[i], w, 1e-9) {
+			t.Fatalf("coef[%d] = %v, want %v", i, m.Coefficients[i], w)
+		}
+	}
+	if !approx(m.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", m.R2)
+	}
+	pred, err := m.Predict([]float64{10, 10})
+	if err != nil || !approx(pred, 1+20-30, 1e-9) {
+		t.Fatalf("Predict = %v err=%v, want -9", pred, err)
+	}
+	if _, err := m.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong predictor count accepted")
+	}
+}
+
+func TestFitMultipleNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 5}
+		y[i] = 2 + 0.5*X[i][0] + 1.5*X[i][1] + rng.NormFloat64()*0.1
+	}
+	m, err := FitMultiple(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.Coefficients[1], 0.5, 0.05) || !approx(m.Coefficients[2], 1.5, 0.05) {
+		t.Fatalf("coefs = %v", m.Coefficients)
+	}
+	if m.R2 < 0.98 {
+		t.Fatalf("R2 = %v", m.R2)
+	}
+}
+
+func TestFitMultipleErrors(t *testing.T) {
+	if _, err := FitMultiple(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FitMultiple([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	if _, err := FitMultiple([][]float64{{1, 2}, {2, 3}, {3, 5}}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("too few observations accepted")
+	}
+	// Collinear predictors: x2 = 2·x1.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	if _, err := FitMultiple(X, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("collinear design accepted")
+	}
+	// Ragged matrix.
+	if _, err := FitMultiple([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestFitMultipleMatchesSimpleFit(t *testing.T) {
+	x := []float64{1, 3, 4, 7, 9, 12}
+	y := []float64{2, 5, 9, 13, 18, 24}
+	simple, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([][]float64, len(x))
+	for i, v := range x {
+		X[i] = []float64{v}
+	}
+	multi, err := FitMultiple(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(multi.Coefficients[0], simple.Intercept, 1e-9) ||
+		!approx(multi.Coefficients[1], simple.Slope, 1e-9) {
+		t.Fatalf("multiple %v vs simple (%v, %v)", multi.Coefficients, simple.Intercept, simple.Slope)
+	}
+}

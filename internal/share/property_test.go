@@ -1,0 +1,216 @@
+package share
+
+// Property-based tests of the share analyzer: whatever (solvable) random
+// program it is handed, every returned plan must respect the budget (Eq. 4)
+// and every constraint (Eq. 5), sit inside the resource bounds, quantise
+// integer resources, and form a mutually non-dominated set.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/deps"
+	"repro/internal/nsga2"
+)
+
+// randomProgram builds a 2–3 resource problem from fuzz bytes, constructed
+// so that the all-minimum allocation is always feasible.
+func randomProgram(raw []uint8) Problem {
+	n := int(raw[0]%2) + 2
+	res := make([]Resource, n)
+	layers := []deps.Layer{deps.Ingestion, deps.Analytics, deps.Storage}
+	minCost := 0.0
+	for i := 0; i < n; i++ {
+		b := func(j int) float64 {
+			if idx := 1 + i*3 + j; idx < len(raw) {
+				return float64(raw[idx])
+			}
+			return float64(2*i + j + 1)
+		}
+		res[i] = Resource{
+			Layer:       layers[i%len(layers)],
+			Name:        string(rune('a' + i)),
+			CostPerUnit: b(0)/256 + 0.01,
+			Min:         1,
+			Max:         b(1)/8 + 2,
+			Integer:     int(b(2))%2 == 0,
+		}
+		minCost += res[i].CostPerUnit * res[i].Min
+	}
+	return Problem{
+		Resources: res,
+		Budget:    minCost * 1.5, // all-minimums always affordable
+	}
+}
+
+func analyzeCfg(seed int64) nsga2.Config {
+	return nsga2.Config{PopSize: 32, Generations: 40, Seed: seed}
+}
+
+func TestPlansRespectBudgetAndBoundsProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := randomProgram(raw)
+		plans, err := Analyze(p, analyzeCfg(seed))
+		if err != nil || len(plans) == 0 {
+			return false
+		}
+		for _, plan := range plans {
+			if len(plan.Amounts) != len(p.Resources) {
+				return false
+			}
+			if p.Cost(plan.Amounts) > p.Budget+1e-9 {
+				return false
+			}
+			for i, r := range p.Resources {
+				v := plan.Amounts[i]
+				if v < r.Min-1e-9 || v > r.Max+1e-9 {
+					return false
+				}
+				if r.Integer && v != float64(int64(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlansSatisfyDependencyConstraintsProperty(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		p := randomProgram(raw)
+		// One paper-style ratio constraint between the first two
+		// resources: r0 ≤ k·r1, with k large enough that the all-minimum
+		// point stays feasible.
+		k := float64(raw[1]%5) + 1
+		coeffs := make([]float64, len(p.Resources))
+		coeffs[0] = 1
+		coeffs[1] = -k
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Bound: 0, Label: "ratio"})
+
+		plans, err := Analyze(p, analyzeCfg(seed))
+		if err != nil {
+			return false
+		}
+		for _, plan := range plans {
+			for _, c := range p.Constraints {
+				if c.Violation(plan.Amounts) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlansMutuallyNonDominatedProperty(t *testing.T) {
+	// Exact dominance, matching the analyzer's own Pareto filter: with
+	// continuous resources the front legitimately contains solutions that
+	// differ by less than any fixed epsilon, so a tolerant comparison
+	// would manufacture false dominations between distinct points.
+	dominatesAll := func(a, b Plan) bool {
+		better := false
+		for i := range a.Amounts {
+			if a.Amounts[i] < b.Amounts[i] {
+				return false
+			}
+			if a.Amounts[i] > b.Amounts[i] {
+				better = true
+			}
+		}
+		return better
+	}
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		plans, err := Analyze(randomProgram(raw), analyzeCfg(seed))
+		if err != nil {
+			return false
+		}
+		for i := range plans {
+			for j := range plans {
+				if i != j && dominatesAll(plans[i], plans[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDependencySandwichesLine(t *testing.T) {
+	// The two generated constraints must accept points on the regression
+	// line (within tol) and reject points far off it.
+	cs := FromDependency(4.8, 0.0002, 0, 1, 2, 0.5)
+	if len(cs) != 2 {
+		t.Fatalf("constraints = %d, want 2", len(cs))
+	}
+	on := []float64{10000, 4.8 + 0.0002*10000} // exactly on the line
+	for _, c := range cs {
+		if v := c.Violation(on); v > 1e-9 {
+			t.Errorf("%s: on-line point violates by %v", c.Label, v)
+		}
+	}
+	above := []float64{10000, 4.8 + 0.0002*10000 + 1.0} // 1 > tol above
+	below := []float64{10000, 4.8 + 0.0002*10000 - 1.0}
+	if cs[0].Violation(above) == 0 {
+		t.Error("upper constraint accepted a point above the band")
+	}
+	if cs[1].Violation(below) == 0 {
+		t.Error("lower constraint accepted a point below the band")
+	}
+}
+
+// TestQuantizeIntegerWithFractionalBounds is the regression test for a bug
+// the fuzz suite found: an integer resource with a fractional Max (e.g.
+// 2.875) could be rounded up and then clamped back onto the fractional
+// bound, yielding a non-integer "integer" allocation.
+func TestQuantizeIntegerWithFractionalBounds(t *testing.T) {
+	p := Problem{
+		Resources: []Resource{
+			{Layer: deps.Ingestion, Name: "a", CostPerUnit: 0.01, Min: 1.25, Max: 2.875, Integer: true},
+			{Layer: deps.Analytics, Name: "b", CostPerUnit: 0.01, Min: 1, Max: 10, Integer: false},
+		},
+		Budget: 10,
+	}
+	plans, err := Analyze(p, analyzeCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range plans {
+		v := plan.Amounts[0]
+		if v != float64(int64(v)) {
+			t.Fatalf("integer resource allocated fractional amount %v", v)
+		}
+		if v < 2 || v > 2 { // ceil(1.25)=2, floor(2.875)=2
+			t.Errorf("allocation %v outside integer-feasible {2}", v)
+		}
+	}
+}
+
+func TestValidateRejectsIntegerRangeWithoutWholeUnit(t *testing.T) {
+	p := Problem{
+		Resources: []Resource{
+			{Layer: deps.Ingestion, Name: "a", CostPerUnit: 0.01, Min: 2.1, Max: 2.9, Integer: true},
+		},
+		Budget: 10,
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("integer resource with no whole unit in range accepted")
+	}
+}

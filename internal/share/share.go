@@ -1,0 +1,288 @@
+// Package share implements Flower's Resource Share Analyzer (§3.2): given
+// a budget and (learned or asserted) dependency constraints between
+// layers, it determines the maximum share of resources for each layer by
+// solving the paper's multi-objective program
+//
+//	max (r(I), r(A), r(S))                                  (Eq. 3)
+//	s.t. Σ_d r(I)·c_d + Σ_d r(A)·c_d + Σ_d r(S)·c_d ≤ Bud_t  (Eq. 4)
+//	     r(L1) = β0 + β1·r(L2) + ε                           (Eq. 5)
+//
+// with NSGA-II (reference [8]), returning the Pareto-optimal provisioning
+// plans (Fig. 4 shows six such solutions for the paper's example).
+package share
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/deps"
+	"repro/internal/nsga2"
+)
+
+// Resource is one decision variable of the share problem: a resource type
+// in one layer with its cost dimension and allocation range.
+type Resource struct {
+	// Layer the resource belongs to.
+	Layer deps.Layer
+	// Name of the resource, e.g. "shards", "vms", "wcu".
+	Name string
+	// CostPerUnit is the cost dimension c_d (dollars per unit-hour).
+	CostPerUnit float64
+	// Min and Max bound the allocation.
+	Min, Max float64
+	// Integer marks resources allocated in whole units (shards, VMs).
+	Integer bool
+}
+
+// Constraint is a linear inequality Σ Coeffs[i]·r_i ≤ Bound over the
+// problem's resources — the normal form for both the paper's assumptive
+// dependency constraints (e.g. 5·r(A) ≥ r(I) becomes r(I) − 5·r(A) ≤ 0)
+// and regression-learned dependencies.
+type Constraint struct {
+	Coeffs []float64
+	Bound  float64
+	Label  string
+}
+
+// Violation returns by how much x violates the constraint (0 if satisfied).
+func (c Constraint) Violation(x []float64) float64 {
+	sum := 0.0
+	for i, coef := range c.Coeffs {
+		sum += coef * x[i]
+	}
+	if sum > c.Bound {
+		return sum - c.Bound
+	}
+	return 0
+}
+
+// FromDependency converts a learned dependency r_to = β0 + β1·r_from ± tol
+// (Eq. 5, as fitted by internal/deps) into the two inequalities that
+// sandwich the regression line, for the resources at the given indices of
+// an n-variable problem.
+func FromDependency(b0, b1 float64, fromIdx, toIdx, n int, tol float64) []Constraint {
+	up := make([]float64, n)
+	lo := make([]float64, n)
+	// r_to − β1·r_from ≤ β0 + tol
+	up[toIdx] = 1
+	up[fromIdx] = -b1
+	// β1·r_from − r_to ≤ −β0 + tol
+	lo[toIdx] = -1
+	lo[fromIdx] = b1
+	return []Constraint{
+		{Coeffs: up, Bound: b0 + tol, Label: "dependency-upper"},
+		{Coeffs: lo, Bound: -b0 + tol, Label: "dependency-lower"},
+	}
+}
+
+// Problem is the Eq. 3–5 program.
+type Problem struct {
+	Resources   []Resource
+	Budget      float64 // Bud_t: total allowed cost per hour
+	Constraints []Constraint
+}
+
+// Validate checks problem invariants.
+func (p Problem) Validate() error {
+	if len(p.Resources) == 0 {
+		return fmt.Errorf("share: at least one resource is required")
+	}
+	if p.Budget <= 0 {
+		return fmt.Errorf("share: budget must be positive, got %v", p.Budget)
+	}
+	for i, r := range p.Resources {
+		if r.Name == "" {
+			return fmt.Errorf("share: resource %d has no name", i)
+		}
+		if r.CostPerUnit <= 0 {
+			return fmt.Errorf("share: resource %s has non-positive cost", r.Name)
+		}
+		if r.Min < 0 || r.Min > r.Max {
+			return fmt.Errorf("share: resource %s has invalid range [%v, %v]", r.Name, r.Min, r.Max)
+		}
+		if r.Integer && math.Ceil(r.Min) > math.Floor(r.Max) {
+			return fmt.Errorf("share: integer resource %s has no whole unit in [%v, %v]", r.Name, r.Min, r.Max)
+		}
+	}
+	for _, c := range p.Constraints {
+		if len(c.Coeffs) != len(p.Resources) {
+			return fmt.Errorf("share: constraint %q has %d coefficients for %d resources",
+				c.Label, len(c.Coeffs), len(p.Resources))
+		}
+	}
+	return nil
+}
+
+// Cost prices an allocation per hour (the left side of Eq. 4).
+func (p Problem) Cost(x []float64) float64 {
+	total := 0.0
+	for i, r := range p.Resources {
+		total += x[i] * r.CostPerUnit
+	}
+	return total
+}
+
+// quantize rounds integer resources to whole units, clamped into range.
+func (p Problem) quantize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, r := range p.Resources {
+		v := x[i]
+		lo, hi := r.Min, r.Max
+		if r.Integer {
+			// Clamp into the integer-feasible sub-range: rounding first and
+			// clamping to fractional bounds after would let an integer
+			// resource land on a fractional bound (e.g. Round(2.9)=3
+			// clamped back to Max=2.875).
+			v = math.Round(v)
+			lo, hi = math.Ceil(lo), math.Floor(hi)
+		}
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Plan is one Pareto-optimal provisioning plan.
+type Plan struct {
+	// Amounts holds one allocation per problem resource.
+	Amounts []float64
+	// HourlyCost is the plan's Eq. 4 left side.
+	HourlyCost float64
+}
+
+// Analyze solves the program with NSGA-II and returns the de-duplicated
+// feasible Pareto front, sorted by allocation vector for deterministic
+// output. For problems with integer resources the continuous NSGA-II
+// population collapses onto a small set of integer plans — the paper's
+// example yields six (Fig. 4).
+func Analyze(p Problem, cfg nsga2.Config) ([]Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Resources)
+	lower := make([]float64, n)
+	upper := make([]float64, n)
+	for i, r := range p.Resources {
+		lower[i] = r.Min
+		upper[i] = r.Max
+	}
+	prob := nsga2.Problem{
+		NumVars:       n,
+		NumObjectives: n,
+		Lower:         lower,
+		Upper:         upper,
+		Evaluate: func(x []float64) ([]float64, float64) {
+			q := p.quantize(x)
+			objs := make([]float64, n)
+			for i := range q {
+				objs[i] = -q[i] // NSGA-II minimises; Eq. 3 maximises
+			}
+			violation := 0.0
+			if cost := p.Cost(q); cost > p.Budget {
+				violation += (cost - p.Budget) / p.Budget
+			}
+			for _, c := range p.Constraints {
+				violation += c.Violation(q)
+			}
+			return objs, violation
+		},
+	}
+	front, err := nsga2.Run(prob, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[string]bool)
+	var plans []Plan
+	for _, s := range front {
+		if s.Violation > 1e-9 {
+			continue
+		}
+		q := p.quantize(s.X)
+		key := fmt.Sprint(q)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		plans = append(plans, Plan{Amounts: q, HourlyCost: p.Cost(q)})
+	}
+	plans = paretoFilter(plans)
+	sort.Slice(plans, func(i, j int) bool {
+		for k := range plans[i].Amounts {
+			if plans[i].Amounts[k] != plans[j].Amounts[k] {
+				return plans[i].Amounts[k] < plans[j].Amounts[k]
+			}
+		}
+		return false
+	})
+	return plans, nil
+}
+
+// paretoFilter removes plans dominated in the maximisation sense after
+// quantisation (rounding can introduce dominated duplicates).
+func paretoFilter(plans []Plan) []Plan {
+	var out []Plan
+	for i, a := range plans {
+		dominated := false
+		for j, b := range plans {
+			if i == j {
+				continue
+			}
+			if dominatesMax(b.Amounts, a.Amounts) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// dominatesMax reports whether a dominates b when maximising all
+// components.
+func dominatesMax(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// PaperExampleProblem builds the exact example of §3.2 / Fig. 4: shards in
+// ingestion, VMs in analytics, write-capacity units in storage, subject to
+//
+//	5·r(A) ≥ r(I),  2·r(A) ≤ r(I),  2·r(I) ≤ r(S)
+//
+// and an hourly budget. Prices default to the 2017-era ones in
+// internal/billing.
+func PaperExampleProblem(budget float64, shardPrice, vmPrice, wcuPrice float64) Problem {
+	return Problem{
+		Resources: []Resource{
+			{Layer: deps.Ingestion, Name: "shards", CostPerUnit: shardPrice, Min: 1, Max: 50, Integer: true},
+			{Layer: deps.Analytics, Name: "vms", CostPerUnit: vmPrice, Min: 1, Max: 50, Integer: true},
+			{Layer: deps.Storage, Name: "wcu", CostPerUnit: wcuPrice, Min: 1, Max: 2000, Integer: true},
+		},
+		Budget: budget,
+		Constraints: []Constraint{
+			// 5·r(A) ≥ r(I)  ⇔  r(I) − 5·r(A) ≤ 0
+			{Coeffs: []float64{1, -5, 0}, Bound: 0, Label: "5·vms ≥ shards"},
+			// 2·r(A) ≤ r(I)  ⇔  2·r(A) − r(I) ≤ 0
+			{Coeffs: []float64{-1, 2, 0}, Bound: 0, Label: "2·vms ≤ shards"},
+			// 2·r(I) ≤ r(S)  ⇔  2·r(I) − r(S) ≤ 0
+			{Coeffs: []float64{2, 0, -1}, Bound: 0, Label: "2·shards ≤ wcu"},
+		},
+	}
+}

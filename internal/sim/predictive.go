@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/forecast"
+	"repro/internal/metricstore"
+	"repro/internal/workload"
+)
+
+// Predictive pre-provisioning (experiment E8). The paper's controllers are
+// purely reactive; its introduction, however, motivates elasticity with
+// "unplanned or unforeseen changes in demand" that reactive systems answer
+// only after the damage. The companion work behind reference [9] pairs the
+// controllers with workload prediction. This file implements that pairing
+// as an optional harness feature: a trend forecaster (Holt) watches the
+// arrival rate and raises each layer's allocation *ahead* of predicted
+// load; the reactive loops still own steady-state tracking and all
+// scale-downs.
+
+// PredictiveOptions enables and tunes pre-provisioning.
+type PredictiveOptions struct {
+	// Enabled turns the provisioner on.
+	Enabled bool
+	// Window is the observation/actuation cadence (default 2 minutes).
+	Window time.Duration
+	// Horizon is how far ahead to provision (default 2 windows).
+	Horizon time.Duration
+	// Headroom multiplies the predicted requirement (default 1.1).
+	Headroom float64
+	// TargetUtil is the utilisation the predicted load should produce
+	// (default 60, matching the reactive reference).
+	TargetUtil float64
+}
+
+func (o PredictiveOptions) withDefaults() PredictiveOptions {
+	if o.Window <= 0 {
+		o.Window = 2 * time.Minute
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 2 * o.Window
+	}
+	if o.Headroom <= 0 {
+		o.Headroom = 1.1
+	}
+	if o.TargetUtil <= 0 {
+		o.TargetUtil = 60
+	}
+	return o
+}
+
+// predictiveProvisioner is the simtime.Ticker implementing the feature.
+type predictiveProvisioner struct {
+	h    *Harness
+	opts PredictiveOptions
+	pred forecast.Predictor
+
+	sizerShards forecast.PredictiveSizer
+	sizerVMs    forecast.PredictiveSizer
+	sizerWCU    forecast.PredictiveSizer
+
+	nextAt  time.Time
+	started bool
+
+	// Pre-provisioning floors: the allocations the forecast says the
+	// horizon needs. The reactive loops' actuators clamp their commands to
+	// at least these values while the floors are fresh, so a reactive
+	// scale-down cannot retract capacity ordered for predicted load (the
+	// reactive loop sees only current utilisation and would otherwise undo
+	// the pre-scale before the load arrives). Floors expire after a window
+	// without refresh, returning full authority to the loops.
+	floorShards float64
+	floorVMs    float64
+	floorWCU    float64
+	floorUntil  time.Time
+
+	// PreScaleActions counts upward pre-provisioning actions taken.
+	preScaleActions int
+}
+
+// floor returns the active pre-provisioning floor for the layer, or 0.
+func (p *predictiveProvisioner) floor(kind flow.LayerKind, now time.Time) float64 {
+	if now.After(p.floorUntil) {
+		return 0
+	}
+	switch kind {
+	case flow.Ingestion:
+		return p.floorShards
+	case flow.Analytics:
+		return p.floorVMs
+	case flow.Storage:
+		return p.floorWCU
+	}
+	return 0
+}
+
+// prescaleFloor reports the harness's active predictive floor for a layer
+// (0 when pre-provisioning is disabled or the floor has expired).
+func (h *Harness) prescaleFloor(kind flow.LayerKind, now time.Time) float64 {
+	if h.predictive == nil {
+		return 0
+	}
+	return h.predictive.floor(kind, now)
+}
+
+// newPredictiveProvisioner derives per-layer unit capacities from the
+// materialised flow: one shard absorbs 1,000 records/s; one VM absorbs
+// VMCapacity/cost-per-tuple records/s; one WCU absorbs
+// 1/output-selectivity arrival records/s (each output tuple is one
+// ~256-byte item = one write unit).
+func newPredictiveProvisioner(h *Harness, opts PredictiveOptions) *predictiveProvisioner {
+	opts = opts.withDefaults()
+	ing, _ := h.spec.Layer(flow.Ingestion)
+	ana, _ := h.spec.Layer(flow.Analytics)
+	sto, _ := h.spec.Layer(flow.Storage)
+
+	vmCap := ana.VMCapacityMsPerSec
+	if vmCap <= 0 {
+		vmCap = 1000
+	}
+	// The reference topology costs 1 CPU-ms per record; see New.
+	vmUnit := vmCap / 1.0
+	// Writes per arrival = output selectivity (0.1) × 1 unit per item.
+	wcuUnit := 1 / 0.1
+
+	holt, err := forecast.NewHolt(0.6, 0.3)
+	if err != nil {
+		panic(err) // parameters are compile-time constants in range
+	}
+	return &predictiveProvisioner{
+		h:    h,
+		opts: opts,
+		pred: holt,
+		sizerShards: forecast.PredictiveSizer{
+			UnitCapacity: 1000, TargetUtil: opts.TargetUtil,
+			Headroom: opts.Headroom, Min: ing.Min, Max: ing.Max,
+		},
+		sizerVMs: forecast.PredictiveSizer{
+			UnitCapacity: vmUnit, TargetUtil: opts.TargetUtil,
+			Headroom: opts.Headroom, Min: ana.Min, Max: ana.Max,
+		},
+		sizerWCU: forecast.PredictiveSizer{
+			UnitCapacity: wcuUnit, TargetUtil: opts.TargetUtil,
+			Headroom: opts.Headroom, Min: sto.Min, Max: sto.Max,
+		},
+	}
+}
+
+// Tick observes the arrival rate once per window and pre-provisions for
+// the forecast horizon. It only ever scales *up*; scale-downs remain the
+// reactive loops' job, so a wrong forecast costs money but never an
+// outage.
+func (p *predictiveProvisioner) Tick(now time.Time, step time.Duration) {
+	if !p.started {
+		p.nextAt = now.Add(p.opts.Window - step)
+		p.started = true
+	}
+	if now.Before(p.nextAt) {
+		return
+	}
+	p.nextAt = now.Add(p.opts.Window)
+
+	rate, ok := p.windowRate(now)
+	if !ok {
+		return
+	}
+	p.pred.Observe(rate)
+	if !p.pred.Ready() {
+		return
+	}
+	steps := int(p.opts.Horizon / p.opts.Window)
+	if steps < 1 {
+		steps = 1
+	}
+	predicted := p.pred.Forecast(steps)
+	if predicted < 0 {
+		predicted = 0
+	}
+
+	// Publish the floors first: they hold until the next refresh plus one
+	// window of slack, so the reactive loops cannot retract pre-ordered
+	// capacity in the meantime.
+	p.floorShards = p.sizerShards.Size(predicted)
+	p.floorVMs = p.sizerVMs.Size(predicted)
+	p.floorWCU = p.sizerWCU.Size(predicted)
+	p.floorUntil = now.Add(2 * p.opts.Window)
+
+	if want := int(p.floorShards); want > p.h.Stream.ShardCount() {
+		if err := p.h.Stream.UpdateShardCount(want); err == nil {
+			p.preScaleActions++
+		}
+	}
+	if want := int(p.floorVMs); want > p.h.Cluster.VMCount() {
+		if err := p.h.Cluster.SetVMCount(now, want); err == nil {
+			p.preScaleActions++
+		}
+	}
+	if want := p.floorWCU; want > p.h.Table.WCU() {
+		if err := p.h.Table.SetWriteCapacity(want); err == nil {
+			p.preScaleActions++
+		}
+	}
+}
+
+// windowRate returns the mean arrival rate (records/second) over the
+// trailing window.
+func (p *predictiveProvisioner) windowRate(now time.Time) (float64, bool) {
+	series, err := p.h.Store.GetStatistics(metricstore.Query{
+		Namespace:  workload.Namespace,
+		Name:       workload.MetricOfferedRecords,
+		Dimensions: map[string]string{"Generator": "clickstream"},
+		From:       now.Add(-p.opts.Window),
+		To:         now.Add(time.Nanosecond),
+	})
+	if err != nil || series.Len() == 0 {
+		return 0, false
+	}
+	vals := series.Values()
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	perTick := sum / float64(len(vals))
+	return perTick / p.h.opts.Step.Seconds(), true
+}
+
+// PreScaleActions reports how many predictive scale-ups have been applied.
+func (h *Harness) PreScaleActions() int {
+	if h.predictive == nil {
+		return 0
+	}
+	return h.predictive.preScaleActions
+}

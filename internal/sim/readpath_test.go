@@ -1,0 +1,172 @@
+package sim
+
+// End-to-end tests of the dashboard read path: the storage layer's second
+// elastic resource (read capacity units), completing the paper's "DynamoDB
+// read/write units" surface (§2).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/kvstore"
+	"repro/internal/workload"
+)
+
+// dashboardSpec is a managed flow with the dashboard read workload.
+func dashboardSpec(t *testing.T, qps float64, ctrl flow.ControllerSpec) flow.Spec {
+	t.Helper()
+	window := 2 * time.Minute
+	spec, err := flow.NewBuilder("clicks").
+		WithWorkload(flow.WorkloadSpec{Pattern: "constant", Base: 2000}).
+		WithIngestion(3, 1, 50, flow.DefaultAdaptive(60, window, 4)).
+		WithAnalytics(3, 1, 50, flow.DefaultAdaptive(60, window, 4)).
+		WithStorage(300, 50, 20000, flow.DefaultAdaptive(60, window, 400)).
+		WithDashboard(50, 10, 5000,
+			flow.WorkloadSpec{Pattern: "constant", Base: qps, Poisson: true}, ctrl).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestDashboardQueriesConsumeReadCapacity(t *testing.T) {
+	spec := dashboardSpec(t, 100, flow.DefaultAdaptive(60, 2*time.Minute, 100))
+	h, err := New(spec, Options{Step: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if h.Queries == nil {
+		t.Fatal("no query generator materialised")
+	}
+	if h.Queries.Offered() == 0 {
+		t.Fatal("no queries issued")
+	}
+	if _, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
+		map[string]string{"TableName": spec.Name}); !ok {
+		t.Fatal("no read-utilisation metric published")
+	}
+	if _, ok := h.Store.Latest(workload.QueryNamespace, workload.MetricOfferedQueries,
+		map[string]string{"Generator": "dashboard"}); !ok {
+		t.Fatal("no dashboard workload metrics published")
+	}
+}
+
+func TestReadControllerScalesRCUTowardReference(t *testing.T) {
+	// 100 q/s of 1-KiB reads consume ~100 RCU/s; at a 60% reference the
+	// controller should settle RCU near 100/0.6 ≈ 167, far above both the
+	// initial 50 and the minimum.
+	spec := dashboardSpec(t, 100, flow.DefaultAdaptive(60, 2*time.Minute, 100))
+	h, err := New(spec, Options{Step: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(2 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, ok := h.Loops[flow.StorageReads]
+	if !ok {
+		t.Fatal("no read loop")
+	}
+	if loop.Actions() == 0 {
+		t.Fatal("read controller never acted")
+	}
+	rcu := h.Table.RCU()
+	if rcu < 120 || rcu > 250 {
+		t.Errorf("final RCU %v, want near 167 (100 q/s at 60%% target)", rcu)
+	}
+	mu := res.MeanUtil[flow.StorageReads]
+	if mu < 30 || mu > 95 {
+		t.Errorf("mean read utilisation %.1f%%, want in a settled band", mu)
+	}
+	if res.Actions[flow.StorageReads] != loop.Actions() {
+		t.Errorf("result actions %d != loop actions %d", res.Actions[flow.StorageReads], loop.Actions())
+	}
+}
+
+func TestUnderProvisionedReadsViolate(t *testing.T) {
+	// Static read capacity far below the query volume: read throttles must
+	// surface as storage-reads violations.
+	spec := dashboardSpec(t, 200, flow.ControllerSpec{Type: flow.ControllerNone})
+	spec.Dashboard.InitialRCU = 20
+	spec.Dashboard.MinRCU = 20
+	spec.Dashboard.MaxRCU = 20
+	h, err := New(spec, Options{Step: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Run(30 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations[flow.StorageReads] == 0 {
+		t.Fatal("no read violations despite 10x under-provisioning")
+	}
+	if h.Queries.Throttled() == 0 {
+		t.Fatal("no queries throttled")
+	}
+}
+
+func TestDashboardDisabledHasNoReadLoop(t *testing.T) {
+	h, err := New(managedSpec(t, 1000), Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Queries != nil {
+		t.Error("query generator present without dashboard spec")
+	}
+	if _, ok := h.Loops[flow.StorageReads]; ok {
+		t.Error("read loop present without dashboard spec")
+	}
+}
+
+func TestDashboardSpecValidation(t *testing.T) {
+	base := func() flow.Spec { return dashboardSpec(t, 50, flow.DefaultAdaptive(60, 2*time.Minute, 100)) }
+
+	bad := base()
+	bad.Dashboard.MinRCU = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MinRCU accepted")
+	}
+	bad = base()
+	bad.Dashboard.InitialRCU = 1e9
+	if err := bad.Validate(); err == nil {
+		t.Error("initial RCU above max accepted")
+	}
+	bad = base()
+	bad.Dashboard.Workload.Pattern = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown dashboard pattern accepted")
+	}
+	bad = base()
+	bad.Dashboard.ItemBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative item bytes accepted")
+	}
+}
+
+func TestDashboardSpecJSONRoundTrip(t *testing.T) {
+	spec := dashboardSpec(t, 75, flow.DefaultAdaptive(60, 2*time.Minute, 100))
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := flow.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Dashboard.Enabled {
+		t.Fatal("dashboard flag lost in round trip")
+	}
+	if back.Dashboard.Workload.Base != 75 {
+		t.Errorf("qps = %v, want 75", back.Dashboard.Workload.Base)
+	}
+	if back.Dashboard.Controller.Type != flow.ControllerAdaptive {
+		t.Errorf("controller type %q", back.Dashboard.Controller.Type)
+	}
+}

@@ -1,0 +1,131 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtEpoch(t *testing.T) {
+	c := NewClock()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), Epoch)
+	}
+	if c.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", c.Elapsed())
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	c.Advance(90 * time.Second)
+	if got := c.Elapsed(); got != 90*time.Second {
+		t.Fatalf("Elapsed() = %v, want 90s", got)
+	}
+	c.Advance(30 * time.Second)
+	if got := c.Elapsed(); got != 2*time.Minute {
+		t.Fatalf("Elapsed() = %v, want 2m", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestNewClockAt(t *testing.T) {
+	at := Epoch.Add(time.Hour)
+	c := NewClockAt(at)
+	if !c.Now().Equal(at) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), at)
+	}
+}
+
+func TestSchedulerRunSteps(t *testing.T) {
+	c := NewClock()
+	s := NewScheduler(c, time.Second)
+	var calls int
+	var lastNow time.Time
+	s.RegisterFunc(func(now time.Time, step time.Duration) {
+		calls++
+		lastNow = now
+		if step != time.Second {
+			t.Errorf("step = %v, want 1s", step)
+		}
+	})
+	s.RunSteps(10)
+	if calls != 10 {
+		t.Fatalf("ticker called %d times, want 10", calls)
+	}
+	if want := Epoch.Add(10 * time.Second); !lastNow.Equal(want) {
+		t.Fatalf("last tick time = %v, want %v", lastNow, want)
+	}
+	if s.Steps() != 10 {
+		t.Fatalf("Steps() = %d, want 10", s.Steps())
+	}
+}
+
+func TestSchedulerTickOrder(t *testing.T) {
+	s := NewScheduler(NewClock(), time.Second)
+	var order []string
+	s.RegisterFunc(func(time.Time, time.Duration) { order = append(order, "a") })
+	s.RegisterFunc(func(time.Time, time.Duration) { order = append(order, "b") })
+	s.RegisterFunc(func(time.Time, time.Duration) { order = append(order, "c") })
+	s.RunSteps(2)
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("got %d calls, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %q, want %q", i, order[i], want[i])
+		}
+	}
+}
+
+func TestSchedulerRunFor(t *testing.T) {
+	s := NewScheduler(NewClock(), time.Minute)
+	var calls int
+	s.RegisterFunc(func(time.Time, time.Duration) { calls++ })
+	s.RunFor(10 * time.Minute)
+	if calls != 10 {
+		t.Fatalf("ticker called %d times, want 10", calls)
+	}
+	s.RunFor(30 * time.Second) // less than one step: no tick
+	if calls != 10 {
+		t.Fatalf("ticker called %d times after sub-step RunFor, want 10", calls)
+	}
+}
+
+func TestSchedulerClockVisibleDuringTick(t *testing.T) {
+	c := NewClock()
+	s := NewScheduler(c, time.Second)
+	s.RegisterFunc(func(now time.Time, _ time.Duration) {
+		if !c.Now().Equal(now) {
+			t.Errorf("clock.Now() = %v inside tick, want %v", c.Now(), now)
+		}
+	})
+	s.RunSteps(3)
+}
+
+func TestSchedulerRejectsBadInputs(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewScheduler with zero step did not panic")
+			}
+		}()
+		NewScheduler(NewClock(), 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Register(nil) did not panic")
+			}
+		}()
+		NewScheduler(NewClock(), time.Second).Register(nil)
+	}()
+}

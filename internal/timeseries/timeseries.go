@@ -1,0 +1,385 @@
+// Package timeseries provides the time-series container and the descriptive
+// statistics used throughout the reproduction: by the metric store to answer
+// period-statistic queries, by the dependency analyzer to align layer
+// measurements, and by the experiment harness to summarise runs.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a single timestamped observation.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an append-only, time-ordered sequence of points. Appending out
+// of order is an error at insert time rather than a silent reorder, because
+// the simulation produces observations in clock order by construction and a
+// violation indicates a wiring bug.
+type Series struct {
+	points []Point
+}
+
+// New returns an empty series with capacity hint n.
+func New(n int) *Series {
+	return &Series{points: make([]Point, 0, n)}
+}
+
+// FromValues builds a series from evenly spaced values starting at start
+// with the given step. It is primarily a test and analysis convenience.
+func FromValues(start time.Time, step time.Duration, values []float64) *Series {
+	s := New(len(values))
+	for i, v := range values {
+		s.points = append(s.points, Point{T: start.Add(time.Duration(i) * step), V: v})
+	}
+	return s
+}
+
+// Append adds an observation. The timestamp must not precede the last
+// appended timestamp.
+func (s *Series) Append(t time.Time, v float64) error {
+	if n := len(s.points); n > 0 && t.Before(s.points[n-1].T) {
+		return fmt.Errorf("timeseries: append at %v precedes last point %v", t, s.points[n-1].T)
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+	return nil
+}
+
+// MustAppend is Append for callers that control the clock and treat
+// out-of-order appends as programmer error.
+func (s *Series) MustAppend(t time.Time, v float64) {
+	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) Point { return s.points[i] }
+
+// Last returns the most recent point and true, or a zero point and false if
+// the series is empty.
+func (s *Series) Last() (Point, bool) {
+	if len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// Values returns a copy of the observation values in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns a copy of the timestamps in order.
+func (s *Series) Times() []time.Time {
+	out := make([]time.Time, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Between returns the sub-series of points p with from <= p.T < to. The
+// returned series shares no storage with s.
+func (s *Series) Between(from, to time.Time) *Series {
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(to) })
+	out := New(hi - lo)
+	out.points = append(out.points, s.points[lo:hi]...)
+	return out
+}
+
+// TailN returns a copy of the last n points (or all of them if fewer).
+func (s *Series) TailN(n int) *Series {
+	if n > len(s.points) {
+		n = len(s.points)
+	}
+	out := New(n)
+	out.points = append(out.points, s.points[len(s.points)-n:]...)
+	return out
+}
+
+// Agg identifies an aggregation function for Resample and period statistics.
+type Agg int
+
+// Supported aggregations.
+const (
+	AggMean Agg = iota
+	AggSum
+	AggMin
+	AggMax
+	AggCount
+	AggP50
+	AggP90
+	AggP99
+)
+
+// String returns the CloudWatch-style statistic name.
+func (a Agg) String() string {
+	switch a {
+	case AggMean:
+		return "Average"
+	case AggSum:
+		return "Sum"
+	case AggMin:
+		return "Minimum"
+	case AggMax:
+		return "Maximum"
+	case AggCount:
+		return "SampleCount"
+	case AggP50:
+		return "p50"
+	case AggP90:
+		return "p90"
+	case AggP99:
+		return "p99"
+	default:
+		return fmt.Sprintf("Agg(%d)", int(a))
+	}
+}
+
+// Apply computes the aggregation over vs. It returns NaN for an empty input
+// except AggCount and AggSum, which are 0.
+func (a Agg) Apply(vs []float64) float64 {
+	switch a {
+	case AggCount:
+		return float64(len(vs))
+	case AggSum:
+		return Sum(vs)
+	}
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	switch a {
+	case AggMean:
+		return Mean(vs)
+	case AggMin:
+		return Min(vs)
+	case AggMax:
+		return Max(vs)
+	case AggP50:
+		return Percentile(vs, 50)
+	case AggP90:
+		return Percentile(vs, 90)
+	case AggP99:
+		return Percentile(vs, 99)
+	default:
+		return math.NaN()
+	}
+}
+
+// Resample buckets the series into consecutive windows of length period
+// anchored at the first point's timestamp and aggregates each bucket. Empty
+// buckets are skipped. The resulting point carries the bucket start time.
+func (s *Series) Resample(period time.Duration, agg Agg) *Series {
+	if period <= 0 {
+		panic("timeseries: resample period must be positive")
+	}
+	out := New(0)
+	if len(s.points) == 0 {
+		return out
+	}
+	anchor := s.points[0].T
+	var bucket []float64
+	bucketIdx := 0
+	flush := func() {
+		if len(bucket) == 0 {
+			return
+		}
+		out.points = append(out.points, Point{
+			T: anchor.Add(time.Duration(bucketIdx) * period),
+			V: agg.Apply(bucket),
+		})
+		bucket = bucket[:0]
+	}
+	for _, p := range s.points {
+		idx := int(p.T.Sub(anchor) / period)
+		if idx != bucketIdx {
+			flush()
+			bucketIdx = idx
+		}
+		bucket = append(bucket, p.V)
+	}
+	flush()
+	return out
+}
+
+// EWMA returns the exponentially weighted moving average of the series with
+// smoothing factor alpha in (0, 1]; larger alpha weights recent points more.
+func (s *Series) EWMA(alpha float64) *Series {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("timeseries: EWMA alpha %v out of (0,1]", alpha))
+	}
+	out := New(len(s.points))
+	var acc float64
+	for i, p := range s.points {
+		if i == 0 {
+			acc = p.V
+		} else {
+			acc = alpha*p.V + (1-alpha)*acc
+		}
+		out.points = append(out.points, Point{T: p.T, V: acc})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of vs, or NaN if empty.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	return Sum(vs) / float64(len(vs))
+}
+
+// Sum returns the sum of vs (0 for empty input).
+func Sum(vs []float64) float64 {
+	var t float64
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// Min returns the smallest value, or NaN if empty.
+func Min(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN if empty.
+func Max(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of vs, or NaN for fewer than one
+// point.
+func Variance(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(vs)
+	var ss float64
+	for _, v := range vs {
+		d := v - mu
+		ss += d * d
+	}
+	return ss / float64(len(vs))
+}
+
+// StdDev returns the population standard deviation of vs.
+func StdDev(vs []float64) float64 { return math.Sqrt(Variance(vs)) }
+
+// Percentile returns the p-th percentile (0..100) of vs using linear
+// interpolation between closest ranks. It copies vs before sorting.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return Min(vs)
+	}
+	if p >= 100 {
+		return Max(vs)
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient between x and y,
+// which must have equal length. It returns NaN when either input has zero
+// variance or fewer than two points.
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("timeseries: correlation length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// AlignedValues trims x and y to their overlapping time range, resamples both
+// onto period buckets with the mean aggregate, and returns equal-length value
+// slices ready for Correlation or regression. It returns nil slices when the
+// series do not overlap.
+func AlignedValues(x, y *Series, period time.Duration) (xs, ys []float64) {
+	if x.Len() == 0 || y.Len() == 0 {
+		return nil, nil
+	}
+	from := maxTime(x.points[0].T, y.points[0].T)
+	to := minTime(x.points[x.Len()-1].T, y.points[y.Len()-1].T).Add(time.Nanosecond)
+	xr := x.Between(from, to).Resample(period, AggMean)
+	yr := y.Between(from, to).Resample(period, AggMean)
+	n := xr.Len()
+	if yr.Len() < n {
+		n = yr.Len()
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return xr.TailN(n).Values(), yr.TailN(n).Values()
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Trace persistence. Production deployments of elasticity managers are
+// evaluated against recorded arrival-rate traces (the paper's demo uses a
+// live generator; its companion work replays workload logs). SaveTraceCSV
+// and LoadTraceCSV round-trip a Trace through the two-column CSV format
+//
+//	offset_seconds,rate_per_second
+//
+// so recorded or hand-crafted rate profiles can drive the generator via
+// the Trace pattern.
+
+// SaveTraceCSV writes the trace with one row per resolution step.
+func SaveTraceCSV(w io.Writer, t Trace) error {
+	if t.Resolution <= 0 {
+		return fmt.Errorf("workload: trace resolution must be positive")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"offset_seconds", "rate_per_second"}); err != nil {
+		return err
+	}
+	for i, r := range t.Rates {
+		off := time.Duration(i) * t.Resolution
+		if err := cw.Write([]string{
+			strconv.FormatFloat(off.Seconds(), 'f', -1, 64),
+			strconv.FormatFloat(r, 'f', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadTraceCSV parses a trace written by SaveTraceCSV (or by hand). Rows
+// must be evenly spaced; the spacing becomes the trace resolution.
+func LoadTraceCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return Trace{}, fmt.Errorf("workload: trace csv: %w", err)
+	}
+	if len(rows) < 3 { // header + at least two rows to infer resolution
+		return Trace{}, fmt.Errorf("workload: trace csv needs a header and at least two rows")
+	}
+	rows = rows[1:] // drop header
+	var offsets []float64
+	var rates []float64
+	for i, row := range rows {
+		if len(row) != 2 {
+			return Trace{}, fmt.Errorf("workload: trace csv row %d has %d columns, want 2", i+2, len(row))
+		}
+		off, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: trace csv row %d offset: %w", i+2, err)
+		}
+		rate, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: trace csv row %d rate: %w", i+2, err)
+		}
+		if rate < 0 {
+			return Trace{}, fmt.Errorf("workload: trace csv row %d has negative rate", i+2)
+		}
+		offsets = append(offsets, off)
+		rates = append(rates, rate)
+	}
+	res := offsets[1] - offsets[0]
+	if res <= 0 {
+		return Trace{}, fmt.Errorf("workload: trace offsets must be increasing")
+	}
+	for i := 1; i < len(offsets); i++ {
+		if d := offsets[i] - offsets[i-1]; d < res*0.999 || d > res*1.001 {
+			return Trace{}, fmt.Errorf("workload: trace offsets not evenly spaced at row %d", i+2)
+		}
+	}
+	return Trace{Rates: rates, Resolution: time.Duration(res * float64(time.Second))}, nil
+}
