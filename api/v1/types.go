@@ -1,0 +1,210 @@
+// Package apiv1 defines the wire types of Flower's v1 REST control plane.
+// Both the server (internal/httpapi) and the Go SDK (client) marshal these
+// exact structs, so the two sides cannot drift. Durations travel as Go
+// duration strings ("10m", "250ms"); timestamps as RFC 3339.
+//
+// See API.md at the repository root for the full route reference.
+package apiv1
+
+import (
+	"time"
+
+	"repro/internal/flow"
+)
+
+// ErrorCode classifies an API failure machine-readably.
+type ErrorCode string
+
+const (
+	CodeInvalidArgument ErrorCode = "invalid_argument"
+	CodeNotFound        ErrorCode = "not_found"
+	CodeConflict        ErrorCode = "conflict"
+	CodeInternal        ErrorCode = "internal"
+)
+
+// Error is the uniform failure payload of every v1 endpoint.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorEnvelope wraps Error on the wire: {"error": {"code": ..., "message": ...}}.
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// CreateFlowRequest is the POST /v1/flows payload. Either Spec is given in
+// full, or it is omitted and the built-in click-stream flow is materialised
+// with Peak records/s. ID defaults to the spec's name.
+type CreateFlowRequest struct {
+	ID   string     `json:"id,omitempty"`
+	Spec *flow.Spec `json:"spec,omitempty"`
+	Peak float64    `json:"peak,omitempty"`
+	// Step is the simulation tick as a duration string (default "10s").
+	Step string `json:"step,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	// Pace, when positive, starts the flow's wall-clock pacer immediately
+	// at that many simulated seconds per wall second.
+	Pace float64 `json:"pace,omitempty"`
+}
+
+// FlowSummary is one row of the flow collection.
+type FlowSummary struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name"`
+	Created time.Time `json:"created"`
+	SimTime time.Time `json:"sim_time"`
+	Elapsed string    `json:"elapsed"`
+	Ticks   int       `json:"ticks"`
+	Paced   bool      `json:"paced"`
+	Pace    float64   `json:"pace,omitempty"`
+}
+
+// FlowList is the GET /v1/flows response.
+type FlowList struct {
+	Flows []FlowSummary `json:"flows"`
+	Count int           `json:"count"`
+}
+
+// FlowDetail is the GET /v1/flows/{id} response: the summary plus the full
+// flow definition.
+type FlowDetail struct {
+	FlowSummary
+	Spec flow.Spec `json:"spec"`
+}
+
+// Status is the live run summary of one flow.
+type Status struct {
+	Flow          string     `json:"flow"`
+	SimTime       time.Time  `json:"sim_time"`
+	Elapsed       string     `json:"elapsed"`
+	Ticks         int        `json:"ticks"`
+	Offered       int64      `json:"offered_records"`
+	Rejected      int64      `json:"rejected_records"`
+	ViolationRate float64    `json:"violation_rate"`
+	TotalCost     float64    `json:"total_cost_usd"`
+	PeakRunRate   float64    `json:"peak_run_rate_usd_per_h"`
+	Allocation    Allocation `json:"allocation"`
+}
+
+// Allocation is a flow's current per-layer resource allocation.
+type Allocation struct {
+	Shards int     `json:"shards"`
+	VMs    int     `json:"vms"`
+	WCU    float64 `json:"wcu"`
+	RCU    float64 `json:"rcu"`
+}
+
+// Layer is one layer's live state.
+type Layer struct {
+	Kind        flow.LayerKind `json:"kind"`
+	System      string         `json:"system"`
+	Resource    string         `json:"resource"`
+	Allocation  float64        `json:"allocation"`
+	Min         float64        `json:"min"`
+	Max         float64        `json:"max"`
+	Utilization float64        `json:"utilization_pct"`
+	MeanUtil    float64        `json:"mean_utilization_pct"`
+	Violations  int            `json:"violation_ticks"`
+	Controller  *Controller    `json:"controller,omitempty"`
+}
+
+// Controller is a layer controller's live configuration.
+type Controller struct {
+	Type     string  `json:"type"`
+	Ref      float64 `json:"ref"`
+	Window   string  `json:"window"`
+	DeadBand float64 `json:"dead_band"`
+	Gain     float64 `json:"gain,omitempty"`
+	Actions  int     `json:"actions"`
+}
+
+// TuneRequest is the controller-tuning payload; absent fields are left
+// unchanged. This is the API form of the demo's step 3: "adjust parameters
+// of the controllers, such as elasticity speed, monitoring period".
+type TuneRequest struct {
+	Ref      *float64 `json:"ref,omitempty"`
+	Window   *string  `json:"window,omitempty"`
+	DeadBand *float64 `json:"dead_band,omitempty"`
+}
+
+// Decision is one recorded control action.
+type Decision struct {
+	At       time.Time `json:"at"`
+	Measured float64   `json:"measured"`
+	Ref      float64   `json:"ref"`
+	OldU     float64   `json:"old_allocation"`
+	NewU     float64   `json:"new_allocation"`
+	Applied  bool      `json:"applied"`
+	Note     string    `json:"note,omitempty"`
+}
+
+// MetricID names one listable metric.
+type MetricID struct {
+	Namespace  string            `json:"namespace"`
+	Name       string            `json:"name"`
+	Dimensions map[string]string `json:"dimensions,omitempty"`
+}
+
+// Point is one timestamped sample on the wire.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Series is a paginated metric query result. Total counts the points the
+// query produced before pagination; NextOffset is set when more pages
+// remain.
+type Series struct {
+	Namespace  string  `json:"namespace"`
+	Name       string  `json:"name"`
+	Stat       string  `json:"stat"`
+	Period     string  `json:"period"`
+	Total      int     `json:"total"`
+	Offset     int     `json:"offset"`
+	Limit      int     `json:"limit,omitempty"`
+	NextOffset *int    `json:"next_offset,omitempty"`
+	Points     []Point `json:"points"`
+}
+
+// Dependency is one learned Eq. 1 cross-layer relationship.
+type Dependency struct {
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	Slope       float64 `json:"slope"`
+	Intercept   float64 `json:"intercept"`
+	R2          float64 `json:"r2"`
+	Correlation float64 `json:"correlation"`
+	Lag         int     `json:"lag_periods"`
+	Samples     int     `json:"samples"`
+	Equation    string  `json:"equation"`
+}
+
+// AdvanceRequest asks the server to run a flow's simulation forward.
+type AdvanceRequest struct {
+	Duration string `json:"duration"`
+}
+
+// AdvanceResult summarises an advance.
+type AdvanceResult struct {
+	Advanced      string  `json:"advanced"`
+	Ticks         int     `json:"ticks"`
+	ViolationRate float64 `json:"violation_rate"`
+	TotalCost     float64 `json:"total_cost_usd"`
+}
+
+// PaceRequest starts (Pace > 0) or stops (Pace == 0) a flow's wall-clock
+// pacer. WallTick defaults to "250ms".
+type PaceRequest struct {
+	Pace     float64 `json:"pace"`
+	WallTick string  `json:"wall_tick,omitempty"`
+}
+
+// PaceState reports a flow's pacer. Error is set when the last pacer died
+// on its own because advancing the flow failed.
+type PaceState struct {
+	Running  bool    `json:"running"`
+	Pace     float64 `json:"pace,omitempty"`
+	WallTick string  `json:"wall_tick,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}

@@ -1,0 +1,345 @@
+// Package client is the typed Go SDK for Flower's v1 REST control plane
+// (internal/httpapi). It covers every v1 endpoint — flow lifecycle, status,
+// layers, controller tuning, decisions, paginated metric queries,
+// snapshots, dependency analysis, advancing and pacing — marshalling the
+// same wire structs the server does (repro/api/v1), so a compile-time type
+// mismatch between the two sides is impossible.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	f, err := c.CreateFlow(ctx, apiv1.CreateFlowRequest{ID: "checkout", Peak: 3000})
+//	...
+//	res, err := c.Advance(ctx, "checkout", 2*time.Hour)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/monitor"
+)
+
+// Client talks to one Flower control plane.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the control plane at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the server's uniform error
+// envelope.
+type APIError struct {
+	StatusCode int
+	Code       apiv1.ErrorCode
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("flower api: %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// IsNotFound reports whether err is an APIError with code "not_found".
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == apiv1.CodeNotFound
+}
+
+// IsConflict reports whether err is an APIError with code "conflict".
+func IsConflict(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == apiv1.CodeConflict
+}
+
+// do issues one request; a non-2xx status is decoded into *APIError, a 2xx
+// body into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("flower api: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeError(resp, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("flower api: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError, decoding the
+// server's uniform envelope when present.
+func decodeError(resp *http.Response, body []byte) *APIError {
+	ae := &APIError{StatusCode: resp.StatusCode, Code: apiv1.CodeInternal, Message: resp.Status}
+	var env apiv1.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+		ae.Code, ae.Message = env.Error.Code, env.Error.Message
+	}
+	return ae
+}
+
+func flowPath(id string, suffix string) string {
+	return "/v1/flows/" + url.PathEscape(id) + suffix
+}
+
+// CreateFlow registers a new flow; see apiv1.CreateFlowRequest for the
+// spec/peak/step/seed/pace knobs.
+func (c *Client) CreateFlow(ctx context.Context, req apiv1.CreateFlowRequest) (apiv1.FlowSummary, error) {
+	var out apiv1.FlowSummary
+	err := c.do(ctx, http.MethodPost, "/v1/flows", req, &out)
+	return out, err
+}
+
+// ListFlows returns every registered flow, sorted by id.
+func (c *Client) ListFlows(ctx context.Context) ([]apiv1.FlowSummary, error) {
+	var out apiv1.FlowList
+	if err := c.do(ctx, http.MethodGet, "/v1/flows", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Flows, nil
+}
+
+// GetFlow returns one flow's summary plus its full definition.
+func (c *Client) GetFlow(ctx context.Context, id string) (apiv1.FlowDetail, error) {
+	var out apiv1.FlowDetail
+	err := c.do(ctx, http.MethodGet, flowPath(id, ""), nil, &out)
+	return out, err
+}
+
+// DeleteFlow stops and removes a flow.
+func (c *Client) DeleteFlow(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, flowPath(id, ""), nil, nil)
+}
+
+// Status returns a flow's live run summary.
+func (c *Client) Status(ctx context.Context, id string) (apiv1.Status, error) {
+	var out apiv1.Status
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/status"), nil, &out)
+	return out, err
+}
+
+// Layers returns a flow's per-layer live state.
+func (c *Client) Layers(ctx context.Context, id string) ([]apiv1.Layer, error) {
+	var out []apiv1.Layer
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/layers"), nil, &out)
+	return out, err
+}
+
+// Decisions returns the last n recorded control actions of one layer's
+// controller (n <= 0 uses the server default).
+func (c *Client) Decisions(ctx context.Context, id string, kind string, n int) ([]apiv1.Decision, error) {
+	path := flowPath(id, "/layers/"+url.PathEscape(kind)+"/decisions")
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out []apiv1.Decision
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// TuneController updates one layer controller's parameters; nil fields of
+// req are left unchanged.
+func (c *Client) TuneController(ctx context.Context, id string, kind string, req apiv1.TuneRequest) (apiv1.Controller, error) {
+	var out apiv1.Controller
+	err := c.do(ctx, http.MethodPost, flowPath(id, "/layers/"+url.PathEscape(kind)+"/controller"), req, &out)
+	return out, err
+}
+
+// Metrics lists a flow's metrics grouped by namespace.
+func (c *Client) Metrics(ctx context.Context, id string) (map[string][]apiv1.MetricID, error) {
+	var out map[string][]apiv1.MetricID
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/metrics"), nil, &out)
+	return out, err
+}
+
+// MetricQuery selects one aggregated series of one flow.
+type MetricQuery struct {
+	Namespace  string
+	Name       string
+	Dimensions map[string]string
+	// Stat is a CloudWatch-flavoured statistic (avg, sum, min, max, count,
+	// p50, p90, p99); empty means avg.
+	Stat string
+	// Window is the trailing query window (0: server default, 30m).
+	Window time.Duration
+	// Period is the aggregation bucket (0: server default, 1m).
+	Period time.Duration
+	// Limit/Offset paginate the aggregated points; Limit 0 returns all.
+	Limit  int
+	Offset int
+}
+
+// QueryMetrics fetches one page of an aggregated metric series.
+func (c *Client) QueryMetrics(ctx context.Context, id string, q MetricQuery) (apiv1.Series, error) {
+	vals := url.Values{}
+	vals.Set("ns", q.Namespace)
+	vals.Set("name", q.Name)
+	if q.Stat != "" {
+		vals.Set("stat", q.Stat)
+	}
+	if q.Window > 0 {
+		vals.Set("window", q.Window.String())
+	}
+	if q.Period > 0 {
+		vals.Set("period", q.Period.String())
+	}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		vals.Set("offset", strconv.Itoa(q.Offset))
+	}
+	for k, v := range q.Dimensions {
+		vals.Set("dim."+k, v)
+	}
+	var out apiv1.Series
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/metrics/query?"+vals.Encode()), nil, &out)
+	return out, err
+}
+
+// QueryAllMetrics follows NextOffset until the full series is fetched,
+// issuing one request per pageSize points. The server evaluates each page
+// over its trailing window anchored at the flow's current simulated time,
+// so on a flow whose clock is moving (a running pacer) the window slides
+// between pages; pages are merged monotonically by timestamp, which drops
+// duplicates but cannot recover points that slid out of the window. For
+// exact results, query a paused flow.
+func (c *Client) QueryAllMetrics(ctx context.Context, id string, q MetricQuery, pageSize int) (apiv1.Series, error) {
+	if pageSize <= 0 {
+		pageSize = 500
+	}
+	q.Limit, q.Offset = pageSize, 0
+	first, err := c.QueryMetrics(ctx, id, q)
+	if err != nil {
+		return apiv1.Series{}, err
+	}
+	out := first
+	for out.NextOffset != nil {
+		q.Offset = *out.NextOffset
+		page, err := c.QueryMetrics(ctx, id, q)
+		if err != nil {
+			return apiv1.Series{}, err
+		}
+		for _, p := range page.Points {
+			if n := len(first.Points); n == 0 || p.T.After(first.Points[n-1].T) {
+				first.Points = append(first.Points, p)
+			}
+		}
+		out = page
+	}
+	first.Limit, first.NextOffset, first.Offset = 0, nil, 0
+	first.Total = len(first.Points)
+	return first, nil
+}
+
+// Snapshot fetches the flow's consolidated monitoring view over the
+// trailing window (0: server default, 30m).
+func (c *Client) Snapshot(ctx context.Context, id string, window time.Duration) (monitor.Snapshot, error) {
+	path := flowPath(id, "/snapshot")
+	if window > 0 {
+		path += "?window=" + url.QueryEscape(window.String())
+	}
+	var out monitor.Snapshot
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Dependencies runs workload dependency analysis over the flow's history.
+func (c *Client) Dependencies(ctx context.Context, id string) ([]apiv1.Dependency, error) {
+	var out []apiv1.Dependency
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/dependencies"), nil, &out)
+	return out, err
+}
+
+// Advance runs the flow's simulation forward by d.
+func (c *Client) Advance(ctx context.Context, id string, d time.Duration) (apiv1.AdvanceResult, error) {
+	var out apiv1.AdvanceResult
+	err := c.do(ctx, http.MethodPost, flowPath(id, "/advance"), apiv1.AdvanceRequest{Duration: d.String()}, &out)
+	return out, err
+}
+
+// SetPace starts the flow's wall-clock pacer at pace simulated seconds per
+// wall second (pace 0 stops it). wallTick 0 uses the server default.
+func (c *Client) SetPace(ctx context.Context, id string, pace float64, wallTick time.Duration) (apiv1.PaceState, error) {
+	req := apiv1.PaceRequest{Pace: pace}
+	if wallTick > 0 {
+		req.WallTick = wallTick.String()
+	}
+	var out apiv1.PaceState
+	err := c.do(ctx, http.MethodPost, flowPath(id, "/pace"), req, &out)
+	return out, err
+}
+
+// Pace reports the flow's pacer state.
+func (c *Client) Pace(ctx context.Context, id string) (apiv1.PaceState, error) {
+	var out apiv1.PaceState
+	err := c.do(ctx, http.MethodGet, flowPath(id, "/pace"), nil, &out)
+	return out, err
+}
+
+// Dashboard fetches the flow's rendered HTML dashboard.
+func (c *Client) Dashboard(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+flowPath(id, "/dashboard"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return "", decodeError(resp, data)
+	}
+	return string(data), nil
+}

@@ -1,20 +1,34 @@
 // Command flowctl creates, validates and inspects flow definitions — the
-// command-line Flow Builder and Configuration Wizard (§4 steps 1–2).
+// command-line Flow Builder and Configuration Wizard (§4 steps 1–2) — and
+// drives a running flowerd control plane through the repro/client SDK.
 //
-// Usage:
+// Local usage:
 //
 //	flowctl init [-peak 3000] [-o flow.json]   write the default click-stream flow
 //	flowctl validate flow.json                 check a definition
 //	flowctl show flow.json                     summarise a definition
 //	flowctl plan [-budget 0.29] flow.json      Pareto-optimal resource shares (§3.2)
+//
+// Remote usage (against `flowerd -http`):
+//
+//	flowctl create -url http://host:8080 [-id web] [-spec flow.json | -peak 3000] [-pace 60]
+//	flowctl list -url http://host:8080
+//	flowctl status -url http://host:8080 -flow web
+//	flowctl advance -url http://host:8080 -flow web -d 30m
+//	flowctl tune -url http://host:8080 -flow web -layer analytics [-ref 70] [-window 4m] [-dead-band 5]
+//	flowctl delete -url http://host:8080 -flow web
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	apiv1 "repro/api/v1"
+	"repro/client"
 	"repro/internal/flow"
 	"repro/internal/nsga2"
 	"repro/internal/sim"
@@ -37,13 +51,27 @@ func main() {
 		cmdShow(os.Args[2:])
 	case "plan":
 		cmdPlan(os.Args[2:])
+	case "create":
+		cmdCreate(os.Args[2:])
+	case "list":
+		cmdList(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "advance":
+		cmdAdvance(os.Args[2:])
+	case "tune":
+		cmdTune(os.Args[2:])
+	case "delete":
+		cmdDelete(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flowctl <init|validate|show|plan> [args]")
+	fmt.Fprintln(os.Stderr, `usage: flowctl <command> [args]
+local:   init | validate | show | plan
+remote:  create | list | status | advance | tune | delete   (all take -url)`)
 	os.Exit(2)
 }
 
@@ -142,4 +170,148 @@ func cmdShow(args []string) {
 	}
 	fmt.Printf("  prices: shard $%.4g/h, VM $%.4g/h, WCU $%.4g/h, RCU $%.4g/h\n",
 		spec.Prices.ShardHour, spec.Prices.VMHour, spec.Prices.WCUHour, spec.Prices.RCUHour)
+}
+
+// --- remote subcommands (client SDK) ---
+
+// remoteFlags returns a flag set pre-populated with the flags every remote
+// subcommand shares.
+func remoteFlags(name string) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	url := fs.String("url", "", "base URL of a running flowerd control plane (required)")
+	return fs, url
+}
+
+func dial(url string) *client.Client {
+	if url == "" {
+		log.Fatal("-url is required for remote commands")
+	}
+	return client.New(url)
+}
+
+func cmdCreate(args []string) {
+	fs, url := remoteFlags("create")
+	id := fs.String("id", "", "flow id (default: the spec's name)")
+	specPath := fs.String("spec", "", "JSON flow definition to register (default: built-in click-stream flow)")
+	peak := fs.Float64("peak", 3000, "peak click rate for the built-in flow (records/s)")
+	step := fs.Duration("step", 0, "simulation tick (0: server default)")
+	seed := fs.Int64("seed", 0, "simulation seed")
+	pace := fs.Float64("pace", 0, "start pacing at this many simulated seconds per wall second")
+	fs.Parse(args)
+
+	req := apiv1.CreateFlowRequest{ID: *id, Seed: *seed, Pace: *pace}
+	if *specPath != "" {
+		spec := load([]string{*specPath})
+		req.Spec = &spec
+	} else {
+		req.Peak = *peak
+	}
+	if *step > 0 {
+		req.Step = step.String()
+	}
+	f, err := dial(*url).CreateFlow(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created flow %q (name %q, paced=%v)\n", f.ID, f.Name, f.Paced)
+}
+
+func cmdList(args []string) {
+	fs, url := remoteFlags("list")
+	fs.Parse(args)
+	flows, err := dial(*url).ListFlows(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s %-20s %8s %6s %s\n", "ID", "SIM TIME", "TICKS", "PACE", "ELAPSED")
+	for _, f := range flows {
+		pace := "-"
+		if f.Paced {
+			pace = fmt.Sprintf("%.0f", f.Pace)
+		}
+		fmt.Printf("%-24s %-20s %8d %6s %s\n",
+			f.ID, f.SimTime.Format("2006-01-02 15:04:05"), f.Ticks, pace, f.Elapsed)
+	}
+}
+
+// flowArg extracts the required -flow value.
+func flowArg(fs *flag.FlagSet) *string {
+	return fs.String("flow", "", "flow id (required)")
+}
+
+func needFlow(id string) string {
+	if id == "" {
+		log.Fatal("-flow is required")
+	}
+	return id
+}
+
+func cmdStatus(args []string) {
+	fs, url := remoteFlags("status")
+	id := flowArg(fs)
+	fs.Parse(args)
+	st, err := dial(*url).Status(context.Background(), needFlow(*id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flow %q: sim time %s (elapsed %s, %d ticks)\n",
+		st.Flow, st.SimTime.Format("2006-01-02 15:04:05"), st.Elapsed, st.Ticks)
+	fmt.Printf("  offered %d records (rejected %d), violation rate %.2f%%\n",
+		st.Offered, st.Rejected, 100*st.ViolationRate)
+	fmt.Printf("  cost $%.4f (peak run rate $%.4f/h)\n", st.TotalCost, st.PeakRunRate)
+	fmt.Printf("  allocation: %d shards, %d VMs, %.0f WCU, %.0f RCU\n",
+		st.Allocation.Shards, st.Allocation.VMs, st.Allocation.WCU, st.Allocation.RCU)
+}
+
+func cmdAdvance(args []string) {
+	fs, url := remoteFlags("advance")
+	id := flowArg(fs)
+	d := fs.Duration("d", 10*time.Minute, "simulated duration to advance")
+	fs.Parse(args)
+	res, err := dial(*url).Advance(context.Background(), needFlow(*id), *d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advanced %s: %d ticks total, violation rate %.2f%%, cost $%.4f\n",
+		res.Advanced, res.Ticks, 100*res.ViolationRate, res.TotalCost)
+}
+
+func cmdTune(args []string) {
+	fs, url := remoteFlags("tune")
+	id := flowArg(fs)
+	layer := fs.String("layer", "", "layer kind: ingestion, analytics, storage, storage-reads (required)")
+	ref := fs.Float64("ref", 0, "target utilisation percent (0: unchanged)")
+	window := fs.Duration("window", 0, "monitoring window (0: unchanged)")
+	deadBand := fs.Float64("dead-band", -1, "dead band percent (-1: unchanged)")
+	fs.Parse(args)
+	if *layer == "" {
+		log.Fatal("-layer is required")
+	}
+	var req apiv1.TuneRequest
+	if *ref > 0 {
+		req.Ref = ref
+	}
+	if *window > 0 {
+		w := window.String()
+		req.Window = &w
+	}
+	if *deadBand >= 0 {
+		req.DeadBand = deadBand
+	}
+	ctrl, err := dial(*url).TuneController(context.Background(), needFlow(*id), *layer, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s controller: type=%s ref=%.0f%% window=%s dead_band=%.1f (%d actions)\n",
+		*layer, ctrl.Type, ctrl.Ref, ctrl.Window, ctrl.DeadBand, ctrl.Actions)
+}
+
+func cmdDelete(args []string) {
+	fs, url := remoteFlags("delete")
+	id := flowArg(fs)
+	fs.Parse(args)
+	if err := dial(*url).DeleteFlow(context.Background(), needFlow(*id)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted flow %q\n", *id)
 }

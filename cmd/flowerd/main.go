@@ -1,21 +1,28 @@
-// Command flowerd runs a Flower-managed data analytics flow: it
-// materialises a flow definition (a JSON file written by cmd/flowctl, or
-// the built-in click-stream default), drives it for the requested
-// simulated duration under elasticity management, and reports the outcome
-// plus the consolidated dashboard — the command-line equivalent of the
-// demo's "run the service ... and observe its performance live" (§4).
+// Command flowerd runs Flower-managed data analytics flows: it
+// materialises flow definitions (JSON files written by cmd/flowctl, or the
+// built-in click-stream default), drives them under elasticity management,
+// and reports the outcome plus the consolidated dashboard — the
+// command-line equivalent of the demo's "run the service ... and observe
+// its performance live" (§4).
 //
 // Usage:
 //
 //	flowerd [-spec flow.json] [-for 2h] [-step 10s] [-seed 1] [-peak 3000] [-csv out.csv]
-//	flowerd -http :8080 [-pace 60]    serve the control plane + dashboard
+//	flowerd -http :8080 [-pace 60] [-spec a.json -spec b.json] [-flows 4]
 //
-// With -http, flowerd serves the HTTP control plane (internal/httpapi): a
-// JSON API (flow definition, live status, per-layer controller tuning,
-// metric queries, dependency analysis, POST /api/advance) and an HTML
-// dashboard at /. The -pace flag advances simulated time continuously at
-// that many simulated seconds per wall second; with -pace 0 time only
-// moves through POST /api/advance.
+// With -http, flowerd serves the multi-flow v1 control plane
+// (internal/httpapi): the /v1/flows collection, per-flow status, controller
+// tuning, paginated metric queries, dependency analysis, advance and
+// pacing, plus per-flow HTML dashboards. -spec may repeat to serve several
+// flows at once, and -flows N serves N independently-seeded replicas of the
+// built-in flow; more flows can be created at runtime with POST /v1/flows
+// (see API.md, or use the repro/client SDK / flowctl's remote
+// subcommands). The -pace flag advances every initial flow's simulated time
+// continuously at that many simulated seconds per wall second; with
+// -pace 0, time only moves through POST /v1/flows/{id}/advance.
+//
+// Without -http, flowerd performs a single-flow batch run and prints the
+// summary and dashboard.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/httpapi"
 	"repro/internal/persist"
+	"repro/internal/registry"
 	"repro/internal/sim"
 
 	flower "repro"
@@ -40,31 +48,55 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowerd: ")
 
-	specPath := flag.String("spec", "", "path to a JSON flow definition (default: built-in click-stream flow)")
-	duration := flag.Duration("for", 2*time.Hour, "simulated duration to run")
+	var specPaths []string
+	flag.Func("spec", "path to a JSON flow definition (repeatable with -http; default: built-in click-stream flow)",
+		func(v string) error { specPaths = append(specPaths, v); return nil })
+	duration := flag.Duration("for", 2*time.Hour, "simulated duration to run (batch mode)")
 	step := flag.Duration("step", 10*time.Second, "simulation tick")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	peak := flag.Float64("peak", 3000, "peak click rate for the built-in flow (records/s)")
-	csvPath := flag.String("csv", "", "export the full metric history to this CSV file")
-	window := flag.Duration("window", 30*time.Minute, "dashboard window")
+	csvPath := flag.String("csv", "", "export the full metric history to this CSV file (batch mode)")
+	window := flag.Duration("window", 30*time.Minute, "dashboard window (batch mode)")
 	httpAddr := flag.String("http", "", "serve the HTTP control plane on this address instead of a batch run")
 	pace := flag.Float64("pace", 60, "with -http: simulated seconds advanced per wall second (0 = manual)")
-	journalPath := flag.String("journal", "", "append every metric datapoint to this journal file (replayable with flowmon -replay)")
+	replicas := flag.Int("flows", 1, "with -http and no -spec: serve this many independently-seeded replicas of the built-in flow")
+	journalPath := flag.String("journal", "", "append the default flow's metric datapoints to this journal file (replayable with flowmon -replay)")
 	flag.Parse()
 
+	loadSpec := func(path string) flower.Spec {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("read spec: %v", err)
+		}
+		spec, err := flower.DecodeSpec(data)
+		if err != nil {
+			log.Fatalf("flow definition %s: %v", path, err)
+		}
+		return spec
+	}
+
+	if *httpAddr != "" {
+		serveHTTP(*httpAddr, serveConfig{
+			specPaths: specPaths, loadSpec: loadSpec,
+			peak: *peak, step: *step, seed: *seed, pace: *pace,
+			replicas: *replicas, journalPath: *journalPath,
+		})
+		return
+	}
+
+	// Batch mode: one flow, run to completion.
 	var spec flower.Spec
 	var err error
-	if *specPath != "" {
-		data, readErr := os.ReadFile(*specPath)
-		if readErr != nil {
-			log.Fatalf("read spec: %v", readErr)
-		}
-		spec, err = flower.DecodeSpec(data)
-	} else {
+	switch len(specPaths) {
+	case 0:
 		spec, err = flower.DefaultClickstream(*peak)
-	}
-	if err != nil {
-		log.Fatalf("flow definition: %v", err)
+		if err != nil {
+			log.Fatalf("flow definition: %v", err)
+		}
+	case 1:
+		spec = loadSpec(specPaths[0])
+	default:
+		log.Fatalf("batch mode manages one flow; %d -spec flags given (use -http for many)", len(specPaths))
 	}
 
 	mgr, err := flower.New(spec, sim.Options{Step: *step, Seed: *seed})
@@ -85,33 +117,6 @@ func main() {
 				fmt.Printf("\n%d datapoints journaled to %s\n", j.Records(), *journalPath)
 			}
 		}()
-	}
-
-	if *httpAddr != "" {
-		srv := httpapi.NewServer(mgr)
-		if *pace > 0 {
-			srv.StartPacing(*pace, 250*time.Millisecond)
-			defer srv.StopPacing()
-		}
-		fmt.Printf("flower: serving flow %q on %s (pace %.0f sim-s per wall-s)\n", spec.Name, *httpAddr, *pace)
-		fmt.Printf("  dashboard:  http://%s/\n  api:        http://%s/api/status\n", *httpAddr, *httpAddr)
-
-		httpSrv := &http.Server{Addr: *httpAddr, Handler: srv}
-		// Serve until interrupted; a clean shutdown lets the deferred
-		// journal close and pacer stop run, so no recorded datapoints are
-		// lost on ctrl-c.
-		errCh := make(chan error, 1)
-		go func() { errCh <- httpSrv.ListenAndServe() }()
-		sigCh := make(chan os.Signal, 1)
-		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-		select {
-		case err := <-errCh:
-			log.Printf("serve: %v", err)
-		case sig := <-sigCh:
-			fmt.Printf("\nflower: %v — shutting down\n", sig)
-			httpSrv.Close()
-		}
-		return
 	}
 
 	fmt.Printf("flower: managing flow %q for %v (step %v, seed %d)\n", spec.Name, *duration, *step, *seed)
@@ -152,5 +157,102 @@ func main() {
 			log.Fatalf("csv: %v", err)
 		}
 		fmt.Printf("\nmetric history written to %s\n", *csvPath)
+	}
+}
+
+type serveConfig struct {
+	specPaths   []string
+	loadSpec    func(string) flower.Spec
+	peak        float64
+	step        time.Duration
+	seed        int64
+	pace        float64
+	replicas    int
+	journalPath string
+}
+
+// serveHTTP registers the initial flows and serves the v1 control plane
+// until interrupted.
+func serveHTTP(addr string, cfg serveConfig) {
+	reg := registry.New()
+	defer reg.Close()
+
+	var specs []flower.Spec
+	for _, path := range cfg.specPaths {
+		specs = append(specs, cfg.loadSpec(path))
+	}
+	if len(specs) == 0 {
+		base, err := flower.DefaultClickstream(cfg.peak)
+		if err != nil {
+			log.Fatalf("flow definition: %v", err)
+		}
+		if cfg.replicas <= 1 {
+			specs = append(specs, base)
+		} else {
+			for i := 1; i <= cfg.replicas; i++ {
+				s := base
+				s.Name = fmt.Sprintf("%s-%d", base.Name, i)
+				specs = append(specs, s)
+			}
+		}
+	}
+
+	defaultID := ""
+	for i, spec := range specs {
+		f, err := reg.Create(spec.Name, spec, sim.Options{Step: cfg.step, Seed: cfg.seed + int64(i)})
+		if err != nil {
+			log.Fatalf("register flow %q: %v", spec.Name, err)
+		}
+		if defaultID == "" {
+			defaultID = f.ID()
+		}
+		if cfg.pace > 0 {
+			if err := f.StartPacing(cfg.pace, 250*time.Millisecond); err != nil {
+				log.Fatalf("pace flow %q: %v", f.ID(), err)
+			}
+		}
+	}
+
+	if cfg.journalPath != "" {
+		j, err := persist.OpenFileJournal(cfg.journalPath)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		if f, ok := reg.Get(defaultID); ok {
+			f.View(func(m *flower.Manager) { j.Attach(m.Store()) })
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			} else {
+				fmt.Printf("\n%d datapoints journaled to %s\n", j.Records(), cfg.journalPath)
+			}
+		}()
+	}
+
+	srv := httpapi.NewServer(reg,
+		httpapi.WithDefaultFlow(defaultID),
+		httpapi.WithLogger(log.New(os.Stderr, "flowerd: http: ", 0)))
+
+	fmt.Printf("flower: serving %d flows on %s (pace %.0f sim-s per wall-s)\n", reg.Len(), addr, cfg.pace)
+	for _, f := range reg.List() {
+		fmt.Printf("  flow %-24s dashboard http://%s/v1/flows/%s/dashboard\n", f.ID(), addr, f.ID())
+	}
+	fmt.Printf("  api:        http://%s/v1/flows\n  dashboard:  http://%s/\n", addr, addr)
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	// Serve until interrupted; a clean shutdown lets the deferred journal
+	// close and pacer stops run, so no recorded datapoints are lost on
+	// ctrl-c.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Printf("serve: %v", err)
+	case sig := <-sigCh:
+		fmt.Printf("\nflower: %v — shutting down\n", sig)
+		httpSrv.Close()
 	}
 }

@@ -7,19 +7,27 @@
 //
 //	flowmon [-spec flow.json] [-for 1h] [-window 30m] [-csv out.csv]
 //	flowmon -replay metrics.jsonl [-window 30m]   render from a recorded journal
+//	flowmon -url http://host:8080 -flow web       render a live remote flow
 //
 // With -replay, flowmon renders the dashboard from a metric journal
 // recorded by `flowerd -journal` (internal/persist) instead of running a
 // simulation — monitoring a run after the fact, CloudWatch-style.
+//
+// With -url, flowmon fetches the named flow's consolidated snapshot from a
+// running flowerd control plane through the repro/client SDK and renders
+// it, so any flow of a multi-flow daemon can be watched from another
+// machine.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"repro/client"
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
 	"repro/internal/persist"
@@ -38,7 +46,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvPath := flag.String("csv", "", "export the metric history to this CSV file")
 	replayPath := flag.String("replay", "", "render from this metric journal instead of running a simulation")
+	baseURL := flag.String("url", "", "render a flow served by this flowerd control plane instead of running a simulation")
+	flowID := flag.String("flow", "", "with -url: the remote flow id")
 	flag.Parse()
+
+	if *baseURL != "" {
+		if *flowID == "" {
+			log.Fatal("-flow is required with -url")
+		}
+		snap, err := client.New(*baseURL).Snapshot(context.Background(), *flowID, *window)
+		if err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		fmt.Printf("flow %q on %s\n\n", *flowID, *baseURL)
+		if err := monitor.Render(os.Stdout, snap); err != nil {
+			log.Fatalf("dashboard: %v", err)
+		}
+		return
+	}
 
 	if *replayPath != "" {
 		store := metricstore.NewStore()

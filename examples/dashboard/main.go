@@ -1,7 +1,8 @@
-// The dashboard example drives Flower's HTTP control plane — the
-// programmatic form of the demo's three steps (§4): build a flow, run it
-// under management, watch it through the all-in-one-place view, and tune a
-// controller live.
+// The dashboard example drives Flower's v1 HTTP control plane — the
+// programmatic form of the demo's three steps (§4): build flows, run them
+// under management, watch them through the all-in-one-place view, and tune
+// a controller live. It serves two flows from one process and drives both
+// through the typed Go SDK (repro/client).
 //
 // By default it runs a scripted session against an in-process server and
 // exits. Pass -serve to keep the server up for a browser:
@@ -11,18 +12,19 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
 	"time"
 
-	"repro/internal/core"
+	apiv1 "repro/api/v1"
+	"repro/client"
 	"repro/internal/httpapi"
+	"repro/internal/registry"
 	"repro/internal/sim"
 
 	flower "repro"
@@ -34,25 +36,34 @@ func main() {
 	serve := flag.Bool("serve", false, "keep serving on :8080 for a browser (pace 60 sim-s/s)")
 	flag.Parse()
 
-	// Step 1 — Flow Builder: the paper's click-stream flow.
-	spec, err := flower.DefaultClickstream(3000)
-	if err != nil {
-		log.Fatal(err)
+	// Step 1 — Flow Builder: two click-stream flows of different sizes,
+	// registered in one control plane.
+	reg := registry.New()
+	defer reg.Close()
+	for i, peak := range []float64{3000, 1200} {
+		spec, err := flower.DefaultClickstream(peak)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Name = fmt.Sprintf("clicks-%d", i+1)
+		f, err := reg.Create(spec.Name, spec, sim.Options{Step: 10 * time.Second, Seed: int64(7 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *serve {
+			if err := f.StartPacing(60, 250*time.Millisecond); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
-	mgr, err := core.NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 7})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := httpapi.NewServer(mgr)
+	srv := httpapi.NewServer(reg, httpapi.WithDefaultFlow("clicks-1"))
 
 	if *serve {
-		srv.StartPacing(60, 250*time.Millisecond)
-		defer srv.StopPacing()
 		fmt.Println("serving on http://127.0.0.1:8080/ — ctrl-c to stop")
 		log.Fatal(http.ListenAndServe("127.0.0.1:8080", srv))
 	}
 
-	// Scripted session over a real TCP socket.
+	// Scripted session over a real TCP socket, through the SDK.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -60,71 +71,71 @@ func main() {
 	httpSrv := &http.Server{Handler: srv}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	base := "http://" + ln.Addr().String()
 
-	// Step 2 — run the flow for two simulated hours.
-	post(base+"/api/advance?d=2h", "")
-	fmt.Println("== status after 2 simulated hours ==")
-	fmt.Println(get(base + "/api/status"))
+	ctx := context.Background()
+	c := client.New("http://" + ln.Addr().String())
+
+	// Step 2 — run both flows for two simulated hours, independently.
+	for _, id := range []string{"clicks-1", "clicks-2"} {
+		if _, err := c.Advance(ctx, id, 2*time.Hour); err != nil {
+			log.Fatal(err)
+		}
+	}
+	flows, err := c.ListFlows(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== flows after 2 simulated hours ==")
+	for _, f := range flows {
+		st, err := c.Status(ctx, f.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d ticks, %d records, cost $%.4f, violations %.2f%%\n",
+			f.ID, st.Ticks, st.Offered, st.TotalCost, 100*st.ViolationRate)
+	}
 
 	// Step 3 — Controller Performance Monitor: inspect the layers...
-	fmt.Println("== layers ==")
-	fmt.Println(get(base + "/api/layers"))
+	layers, err := c.Layers(ctx, "clicks-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== clicks-1 layers ==")
+	for _, l := range layers {
+		fmt.Printf("%-10s %4.0f %-7s util %.1f%% (controller %s)\n",
+			l.Kind, l.Allocation, l.Resource, l.Utilization, l.Controller.Type)
+	}
 
 	// ...tune the analytics controller live ("adjust parameters of the
 	// controllers, such as elasticity speed, monitoring period")...
-	fmt.Println("== tune analytics controller: ref 70%, window 4m ==")
-	fmt.Println(post(base+"/api/layers/analytics/controller", `{"ref": 70, "window": "4m"}`))
+	ref, window := 70.0, "4m"
+	ctrl, err := c.TuneController(ctx, "clicks-1", "analytics",
+		apiv1.TuneRequest{Ref: &ref, Window: &window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== tuned analytics controller: ref %.0f%%, window %s ==\n", ctrl.Ref, ctrl.Window)
 
 	// ...and keep running under the new settings.
-	post(base+"/api/advance?d=1h", "")
+	if _, err := c.Advance(ctx, "clicks-1", time.Hour); err != nil {
+		log.Fatal(err)
+	}
 
 	// The learned Eq. 1 dependencies, from the same API.
+	deps, err := c.Dependencies(ctx, "clicks-1")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== learned dependencies ==")
-	fmt.Println(get(base + "/api/dependencies"))
+	for _, d := range deps {
+		fmt.Printf("%s\n", d.Equation)
+	}
 
-	// The HTML dashboard is one GET away.
-	page := get(base + "/")
-	fmt.Printf("== dashboard page: %d bytes of HTML, %d sparklines ==\n",
+	// The HTML dashboard is one GET away, per flow.
+	page, err := c.Dashboard(ctx, "clicks-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== clicks-2 dashboard page: %d bytes of HTML, %d sparklines ==\n",
 		len(page), strings.Count(page, "<svg"))
-}
-
-func get(url string) string {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	return readBody(resp)
-}
-
-func post(url, body string) string {
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	return readBody(resp)
-}
-
-func readBody(resp *http.Response) string {
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s: %s", resp.Status, data)
-	}
-	// Compact JSON for terminal readability; HTML passes through.
-	var buf map[string]any
-	if json.Unmarshal(data, &buf) == nil {
-		out, _ := json.Marshal(buf)
-		return string(out)
-	}
-	var arr []any
-	if json.Unmarshal(data, &arr) == nil {
-		out, _ := json.Marshal(arr)
-		return string(out)
-	}
-	return string(data)
 }

@@ -12,8 +12,10 @@
 // all platforms' metrics in one monitoring view.
 //
 // The cloud substrates are simulated (this module is offline and
-// stdlib-only); see DESIGN.md for the substitution table and EXPERIMENTS.md
-// for the reproduced figures.
+// stdlib-only). Many flows can be managed concurrently by one process
+// through a Registry, which backs the versioned HTTP control plane served
+// by cmd/flowerd (see API.md for the v1 REST routes and repro/client for
+// the typed Go SDK).
 //
 // Quickstart:
 //
@@ -33,12 +35,22 @@ import (
 	"repro/internal/flow"
 	"repro/internal/monitor"
 	"repro/internal/nsga2"
+	"repro/internal/registry"
 	"repro/internal/share"
 	"repro/internal/sim"
 )
 
 // Manager is a Flower instance managing one flow; see core.Manager.
 type Manager = core.Manager
+
+// Registry is a concurrency-safe collection of named managed flows — the
+// multi-tenant layer underneath the v1 HTTP control plane; see
+// registry.Registry.
+type Registry = registry.Registry
+
+// ManagedFlow is one registered flow: a Manager plus its own lock and
+// wall-clock pacer; see registry.Flow.
+type ManagedFlow = registry.Flow
 
 // Options tunes the simulation harness underneath a manager.
 type Options = sim.Options
@@ -102,6 +114,9 @@ type (
 func New(spec Spec, opts Options) (*Manager, error) {
 	return core.NewManager(spec, opts)
 }
+
+// NewRegistry returns an empty flow registry.
+func NewRegistry() *Registry { return registry.New() }
 
 // NewBuilder starts a flow definition.
 func NewBuilder(name string) *Builder { return flow.NewBuilder(name) }

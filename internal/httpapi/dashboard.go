@@ -7,7 +7,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/metricstore"
+	"repro/internal/registry"
 	"repro/internal/timeseries"
 )
 
@@ -15,7 +18,9 @@ import (
 // every platform's measures in one place — the all-in-one-place visualizer
 // of §3.4 without the drag-and-drop front end. Sparklines are inline SVG
 // rendered from the last dashboard window; the page refreshes itself so a
-// paced run can be watched live.
+// paced run can be watched live. Every flow has its own dashboard at
+// /v1/flows/{id}/dashboard; the root serves the default flow's, or an
+// index of all flows when no single default exists.
 
 var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
 <html lang="en">
@@ -64,7 +69,37 @@ cost ${{printf "%.4f" .TotalCost}} · violation rate {{printf "%.2f" .ViolationP
 {{end}}
 </table>
 {{if .Alarms}}<h2 class="viol">Alarms</h2><ul>{{range .Alarms}}<li class="viol">{{.}}</li>{{end}}</ul>{{end}}
-<p class="muted">POST /api/advance?d=10m to move simulated time · GET /api/status for JSON</p>
+<p class="muted">POST /v1/flows/{{.ID}}/advance?d=10m to move simulated time ·
+GET /v1/flows/{{.ID}}/status for JSON · <a href="/">all flows</a></p>
+</body>
+</html>
+`))
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="3">
+<title>Flower — flows</title>
+<style>
+  body { font-family: -apple-system, system-ui, sans-serif; margin: 2rem; background: #fafafa; color: #222; }
+  h1 { font-size: 1.4rem; }
+  table { border-collapse: collapse; background: #fff; }
+  th, td { border: 1px solid #ddd; padding: .3rem .6rem; font-size: .9rem; text-align: right; }
+  th:first-child, td:first-child { text-align: left; }
+  .muted { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>Flower — {{len .Flows}} managed flows</h1>
+<table>
+<tr><th>flow</th><th>sim time</th><th>ticks</th><th>pace</th></tr>
+{{range .Flows}}
+<tr><td><a href="/v1/flows/{{.ID}}/dashboard">{{.ID}}</a></td>
+<td>{{.SimTime}}</td><td>{{.Ticks}}</td><td>{{.Pace}}</td></tr>
+{{end}}
+</table>
+<p class="muted">POST /v1/flows to create a flow · GET /v1/flows for JSON</p>
 </body>
 </html>
 `))
@@ -93,6 +128,7 @@ type dashboardRow struct {
 }
 
 type dashboardData struct {
+	ID           string
 	Flow         string
 	SimTime      string
 	Elapsed      string
@@ -103,6 +139,19 @@ type dashboardData struct {
 	Layers       []dashboardLayer
 	Rows         []dashboardRow
 	Alarms       []string
+}
+
+// sparkValues resamples a stored metric's trailing window for a sparkline;
+// a metric with no datapoints yet (fresh flow) yields nil.
+func sparkValues(store *metricstore.Store, ns, metric string, dims map[string]string,
+	now time.Time, window time.Duration) []float64 {
+	raw := store.Raw(ns, metric, dims)
+	if raw == nil {
+		return nil
+	}
+	return raw.Between(now.Add(-window), now.Add(time.Nanosecond)).
+		Resample(time.Minute, timeseries.AggMean).
+		Values()
 }
 
 // sparkSVG renders values as a small inline SVG polyline.
@@ -134,7 +183,35 @@ func sparkSVG(vals []float64, w, h int) template.HTML {
 	return template.HTML(svg)
 }
 
-func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+// handleRoot serves the default flow's dashboard, falling back to the flow
+// index when no single default flow exists.
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if f, err := s.defaultFlow(); err == nil {
+		s.handleDashboard(w, r, f)
+		return
+	}
+	flows := s.reg.List()
+	type row struct {
+		ID      string
+		SimTime string
+		Ticks   int
+		Pace    float64
+	}
+	data := struct{ Flows []row }{}
+	for _, f := range flows {
+		ro := row{ID: f.ID()}
+		f.View(func(m *core.Manager) {
+			ro.SimTime = m.Harness().Clock.Now().Format("2006-01-02 15:04:05")
+			ro.Ticks = m.Harness().Result().Ticks
+		})
+		ro.Pace, _, _ = f.Pacing()
+		data.Flows = append(data.Flows, ro)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, data)
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
 	window := 30 * time.Minute
 	if raw := r.URL.Query().Get("window"); raw != "" {
 		if d, err := time.ParseDuration(raw); err == nil && d > 0 {
@@ -142,88 +219,82 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.Lock()
-	h := s.mgr.Harness()
-	spec := s.mgr.Spec()
-	res := h.Result()
-	now := h.Clock.Now()
-	snap := s.mgr.Snapshot(window)
+	var data dashboardData
+	f.View(func(m *core.Manager) {
+		h := m.Harness()
+		spec := m.Spec()
+		res := h.Result()
+		now := h.Clock.Now()
+		snap := m.Snapshot(window)
 
-	data := dashboardData{
-		Flow:         spec.Name,
-		SimTime:      now.Format("2006-01-02 15:04:05"),
-		Elapsed:      h.Clock.Elapsed().String(),
-		Ticks:        res.Ticks,
-		TotalCost:    res.TotalCost,
-		ViolationPct: 100 * res.ViolationRate,
-		Window:       window.String(),
-		Alarms:       snap.Alarms,
-	}
-	for _, l := range spec.Layers {
-		dl := dashboardLayer{
-			Kind: l.Kind, System: l.System, Resource: l.Resource,
-			Violations: res.Violations[l.Kind],
+		data = dashboardData{
+			ID:           f.ID(),
+			Flow:         spec.Name,
+			SimTime:      now.Format("2006-01-02 15:04:05"),
+			Elapsed:      h.Clock.Elapsed().String(),
+			Ticks:        res.Ticks,
+			TotalCost:    res.TotalCost,
+			ViolationPct: 100 * res.ViolationRate,
+			Window:       window.String(),
+			Alarms:       snap.Alarms,
 		}
-		switch l.Kind {
-		case flow.Ingestion:
-			dl.Allocation = fmt.Sprintf("%d", h.Stream.ShardCount())
-		case flow.Analytics:
-			dl.Allocation = fmt.Sprintf("%d", h.Cluster.VMCount())
-		case flow.Storage:
-			dl.Allocation = fmt.Sprintf("%.0f", h.Table.WCU())
+		for _, l := range spec.Layers {
+			dl := dashboardLayer{
+				Kind: l.Kind, System: l.System, Resource: l.Resource,
+				Violations: res.Violations[l.Kind],
+			}
+			switch l.Kind {
+			case flow.Ingestion:
+				dl.Allocation = fmt.Sprintf("%d", h.Stream.ShardCount())
+			case flow.Analytics:
+				dl.Allocation = fmt.Sprintf("%d", h.Cluster.VMCount())
+			case flow.Storage:
+				dl.Allocation = fmt.Sprintf("%.0f", h.Table.WCU())
+			}
+			if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
+				if p, ok := h.Store.Latest(ns, metric, dims); ok {
+					dl.Utilization = p.V
+				}
+				dl.Spark = sparkSVG(sparkValues(h.Store, ns, metric, dims, now, window), 120, 24)
+			}
+			if loop, ok := h.Loops[l.Kind]; ok {
+				dl.Controller = loop.Controller().Name()
+				dl.Ref = loop.Ref()
+				dl.Window = loop.Window().String()
+				dl.Actions = loop.Actions()
+			}
+			data.Layers = append(data.Layers, dl)
 		}
-		if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
+		if spec.Dashboard.Enabled {
+			dl := dashboardLayer{
+				Kind: flow.StorageReads, System: "dynamodb-sim", Resource: "rcu",
+				Allocation: fmt.Sprintf("%.0f", h.Table.RCU()),
+				Violations: res.Violations[flow.StorageReads],
+			}
+			ns, metric, dims := layerMetric(flow.StorageReads, spec.Name)
 			if p, ok := h.Store.Latest(ns, metric, dims); ok {
 				dl.Utilization = p.V
 			}
-			series := h.Store.Raw(ns, metric, dims).
-				Between(now.Add(-window), now.Add(time.Nanosecond)).
-				Resample(time.Minute, timeseries.AggMean)
-			dl.Spark = sparkSVG(series.Values(), 120, 24)
+			dl.Spark = sparkSVG(sparkValues(h.Store, ns, metric, dims, now, window), 120, 24)
+			if loop, ok := h.Loops[flow.StorageReads]; ok {
+				dl.Controller = loop.Controller().Name()
+				dl.Ref = loop.Ref()
+				dl.Window = loop.Window().String()
+				dl.Actions = loop.Actions()
+			}
+			data.Layers = append(data.Layers, dl)
 		}
-		if loop, ok := h.Loops[l.Kind]; ok {
-			dl.Controller = loop.Controller().Name()
-			dl.Ref = loop.Ref()
-			dl.Window = loop.Window().String()
-			dl.Actions = loop.Actions()
+		for _, section := range snap.Sections {
+			for _, m := range section.Metrics {
+				vals := sparkValues(h.Store, m.ID.Namespace, m.ID.Name, m.ID.Dimensions, now, window)
+				data.Rows = append(data.Rows, dashboardRow{
+					Name: m.ID.String(),
+					Last: m.Last, Mean: m.Mean, Min: m.Min, Max: m.Max,
+					Spark: sparkSVG(vals, 120, 18),
+				})
+			}
 		}
-		data.Layers = append(data.Layers, dl)
-	}
-	if spec.Dashboard.Enabled {
-		dl := dashboardLayer{
-			Kind: flow.StorageReads, System: "dynamodb-sim", Resource: "rcu",
-			Allocation: fmt.Sprintf("%.0f", h.Table.RCU()),
-			Violations: res.Violations[flow.StorageReads],
-		}
-		dims := map[string]string{"TableName": spec.Name}
-		if p, ok := h.Store.Latest("Storage/KVStore", "ReadUtilization", dims); ok {
-			dl.Utilization = p.V
-		}
-		series := h.Store.Raw("Storage/KVStore", "ReadUtilization", dims).
-			Between(now.Add(-window), now.Add(time.Nanosecond)).
-			Resample(time.Minute, timeseries.AggMean)
-		dl.Spark = sparkSVG(series.Values(), 120, 24)
-		if loop, ok := h.Loops[flow.StorageReads]; ok {
-			dl.Controller = loop.Controller().Name()
-			dl.Ref = loop.Ref()
-			dl.Window = loop.Window().String()
-			dl.Actions = loop.Actions()
-		}
-		data.Layers = append(data.Layers, dl)
-	}
-	for _, section := range snap.Sections {
-		for _, m := range section.Metrics {
-			series := h.Store.Raw(m.ID.Namespace, m.ID.Name, m.ID.Dimensions).
-				Between(now.Add(-window), now.Add(time.Nanosecond)).
-				Resample(time.Minute, timeseries.AggMean)
-			data.Rows = append(data.Rows, dashboardRow{
-				Name: m.ID.String(),
-				Last: m.Last, Mean: m.Mean, Min: m.Min, Max: m.Max,
-				Spark: sparkSVG(series.Values(), 120, 18),
-			})
-		}
-	}
-	s.mu.Unlock()
+	})
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if err := dashboardTmpl.Execute(w, data); err != nil {

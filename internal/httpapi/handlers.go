@@ -2,98 +2,173 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	apiv1 "repro/api/v1"
 	"repro/internal/compute"
 	"repro/internal/control"
+	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/kvstore"
 	"repro/internal/metricstore"
+	"repro/internal/monitor"
+	"repro/internal/registry"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/timeseries"
 )
 
-// handleFlow serves the flow definition.
-func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	spec := s.mgr.Spec()
-	s.mu.Unlock()
+// maxAdvance bounds one advance request (a simulated year).
+const maxAdvance = 24 * 365 * time.Hour
+
+// defaultWallTick is the pacer granularity when a pace request names none.
+const defaultWallTick = 250 * time.Millisecond
+
+// --- flow collection ---
+
+func (s *Server) handleCreateFlow(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.CreateFlowRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid body: %v", err)
+		return
+	}
+
+	var spec flow.Spec
+	switch {
+	case req.Spec != nil:
+		spec = *req.Spec
+		if err := spec.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid spec: %v", err)
+			return
+		}
+	default:
+		peak := req.Peak
+		if peak <= 0 {
+			peak = 3000
+		}
+		var err error
+		if spec, err = flow.DefaultClickstream(peak); err != nil {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "default flow: %v", err)
+			return
+		}
+	}
+
+	opts := sim.Options{Seed: req.Seed}
+	if req.Step != "" {
+		d, err := time.ParseDuration(req.Step)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid step %q", req.Step)
+			return
+		}
+		opts.Step = d
+	}
+	if req.Pace < 0 {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "negative pace %v", req.Pace)
+		return
+	}
+
+	id := req.ID
+	if id == "" {
+		id = spec.Name
+	}
+	f, err := s.reg.Create(id, spec, opts)
+	switch {
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, apiv1.CodeConflict, "%v", err)
+		return
+	case errors.Is(err, registry.ErrBadID):
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "materialise: %v", err)
+		return
+	}
+	if req.Pace > 0 {
+		if err := f.StartPacing(req.Pace, defaultWallTick); err != nil {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, flowSummary(f))
+}
+
+func (s *Server) handleListFlows(w http.ResponseWriter, r *http.Request) {
+	flows := s.reg.List()
+	out := apiv1.FlowList{Flows: make([]apiv1.FlowSummary, 0, len(flows)), Count: len(flows)}
+	for _, f := range flows {
+		out.Flows = append(out.Flows, flowSummary(f))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetFlow(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	detail := apiv1.FlowDetail{FlowSummary: flowSummary(f)}
+	f.View(func(m *core.Manager) { detail.Spec = m.Spec() })
+	writeJSON(w, http.StatusOK, detail)
+}
+
+// handleLegacySpec serves the old single-flow server's GET /api/flow
+// response: the bare flow definition, not the v1 detail wrapper.
+func (s *Server) handleLegacySpec(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var spec flow.Spec
+	f.View(func(m *core.Manager) { spec = m.Spec() })
 	writeJSON(w, http.StatusOK, spec)
 }
 
-// statusResponse is the live run summary.
-type statusResponse struct {
-	Flow          string             `json:"flow"`
-	SimTime       time.Time          `json:"sim_time"`
-	Elapsed       string             `json:"elapsed"`
-	Ticks         int                `json:"ticks"`
-	Offered       int64              `json:"offered_records"`
-	Rejected      int64              `json:"rejected_records"`
-	ViolationRate float64            `json:"violation_rate"`
-	TotalCost     float64            `json:"total_cost_usd"`
-	PeakRunRate   float64            `json:"peak_run_rate_usd_per_h"`
-	Allocation    allocationResponse `json:"allocation"`
+func (s *Server) handleDeleteFlow(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.reg.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
-type allocationResponse struct {
-	Shards int     `json:"shards"`
-	VMs    int     `json:"vms"`
-	WCU    float64 `json:"wcu"`
-	RCU    float64 `json:"rcu"`
-}
-
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	h := s.mgr.Harness()
-	res := h.Result()
-	now := h.Clock.Now()
-	elapsed := h.Clock.Elapsed()
-	name := s.mgr.Spec().Name
-	s.mu.Unlock()
-
-	writeJSON(w, http.StatusOK, statusResponse{
-		Flow:          name,
-		SimTime:       now,
-		Elapsed:       elapsed.String(),
-		Ticks:         res.Ticks,
-		Offered:       res.Offered,
-		Rejected:      res.Rejected,
-		ViolationRate: res.ViolationRate,
-		TotalCost:     res.TotalCost,
-		PeakRunRate:   res.PeakRunRate,
-		Allocation: allocationResponse{
-			Shards: res.FinalAllocation.Shards,
-			VMs:    res.FinalAllocation.VMs,
-			WCU:    res.FinalAllocation.WCU,
-			RCU:    res.FinalAllocation.RCU,
-		},
+// flowSummary snapshots one flow's collection row.
+func flowSummary(f *registry.Flow) apiv1.FlowSummary {
+	out := apiv1.FlowSummary{ID: f.ID(), Created: f.Created()}
+	f.View(func(m *core.Manager) {
+		h := m.Harness()
+		out.Name = m.Spec().Name
+		out.SimTime = h.Clock.Now()
+		out.Elapsed = h.Clock.Elapsed().String()
+		out.Ticks = h.Result().Ticks
 	})
+	pace, _, running := f.Pacing()
+	out.Paced, out.Pace = running, pace
+	return out
 }
 
-// layerResponse is one layer's live state.
-type layerResponse struct {
-	Kind        flow.LayerKind      `json:"kind"`
-	System      string              `json:"system"`
-	Resource    string              `json:"resource"`
-	Allocation  float64             `json:"allocation"`
-	Min         float64             `json:"min"`
-	Max         float64             `json:"max"`
-	Utilization float64             `json:"utilization_pct"`
-	MeanUtil    float64             `json:"mean_utilization_pct"`
-	Violations  int                 `json:"violation_ticks"`
-	Controller  *controllerResponse `json:"controller,omitempty"`
-}
+// --- flow sub-resources ---
 
-type controllerResponse struct {
-	Type     string  `json:"type"`
-	Ref      float64 `json:"ref"`
-	Window   string  `json:"window"`
-	DeadBand float64 `json:"dead_band"`
-	Gain     float64 `json:"gain,omitempty"`
-	Actions  int     `json:"actions"`
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var st apiv1.Status
+	f.View(func(m *core.Manager) {
+		h := m.Harness()
+		res := h.Result()
+		st = apiv1.Status{
+			Flow:          m.Spec().Name,
+			SimTime:       h.Clock.Now(),
+			Elapsed:       h.Clock.Elapsed().String(),
+			Ticks:         res.Ticks,
+			Offered:       res.Offered,
+			Rejected:      res.Rejected,
+			ViolationRate: res.ViolationRate,
+			TotalCost:     res.TotalCost,
+			PeakRunRate:   res.PeakRunRate,
+			Allocation: apiv1.Allocation{
+				Shards: res.FinalAllocation.Shards,
+				VMs:    res.FinalAllocation.VMs,
+				WCU:    res.FinalAllocation.WCU,
+				RCU:    res.FinalAllocation.RCU,
+			},
+		}
+	})
+	writeJSON(w, http.StatusOK, st)
 }
 
 // layerMetric maps a layer to its primary utilisation metric.
@@ -105,73 +180,75 @@ func layerMetric(kind flow.LayerKind, name string) (ns, metric string, dims map[
 		return compute.Namespace, compute.MetricCPUUtilization, map[string]string{"Topology": name}
 	case flow.Storage:
 		return kvstore.Namespace, kvstore.MetricWriteUtilization, map[string]string{"TableName": name}
+	case flow.StorageReads:
+		return kvstore.Namespace, kvstore.MetricReadUtilization, map[string]string{"TableName": name}
 	}
 	return "", "", nil
 }
 
-func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h := s.mgr.Harness()
-	spec := s.mgr.Spec()
-	res := h.Result()
+func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var out []apiv1.Layer
+	f.View(func(m *core.Manager) {
+		h := m.Harness()
+		spec := m.Spec()
+		res := h.Result()
 
-	var out []layerResponse
-	for _, l := range spec.Layers {
-		lr := layerResponse{
-			Kind:       l.Kind,
-			System:     l.System,
-			Resource:   l.Resource,
-			Min:        l.Min,
-			Max:        l.Max,
-			MeanUtil:   res.MeanUtil[l.Kind],
-			Violations: res.Violations[l.Kind],
+		for _, l := range spec.Layers {
+			lr := apiv1.Layer{
+				Kind:       l.Kind,
+				System:     l.System,
+				Resource:   l.Resource,
+				Min:        l.Min,
+				Max:        l.Max,
+				MeanUtil:   res.MeanUtil[l.Kind],
+				Violations: res.Violations[l.Kind],
+			}
+			switch l.Kind {
+			case flow.Ingestion:
+				lr.Allocation = float64(h.Stream.ShardCount())
+			case flow.Analytics:
+				lr.Allocation = float64(h.Cluster.VMCount())
+			case flow.Storage:
+				lr.Allocation = h.Table.WCU()
+			}
+			if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
+				if p, ok := h.Store.Latest(ns, metric, dims); ok {
+					lr.Utilization = p.V
+				}
+			}
+			if loop, ok := h.Loops[l.Kind]; ok {
+				lr.Controller = controllerJSON(loop)
+			}
+			out = append(out, lr)
 		}
-		switch l.Kind {
-		case flow.Ingestion:
-			lr.Allocation = float64(h.Stream.ShardCount())
-		case flow.Analytics:
-			lr.Allocation = float64(h.Cluster.VMCount())
-		case flow.Storage:
-			lr.Allocation = h.Table.WCU()
-		}
-		if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
-			if p, ok := h.Store.Latest(ns, metric, dims); ok {
+		// The dashboard's read-capacity resource reports as a virtual layer.
+		if spec.Dashboard.Enabled {
+			lr := apiv1.Layer{
+				Kind:       flow.StorageReads,
+				System:     "dynamodb-sim",
+				Resource:   "rcu",
+				Allocation: h.Table.RCU(),
+				Min:        spec.Dashboard.MinRCU,
+				Max:        spec.Dashboard.MaxRCU,
+				MeanUtil:   res.MeanUtil[flow.StorageReads],
+				Violations: res.Violations[flow.StorageReads],
+			}
+			if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
+				map[string]string{"TableName": spec.Name}); ok {
 				lr.Utilization = p.V
 			}
+			if loop, ok := h.Loops[flow.StorageReads]; ok {
+				lr.Controller = controllerJSON(loop)
+			}
+			out = append(out, lr)
 		}
-		if loop, ok := h.Loops[l.Kind]; ok {
-			lr.Controller = controllerJSON(loop)
-		}
-		out = append(out, lr)
-	}
-	// The dashboard's read-capacity resource reports as a virtual layer.
-	if spec.Dashboard.Enabled {
-		lr := layerResponse{
-			Kind:       flow.StorageReads,
-			System:     "dynamodb-sim",
-			Resource:   "rcu",
-			Allocation: h.Table.RCU(),
-			Min:        spec.Dashboard.MinRCU,
-			Max:        spec.Dashboard.MaxRCU,
-			MeanUtil:   res.MeanUtil[flow.StorageReads],
-			Violations: res.Violations[flow.StorageReads],
-		}
-		if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
-			map[string]string{"TableName": spec.Name}); ok {
-			lr.Utilization = p.V
-		}
-		if loop, ok := h.Loops[flow.StorageReads]; ok {
-			lr.Controller = controllerJSON(loop)
-		}
-		out = append(out, lr)
-	}
+	})
 	writeJSON(w, http.StatusOK, out)
 }
 
 // controllerJSON renders a loop's controller state.
-func controllerJSON(loop *control.Loop) *controllerResponse {
-	cr := &controllerResponse{
+func controllerJSON(loop *control.Loop) *apiv1.Controller {
+	cr := &apiv1.Controller{
 		Type:     loop.Controller().Name(),
 		Ref:      loop.Ref(),
 		Window:   loop.Window().String(),
@@ -184,140 +261,108 @@ func controllerJSON(loop *control.Loop) *controllerResponse {
 	return cr
 }
 
-// decisionResponse is one recorded control action.
-type decisionResponse struct {
-	At       time.Time `json:"at"`
-	Measured float64   `json:"measured"`
-	Ref      float64   `json:"ref"`
-	OldU     float64   `json:"old_allocation"`
-	NewU     float64   `json:"new_allocation"`
-	Applied  bool      `json:"applied"`
-	Note     string    `json:"note,omitempty"`
-}
-
-func (s *Server) loopFor(kind string) (*control.Loop, bool) {
-	loop, ok := s.mgr.Harness().Loops[flow.LayerKind(kind)]
-	return loop, ok
-}
-
-func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	loop, ok := s.loopFor(r.PathValue("kind"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no controller for layer %q", r.PathValue("kind"))
-		return
-	}
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	kind := r.PathValue("kind")
 	n := 20
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		parsed, err := strconv.Atoi(raw)
 		if err != nil || parsed <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid n %q", raw)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid n %q", raw)
 			return
 		}
 		n = parsed
 	}
-	all := loop.Decisions()
-	if len(all) > n {
-		all = all[len(all)-n:]
-	}
-	out := make([]decisionResponse, len(all))
-	for i, d := range all {
-		out[i] = decisionResponse{
-			At: d.At, Measured: d.Measured, Ref: d.Ref,
-			OldU: d.OldU, NewU: d.NewU, Applied: d.Applied, Note: d.Note,
+	var out []apiv1.Decision
+	found := false
+	f.View(func(m *core.Manager) {
+		loop, ok := m.Harness().Loops[flow.LayerKind(kind)]
+		if !ok {
+			return
 		}
+		found = true
+		all := loop.Decisions()
+		if len(all) > n {
+			all = all[len(all)-n:]
+		}
+		out = make([]apiv1.Decision, len(all))
+		for i, d := range all {
+			out[i] = apiv1.Decision{
+				At: d.At, Measured: d.Measured, Ref: d.Ref,
+				OldU: d.OldU, NewU: d.NewU, Applied: d.Applied, Note: d.Note,
+			}
+		}
+	})
+	if !found {
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no controller for layer %q", kind)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// tuneRequest is the controller-tuning payload; absent fields are left
-// unchanged. This is the API form of the demo's step 3: "adjust parameters
-// of the controllers, such as elasticity speed, monitoring period".
-type tuneRequest struct {
-	Ref      *float64 `json:"ref,omitempty"`
-	Window   *string  `json:"window,omitempty"`
-	DeadBand *float64 `json:"dead_band,omitempty"`
-}
-
-func (s *Server) handleTuneController(w http.ResponseWriter, r *http.Request) {
-	var req tuneRequest
+func (s *Server) handleTuneController(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var req apiv1.TuneRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid body: %v", err)
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid body: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	loop, ok := s.loopFor(r.PathValue("kind"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no controller for layer %q", r.PathValue("kind"))
+	// Validate before touching the loop so a half-valid request changes
+	// nothing.
+	if req.Ref != nil && (*req.Ref <= 0 || *req.Ref > 100) {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "ref %v outside (0, 100]", *req.Ref)
 		return
 	}
-	if req.Ref != nil {
-		if *req.Ref <= 0 || *req.Ref > 100 {
-			writeError(w, http.StatusBadRequest, "ref %v outside (0, 100]", *req.Ref)
-			return
-		}
-		loop.SetRef(*req.Ref)
-	}
+	var window time.Duration
 	if req.Window != nil {
 		d, err := time.ParseDuration(*req.Window)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid window %q", *req.Window)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid window %q", *req.Window)
 			return
 		}
-		loop.SetWindow(d)
+		window = d
 	}
-	if req.DeadBand != nil {
-		if *req.DeadBand < 0 {
-			writeError(w, http.StatusBadRequest, "negative dead_band")
+	if req.DeadBand != nil && *req.DeadBand < 0 {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "negative dead_band")
+		return
+	}
+
+	kind := r.PathValue("kind")
+	var out *apiv1.Controller
+	f.View(func(m *core.Manager) {
+		loop, ok := m.Harness().Loops[flow.LayerKind(kind)]
+		if !ok {
 			return
 		}
-		loop.SetDeadBand(*req.DeadBand)
-	}
-	writeJSON(w, http.StatusOK, controllerResponse{
-		Type:     loop.Controller().Name(),
-		Ref:      loop.Ref(),
-		Window:   loop.Window().String(),
-		DeadBand: loop.DeadBand(),
-		Actions:  loop.Actions(),
+		if req.Ref != nil {
+			loop.SetRef(*req.Ref)
+		}
+		if req.Window != nil {
+			loop.SetWindow(window)
+		}
+		if req.DeadBand != nil {
+			loop.SetDeadBand(*req.DeadBand)
+		}
+		out = controllerJSON(loop)
 	})
-}
-
-// metricIDResponse is one listable metric.
-type metricIDResponse struct {
-	Namespace  string            `json:"namespace"`
-	Name       string            `json:"name"`
-	Dimensions map[string]string `json:"dimensions,omitempty"`
-}
-
-func (s *Server) handleListMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	store := s.mgr.Store()
-	out := make(map[string][]metricIDResponse)
-	for _, ns := range store.Namespaces() {
-		for _, id := range store.ListMetrics(ns) {
-			out[ns] = append(out[ns], metricIDResponse{
-				Namespace: id.Namespace, Name: id.Name, Dimensions: id.Dimensions,
-			})
-		}
+	if out == nil {
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no controller for layer %q", kind)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// seriesResponse is a metric query result.
-type seriesResponse struct {
-	Namespace string        `json:"namespace"`
-	Name      string        `json:"name"`
-	Stat      string        `json:"stat"`
-	Period    string        `json:"period"`
-	Points    []pointOnWire `json:"points"`
-}
-
-type pointOnWire struct {
-	T time.Time `json:"t"`
-	V float64   `json:"v"`
+func (s *Server) handleListMetrics(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	out := make(map[string][]apiv1.MetricID)
+	f.View(func(m *core.Manager) {
+		store := m.Store()
+		for _, ns := range store.Namespaces() {
+			for _, id := range store.ListMetrics(ns) {
+				out[ns] = append(out[ns], apiv1.MetricID{
+					Namespace: id.Namespace, Name: id.Name, Dimensions: id.Dimensions,
+				})
+			}
+		}
+	})
+	writeJSON(w, http.StatusOK, out)
 }
 
 // parseStat maps a CloudWatch-flavoured statistic name to an aggregation.
@@ -343,23 +388,23 @@ func parseStat(s string) (timeseries.Agg, bool) {
 	return 0, false
 }
 
-func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
 	q := r.URL.Query()
 	ns, name := q.Get("ns"), q.Get("name")
 	if ns == "" || name == "" {
-		writeError(w, http.StatusBadRequest, "ns and name are required")
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "ns and name are required")
 		return
 	}
 	stat, ok := parseStat(q.Get("stat"))
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown stat %q", q.Get("stat"))
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "unknown stat %q", q.Get("stat"))
 		return
 	}
 	window := 30 * time.Minute
 	if raw := q.Get("window"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid window %q", raw)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid window %q", raw)
 			return
 		}
 		window = d
@@ -368,10 +413,28 @@ func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("period"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid period %q", raw)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid period %q", raw)
 			return
 		}
 		period = d
+	}
+	// Pagination over the aggregated points: limit 0 means everything.
+	limit, offset := 0, 0
+	if raw := q.Get("limit"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid limit %q", raw)
+			return
+		}
+		limit = parsed
+	}
+	if raw := q.Get("offset"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid offset %q", raw)
+			return
+		}
+		offset = parsed
 	}
 	dims := make(map[string]string)
 	for key, vals := range q {
@@ -380,122 +443,167 @@ func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.Lock()
-	now := s.mgr.Harness().Clock.Now()
-	series, err := s.mgr.Store().GetStatistics(metricstore.Query{
-		Namespace:  ns,
-		Name:       name,
-		Dimensions: dims,
-		From:       now.Add(-window),
-		To:         now.Add(time.Nanosecond),
-		Period:     period,
-		Stat:       stat,
+	var series *timeseries.Series
+	var err error
+	f.View(func(m *core.Manager) {
+		now := m.Harness().Clock.Now()
+		series, err = m.Store().GetStatistics(metricstore.Query{
+			Namespace:  ns,
+			Name:       name,
+			Dimensions: dims,
+			From:       now.Add(-window),
+			To:         now.Add(time.Nanosecond),
+			Period:     period,
+			Stat:       stat,
+		})
 	})
-	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusNotFound, "query: %v", err)
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "query: %v", err)
 		return
 	}
 
-	resp := seriesResponse{
+	total := series.Len()
+	resp := apiv1.Series{
 		Namespace: ns, Name: name,
 		Stat: stat.String(), Period: period.String(),
-		Points: make([]pointOnWire, 0, series.Len()),
+		Total: total, Offset: offset, Limit: limit,
+		Points: []apiv1.Point{},
 	}
-	for i := 0; i < series.Len(); i++ {
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+		next := end
+		resp.NextOffset = &next
+	}
+	for i := offset; i < end; i++ {
 		p := series.At(i)
-		resp.Points = append(resp.Points, pointOnWire{T: p.T, V: p.V})
+		resp.Points = append(resp.Points, apiv1.Point{T: p.T, V: p.V})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
 	window := 30 * time.Minute
 	if raw := r.URL.Query().Get("window"); raw != "" {
 		d, err := time.ParseDuration(raw)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "invalid window %q", raw)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid window %q", raw)
 			return
 		}
 		window = d
 	}
-	s.mu.Lock()
-	snap := s.mgr.Snapshot(window)
-	s.mu.Unlock()
+	var snap monitor.Snapshot
+	f.View(func(m *core.Manager) { snap = m.Snapshot(window) })
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// dependencyResponse is one learned Eq. 1 relationship.
-type dependencyResponse struct {
-	From        string  `json:"from"`
-	To          string  `json:"to"`
-	Slope       float64 `json:"slope"`
-	Intercept   float64 `json:"intercept"`
-	R2          float64 `json:"r2"`
-	Correlation float64 `json:"correlation"`
-	Lag         int     `json:"lag_periods"`
-	Samples     int     `json:"samples"`
-	Equation    string  `json:"equation"`
-}
-
-func (s *Server) handleDependencies(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	found, err := s.mgr.AnalyzeDependencies()
-	s.mu.Unlock()
+func (s *Server) handleDependencies(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var out []apiv1.Dependency
+	var err error
+	f.View(func(m *core.Manager) {
+		found, analyzeErr := m.AnalyzeDependencies()
+		if analyzeErr != nil {
+			err = analyzeErr
+			return
+		}
+		out = make([]apiv1.Dependency, 0, len(found))
+		for _, d := range found {
+			out = append(out, apiv1.Dependency{
+				From:        d.From.String(),
+				To:          d.To.String(),
+				Slope:       d.Model.Slope,
+				Intercept:   d.Model.Intercept,
+				R2:          d.Model.R2,
+				Correlation: d.Correlation,
+				Lag:         d.Lag,
+				Samples:     d.Samples,
+				Equation:    d.String(),
+			})
+		}
+	})
 	if err != nil {
-		writeError(w, http.StatusConflict, "dependency analysis: %v", err)
+		writeError(w, http.StatusConflict, apiv1.CodeConflict, "dependency analysis: %v", err)
 		return
-	}
-	out := make([]dependencyResponse, 0, len(found))
-	for _, d := range found {
-		out = append(out, dependencyResponse{
-			From:        d.From.String(),
-			To:          d.To.String(),
-			Slope:       d.Model.Slope,
-			Intercept:   d.Model.Intercept,
-			R2:          d.Model.R2,
-			Correlation: d.Correlation,
-			Lag:         d.Lag,
-			Samples:     d.Samples,
-			Equation:    d.String(),
-		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// advanceRequest asks the server to run the simulation forward.
-type advanceRequest struct {
-	Duration string `json:"duration"`
-}
-
-func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
 	raw := r.URL.Query().Get("d")
 	if raw == "" {
-		var req advanceRequest
+		var req apiv1.AdvanceRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "need ?d= or JSON {\"duration\": ...}: %v", err)
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument,
+				"need ?d= or JSON {\"duration\": ...}: %v", err)
 			return
 		}
 		raw = req.Duration
 	}
 	d, err := time.ParseDuration(raw)
 	if err != nil || d <= 0 {
-		writeError(w, http.StatusBadRequest, "invalid duration %q", raw)
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid duration %q", raw)
 		return
 	}
-	if d > 24*365*time.Hour {
-		writeError(w, http.StatusBadRequest, "duration %v too large", d)
+	if d > maxAdvance {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "duration %v too large", d)
 		return
 	}
-	res, err := s.Advance(d)
+	res, err := f.Advance(d)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "advance: %v", err)
+		writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, "advance: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"advanced":       d.String(),
-		"ticks":          res.Ticks,
-		"violation_rate": res.ViolationRate,
-		"total_cost_usd": res.TotalCost,
+	writeJSON(w, http.StatusOK, apiv1.AdvanceResult{
+		Advanced:      d.String(),
+		Ticks:         res.Ticks,
+		ViolationRate: res.ViolationRate,
+		TotalCost:     res.TotalCost,
 	})
+}
+
+func (s *Server) handlePace(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	var req apiv1.PaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid body: %v", err)
+		return
+	}
+	if req.Pace < 0 {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "negative pace %v", req.Pace)
+		return
+	}
+	if req.Pace == 0 {
+		f.StopPacing()
+		writeJSON(w, http.StatusOK, apiv1.PaceState{Running: false})
+		return
+	}
+	wallTick := defaultWallTick
+	if req.WallTick != "" {
+		d, err := time.ParseDuration(req.WallTick)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid wall_tick %q", req.WallTick)
+			return
+		}
+		wallTick = d
+	}
+	if err := f.StartPacing(req.Pace, wallTick); err != nil {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paceState(f))
+}
+
+func (s *Server) handlePaceState(w http.ResponseWriter, r *http.Request, f *registry.Flow) {
+	writeJSON(w, http.StatusOK, paceState(f))
+}
+
+func paceState(f *registry.Flow) apiv1.PaceState {
+	pace, wallTick, running := f.Pacing()
+	st := apiv1.PaceState{Running: running, Pace: pace}
+	if running {
+		st.WallTick = wallTick.String()
+	}
+	if err := f.PaceError(); err != nil {
+		st.Error = err.Error()
+	}
+	return st
 }

@@ -1,123 +1,214 @@
 // Package httpapi is Flower's HTTP control plane: the programmatic
-// equivalent of the demo's web UI (§4). It serves
+// equivalent of the demo's web UI (§4), redesigned as a multi-tenant,
+// versioned v1 REST API over a flow registry. It serves
 //
-//   - the flow definition and live run status,
-//   - per-layer controller state with runtime tuning ("adjust parameters
-//     of the controllers, such as elasticity speed, monitoring period"),
-//   - the cross-platform metric store behind the all-in-one-place
-//     visualizer (§3.4), queryable per metric,
-//   - learned workload dependencies (§3.1),
-//   - an HTML dashboard consolidating every platform's measures,
+//   - the /v1/flows collection — create, list, get, delete many
+//     independently-managed flows in one process,
+//   - per-flow sub-resources: run status, per-layer controller state with
+//     runtime tuning ("adjust parameters of the controllers, such as
+//     elasticity speed, monitoring period"), the cross-platform metric
+//     store behind the all-in-one-place visualizer (§3.4) with paginated
+//     queries, learned workload dependencies (§3.1), snapshots, manual
+//     advance and wall-clock pacing,
+//   - a per-flow HTML dashboard plus an index of all flows,
+//   - the original single-flow /api/... routes as thin aliases onto a
+//     default flow, for callers written against the old server.
 //
-// over a plain JSON API. The simulation clock only advances through the
-// POST /api/advance endpoint (or the optional wall-clock pacer), so a
-// browser can inspect a paused flow deterministically — which is also what
-// makes the package testable with httptest.
+// Every failure is a uniform JSON envelope {"error": {"code", "message"}}
+// (apiv1.ErrorEnvelope), and all requests pass through recovery and
+// optional request-logging middleware. A flow's simulated clock only moves
+// through POST .../advance or its pacer, so a browser can inspect a paused
+// flow deterministically — which is also what makes the package testable
+// with httptest.
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
-	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	apiv1 "repro/api/v1"
+	"repro/internal/registry"
 )
 
-// Server exposes one managed flow over HTTP. All simulation access is
-// serialised by an internal mutex: the harness itself is single-threaded.
+// Server exposes a flow registry over HTTP.
 type Server struct {
-	mu  sync.Mutex
-	mgr *core.Manager
-	mux *http.ServeMux
+	reg    *registry.Registry
+	mux    *http.ServeMux
+	h      http.Handler // mux wrapped in middleware
+	logger *log.Logger  // nil: no request logging
 
-	pacerStop chan struct{}
-	pacerDone chan struct{}
+	defaultID string // explicit default flow for the legacy /api aliases
 }
 
-// NewServer wraps a manager.
-func NewServer(mgr *core.Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables request logging through l.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithDefaultFlow pins the flow the legacy /api routes and the root
+// dashboard operate on. Without it, the default is the registry's sole
+// flow, or the first flow created through POST /v1/flows.
+func WithDefaultFlow(id string) Option {
+	return func(s *Server) { s.defaultID = id }
+}
+
+// NewServer wraps a registry.
+func NewServer(reg *registry.Registry, opts ...Option) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.routes()
+	s.h = s.withMiddleware(s.mux)
 	return s
 }
 
+// Registry returns the registry the server fronts.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /api/flow", s.handleFlow)
-	s.mux.HandleFunc("GET /api/status", s.handleStatus)
-	s.mux.HandleFunc("GET /api/layers", s.handleLayers)
-	s.mux.HandleFunc("GET /api/layers/{kind}/decisions", s.handleDecisions)
-	s.mux.HandleFunc("POST /api/layers/{kind}/controller", s.handleTuneController)
-	s.mux.HandleFunc("GET /api/metrics", s.handleListMetrics)
-	s.mux.HandleFunc("GET /api/metrics/query", s.handleQueryMetrics)
-	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /api/dependencies", s.handleDependencies)
-	s.mux.HandleFunc("POST /api/advance", s.handleAdvance)
-	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
+	// v1 flow collection.
+	s.mux.HandleFunc("POST /v1/flows", s.handleCreateFlow)
+	s.mux.HandleFunc("GET /v1/flows", s.handleListFlows)
+	s.mux.HandleFunc("GET /v1/flows/{id}", s.flowScoped(s.handleGetFlow))
+	s.mux.HandleFunc("DELETE /v1/flows/{id}", s.handleDeleteFlow)
+
+	// v1 flow sub-resources.
+	s.mux.HandleFunc("GET /v1/flows/{id}/status", s.flowScoped(s.handleStatus))
+	s.mux.HandleFunc("GET /v1/flows/{id}/layers", s.flowScoped(s.handleLayers))
+	s.mux.HandleFunc("GET /v1/flows/{id}/layers/{kind}/decisions", s.flowScoped(s.handleDecisions))
+	s.mux.HandleFunc("POST /v1/flows/{id}/layers/{kind}/controller", s.flowScoped(s.handleTuneController))
+	s.mux.HandleFunc("GET /v1/flows/{id}/metrics", s.flowScoped(s.handleListMetrics))
+	s.mux.HandleFunc("GET /v1/flows/{id}/metrics/query", s.flowScoped(s.handleQueryMetrics))
+	s.mux.HandleFunc("GET /v1/flows/{id}/snapshot", s.flowScoped(s.handleSnapshot))
+	s.mux.HandleFunc("GET /v1/flows/{id}/dependencies", s.flowScoped(s.handleDependencies))
+	s.mux.HandleFunc("POST /v1/flows/{id}/advance", s.flowScoped(s.handleAdvance))
+	s.mux.HandleFunc("POST /v1/flows/{id}/pace", s.flowScoped(s.handlePace))
+	s.mux.HandleFunc("GET /v1/flows/{id}/pace", s.flowScoped(s.handlePaceState))
+	s.mux.HandleFunc("GET /v1/flows/{id}/dashboard", s.flowScoped(s.handleDashboard))
+
+	// Legacy single-flow aliases onto the default flow. /api/flow keeps the
+	// old bare-spec response shape; everything else matches v1 exactly.
+	s.mux.HandleFunc("GET /api/flow", s.defaultScoped(s.handleLegacySpec))
+	s.mux.HandleFunc("GET /api/status", s.defaultScoped(s.handleStatus))
+	s.mux.HandleFunc("GET /api/layers", s.defaultScoped(s.handleLayers))
+	s.mux.HandleFunc("GET /api/layers/{kind}/decisions", s.defaultScoped(s.handleDecisions))
+	s.mux.HandleFunc("POST /api/layers/{kind}/controller", s.defaultScoped(s.handleTuneController))
+	s.mux.HandleFunc("GET /api/metrics", s.defaultScoped(s.handleListMetrics))
+	s.mux.HandleFunc("GET /api/metrics/query", s.defaultScoped(s.handleQueryMetrics))
+	s.mux.HandleFunc("GET /api/snapshot", s.defaultScoped(s.handleSnapshot))
+	s.mux.HandleFunc("GET /api/dependencies", s.defaultScoped(s.handleDependencies))
+	s.mux.HandleFunc("POST /api/advance", s.defaultScoped(s.handleAdvance))
+
+	// Root: the default flow's dashboard, or the flow index when there is
+	// no single default.
+	s.mux.HandleFunc("GET /{$}", s.handleRoot)
+}
+
+// flowHandler is a handler scoped to one resolved flow.
+type flowHandler func(w http.ResponseWriter, r *http.Request, f *registry.Flow)
+
+// flowScoped resolves {id} from the path.
+func (s *Server) flowScoped(h flowHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		f, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no flow %q", id)
+			return
+		}
+		h(w, r, f)
+	}
+}
+
+// defaultScoped resolves the legacy default flow.
+func (s *Server) defaultScoped(h flowHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f, err := s.defaultFlow()
+		if err != nil {
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+			return
+		}
+		h(w, r, f)
+	}
+}
+
+// defaultFlow picks the flow the unversioned aliases operate on: the
+// explicitly configured one if present, else the registry's sole flow.
+func (s *Server) defaultFlow() (*registry.Flow, error) {
+	if s.defaultID != "" {
+		if f, ok := s.reg.Get(s.defaultID); ok {
+			return f, nil
+		}
+		return nil, fmt.Errorf("default flow %q not registered", s.defaultID)
+	}
+	flows := s.reg.List()
+	switch len(flows) {
+	case 0:
+		return nil, fmt.Errorf("no flows registered; POST /v1/flows to create one")
+	case 1:
+		return flows[0], nil
+	default:
+		return nil, fmt.Errorf("%d flows registered and no default configured; use /v1/flows/{id}/...", len(flows))
+	}
 }
 
 // Handler returns the HTTP handler (for httptest and custom servers).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.h }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.h.ServeHTTP(w, r)
 }
 
-// Advance runs the simulation forward by d under the server lock.
-func (s *Server) Advance(d time.Duration) (sim.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr.Run(d)
+// --- middleware ---
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
 }
 
-// StartPacing advances the simulation continuously: every wall tick, the
-// flow moves `pace` simulated seconds per wall second. It replaces any
-// pacer already running. Use StopPacing (or stop serving) to halt.
-func (s *Server) StartPacing(pace float64, wallTick time.Duration) {
-	if pace <= 0 || wallTick <= 0 {
-		return
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
 	}
-	s.StopPacing()
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	s.pacerStop, s.pacerDone = stop, done
-	perWallTick := time.Duration(pace * float64(wallTick))
-	simStep := s.mgr.Harness().Scheduler.Step()
-	go func() {
-		defer close(done)
-		t := time.NewTicker(wallTick)
-		defer t.Stop()
-		var debt time.Duration // simulated time owed but not yet advanced
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				// The scheduler advances in whole simulation steps, so
-				// carry sub-step remainders forward instead of losing them.
-				debt += perWallTick
-				if due := debt / simStep * simStep; due > 0 {
-					debt -= due
-					if _, err := s.Advance(due); err != nil {
-						return
-					}
+	return r.ResponseWriter.Write(b)
+}
+
+// withMiddleware wraps h in panic recovery and optional request logging.
+// Recovery is innermost so a panicking handler still yields a JSON 500 and
+// a log line instead of a dropped connection.
+func (s *Server) withMiddleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if s.logger != nil {
+					s.logger.Printf("panic %s %s: %v", r.Method, r.URL.Path, p)
+				}
+				if rec.status == 0 { // headers not out yet: we can still answer
+					writeError(rec, http.StatusInternalServerError, apiv1.CodeInternal, "internal error")
 				}
 			}
-		}
-	}()
-}
-
-// StopPacing halts the background pacer, if any, and waits for it to exit.
-func (s *Server) StopPacing() {
-	if s.pacerStop == nil {
-		return
-	}
-	close(s.pacerStop)
-	<-s.pacerDone
-	s.pacerStop, s.pacerDone = nil, nil
+			if s.logger != nil {
+				s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+			}
+		}()
+		h.ServeHTTP(rec, r)
+	})
 }
 
 // --- JSON plumbing ---
@@ -130,10 +221,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code apiv1.ErrorCode, format string, args ...any) {
+	writeJSON(w, status, apiv1.ErrorEnvelope{Error: apiv1.Error{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }

@@ -9,65 +9,167 @@ import (
 	"testing"
 	"time"
 
+	apiv1 "repro/api/v1"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/registry"
 	"repro/internal/sim"
 )
 
-// newTestServer materialises the default click-stream flow behind a Server
-// and advances it far enough that every metric exists.
-func newTestServer(t *testing.T) (*Server, *core.Manager) {
+// newTestServer registers the default click-stream flow as "clicks" and
+// advances it far enough that every metric exists.
+func newTestServer(t *testing.T, opts ...Option) (*Server, *registry.Registry) {
 	t.Helper()
+	reg := registry.New()
+	t.Cleanup(reg.Close)
 	spec, err := flow.DefaultClickstream(2000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr, err := core.NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 7})
+	spec.Name = "clicks"
+	f, err := reg.Create("clicks", spec, sim.Options{Step: 10 * time.Second, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewServer(mgr)
-	if _, err := s.Advance(15 * time.Minute); err != nil {
+	if _, err := f.Advance(15 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	return s, mgr
+	return NewServer(reg, opts...), reg
 }
 
-// get performs a GET against the server and decodes JSON into out.
-func get(t *testing.T, s *Server, path string, out any) *http.Response {
+// do performs a request against the server and decodes JSON into out.
+func do(t *testing.T, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
 	t.Helper()
-	req := httptest.NewRequest(http.MethodGet, path, nil)
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
-	resp := rec.Result()
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: decode: %v", path, err)
+		if err := json.NewDecoder(rec.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v (body %q)", method, path, err, rec.Body.String())
 		}
 	}
-	return resp
+	return rec
 }
 
-func TestFlowEndpointRoundTripsSpec(t *testing.T) {
-	s, mgr := newTestServer(t)
-	var spec flow.Spec
-	resp := get(t, s, "/api/flow", &spec)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+func get(t *testing.T, s *Server, path string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	return do(t, s, http.MethodGet, path, "", out)
+}
+
+// wantEnvelope asserts rec holds a JSON error envelope with the given
+// status and code.
+func wantEnvelope(t *testing.T, rec *httptest.ResponseRecorder, status int, code apiv1.ErrorCode) {
+	t.Helper()
+	if rec.Code != status {
+		t.Errorf("status = %d, want %d (body %q)", rec.Code, status, rec.Body.String())
 	}
-	if spec.Name != mgr.Spec().Name {
-		t.Errorf("flow name %q, want %q", spec.Name, mgr.Spec().Name)
+	var env apiv1.ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error body not an envelope: %v (body %q)", err, rec.Body.String())
 	}
-	if len(spec.Layers) != 3 {
-		t.Errorf("layers = %d, want 3", len(spec.Layers))
+	if env.Error.Code != code {
+		t.Errorf("error code = %q, want %q", env.Error.Code, code)
+	}
+	if env.Error.Message == "" {
+		t.Error("empty error message")
 	}
 }
+
+// --- flow collection ---
+
+func TestCreateListGetDeleteFlow(t *testing.T) {
+	s, reg := newTestServer(t)
+
+	var created apiv1.FlowSummary
+	rec := do(t, s, http.MethodPost, "/v1/flows", `{"id": "web", "peak": 1500, "seed": 3}`, &created)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", rec.Code, rec.Body)
+	}
+	if created.ID != "web" || created.Paced {
+		t.Errorf("created = %+v", created)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry len = %d, want 2", reg.Len())
+	}
+
+	var list apiv1.FlowList
+	get(t, s, "/v1/flows", &list)
+	if list.Count != 2 || len(list.Flows) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Flows[0].ID != "clicks" || list.Flows[1].ID != "web" {
+		t.Errorf("list order: %q, %q", list.Flows[0].ID, list.Flows[1].ID)
+	}
+
+	var detail apiv1.FlowDetail
+	if rec := get(t, s, "/v1/flows/web", &detail); rec.Code != http.StatusOK {
+		t.Fatalf("get status = %d", rec.Code)
+	}
+	if len(detail.Spec.Layers) != 3 {
+		t.Errorf("spec layers = %d, want 3", len(detail.Spec.Layers))
+	}
+
+	if rec := do(t, s, http.MethodDelete, "/v1/flows/web", "", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status = %d", rec.Code)
+	}
+	wantEnvelope(t, get(t, s, "/v1/flows/web", nil), http.StatusNotFound, apiv1.CodeNotFound)
+	wantEnvelope(t, do(t, s, http.MethodDelete, "/v1/flows/web", "", nil), http.StatusNotFound, apiv1.CodeNotFound)
+}
+
+func TestCreateFlowValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		body string
+		code apiv1.ErrorCode
+		want int
+	}{
+		{`{"id": "clicks"}`, apiv1.CodeConflict, http.StatusConflict},
+		{`{"id": "bad id!"}`, apiv1.CodeInvalidArgument, http.StatusBadRequest},
+		{`{"id": "x", "step": "zero"}`, apiv1.CodeInvalidArgument, http.StatusBadRequest},
+		{`{"id": "x", "pace": -3}`, apiv1.CodeInvalidArgument, http.StatusBadRequest},
+		{`{"id": "x", "spec": {"name": "x"}}`, apiv1.CodeInvalidArgument, http.StatusBadRequest},
+		{`not json`, apiv1.CodeInvalidArgument, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, s, http.MethodPost, "/v1/flows", c.body, nil)
+		wantEnvelope(t, rec, c.want, c.code)
+	}
+}
+
+func TestCreateFlowFromFullSpec(t *testing.T) {
+	s, _ := newTestServer(t)
+	spec, err := flow.DefaultClickstream(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = "custom"
+	data, err := json.Marshal(apiv1.CreateFlowRequest{Spec: &spec, Step: "5s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created apiv1.FlowSummary
+	rec := do(t, s, http.MethodPost, "/v1/flows", string(data), &created)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if created.ID != "custom" { // id defaults to the spec name
+		t.Errorf("id = %q, want custom", created.ID)
+	}
+}
+
+// --- flow sub-resources ---
 
 func TestStatusReportsProgress(t *testing.T) {
 	s, _ := newTestServer(t)
-	var st statusResponse
-	if resp := get(t, s, "/api/status", &st); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	var st apiv1.Status
+	if rec := get(t, s, "/v1/flows/clicks/status", &st); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if st.Ticks != 90 { // 15 min at 10s ticks
 		t.Errorf("ticks = %d, want 90", st.Ticks)
@@ -85,9 +187,9 @@ func TestStatusReportsProgress(t *testing.T) {
 
 func TestLayersExposeControllersAndUtilization(t *testing.T) {
 	s, _ := newTestServer(t)
-	var layers []layerResponse
-	if resp := get(t, s, "/api/layers", &layers); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	var layers []apiv1.Layer
+	if rec := get(t, s, "/v1/flows/clicks/layers", &layers); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if len(layers) != 3 {
 		t.Fatalf("layers = %d, want 3", len(layers))
@@ -112,67 +214,71 @@ func TestLayersExposeControllersAndUtilization(t *testing.T) {
 	}
 }
 
-func TestAdvanceMovesSimulatedTime(t *testing.T) {
+func TestAdvanceMovesOneFlowOnly(t *testing.T) {
 	s, _ := newTestServer(t)
-	var before, after statusResponse
-	get(t, s, "/api/status", &before)
+	do(t, s, http.MethodPost, "/v1/flows", `{"id": "other", "peak": 1000}`, nil)
 
-	req := httptest.NewRequest(http.MethodPost, "/api/advance?d=10m", nil)
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, req)
+	var before, after, other apiv1.Status
+	get(t, s, "/v1/flows/clicks/status", &before)
+	rec := do(t, s, http.MethodPost, "/v1/flows/clicks/advance?d=10m", "", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("advance status = %d: %s", rec.Code, rec.Body)
 	}
-
-	get(t, s, "/api/status", &after)
+	get(t, s, "/v1/flows/clicks/status", &after)
 	if got := after.Ticks - before.Ticks; got != 60 {
 		t.Errorf("advance added %d ticks, want 60", got)
+	}
+	// The sibling flow's clock must not have moved.
+	get(t, s, "/v1/flows/other/status", &other)
+	if other.Ticks != 0 {
+		t.Errorf("sibling flow advanced to %d ticks", other.Ticks)
 	}
 }
 
 func TestAdvanceJSONBody(t *testing.T) {
 	s, _ := newTestServer(t)
-	req := httptest.NewRequest(http.MethodPost, "/api/advance",
-		strings.NewReader(`{"duration": "5m"}`))
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, req)
+	var res apiv1.AdvanceResult
+	rec := do(t, s, http.MethodPost, "/v1/flows/clicks/advance", `{"duration": "5m"}`, &res)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	if res.Advanced != "5m0s" {
+		t.Errorf("advanced = %q", res.Advanced)
 	}
 }
 
 func TestAdvanceRejectsBadDurations(t *testing.T) {
 	s, _ := newTestServer(t)
 	for _, d := range []string{"", "-5m", "bogus", "20000h"} {
-		req := httptest.NewRequest(http.MethodPost, "/api/advance?d="+d, strings.NewReader("{}"))
-		rec := httptest.NewRecorder()
-		s.ServeHTTP(rec, req)
-		if rec.Code != http.StatusBadRequest {
-			t.Errorf("d=%q: status = %d, want 400", d, rec.Code)
-		}
+		rec := do(t, s, http.MethodPost, "/v1/flows/clicks/advance?d="+d, "{}", nil)
+		wantEnvelope(t, rec, http.StatusBadRequest, apiv1.CodeInvalidArgument)
 	}
 }
 
 func TestTuneControllerUpdatesLoop(t *testing.T) {
-	s, mgr := newTestServer(t)
+	s, reg := newTestServer(t)
 	body := `{"ref": 70, "window": "4m", "dead_band": 8}`
-	req := httptest.NewRequest(http.MethodPost, "/api/layers/analytics/controller",
-		strings.NewReader(body))
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, req)
+	var ctrl apiv1.Controller
+	rec := do(t, s, http.MethodPost, "/v1/flows/clicks/layers/analytics/controller", body, &ctrl)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
 	}
-	loop := mgr.Harness().Loops[flow.Analytics]
-	if loop.Ref() != 70 {
-		t.Errorf("ref = %v, want 70", loop.Ref())
+	if ctrl.Ref != 70 || ctrl.Window != "4m0s" || ctrl.DeadBand != 8 {
+		t.Errorf("response controller = %+v", ctrl)
 	}
-	if loop.Window() != 4*time.Minute {
-		t.Errorf("window = %v, want 4m", loop.Window())
-	}
-	if loop.DeadBand() != 8 {
-		t.Errorf("dead band = %v, want 8", loop.DeadBand())
-	}
+	f, _ := reg.Get("clicks")
+	f.View(func(m *core.Manager) {
+		loop := m.Harness().Loops[flow.Analytics]
+		if loop.Ref() != 70 {
+			t.Errorf("ref = %v, want 70", loop.Ref())
+		}
+		if loop.Window() != 4*time.Minute {
+			t.Errorf("window = %v, want 4m", loop.Window())
+		}
+		if loop.DeadBand() != 8 {
+			t.Errorf("dead band = %v, want 8", loop.DeadBand())
+		}
+	})
 }
 
 func TestTuneControllerValidation(t *testing.T) {
@@ -180,30 +286,28 @@ func TestTuneControllerValidation(t *testing.T) {
 	cases := []struct {
 		path, body string
 		want       int
+		code       apiv1.ErrorCode
 	}{
-		{"/api/layers/analytics/controller", `{"ref": -5}`, http.StatusBadRequest},
-		{"/api/layers/analytics/controller", `{"ref": 120}`, http.StatusBadRequest},
-		{"/api/layers/analytics/controller", `{"window": "0s"}`, http.StatusBadRequest},
-		{"/api/layers/analytics/controller", `{"dead_band": -1}`, http.StatusBadRequest},
-		{"/api/layers/analytics/controller", `not json`, http.StatusBadRequest},
-		{"/api/layers/nosuch/controller", `{"ref": 50}`, http.StatusNotFound},
+		{"/v1/flows/clicks/layers/analytics/controller", `{"ref": -5}`, http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/layers/analytics/controller", `{"ref": 120}`, http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/layers/analytics/controller", `{"window": "0s"}`, http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/layers/analytics/controller", `{"dead_band": -1}`, http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/layers/analytics/controller", `not json`, http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/layers/nosuch/controller", `{"ref": 50}`, http.StatusNotFound, apiv1.CodeNotFound},
+		{"/v1/flows/nosuch/layers/analytics/controller", `{"ref": 50}`, http.StatusNotFound, apiv1.CodeNotFound},
 	}
 	for _, c := range cases {
-		req := httptest.NewRequest(http.MethodPost, c.path, strings.NewReader(c.body))
-		rec := httptest.NewRecorder()
-		s.ServeHTTP(rec, req)
-		if rec.Code != c.want {
-			t.Errorf("%s %s: status = %d, want %d", c.path, c.body, rec.Code, c.want)
-		}
+		rec := do(t, s, http.MethodPost, c.path, c.body, nil)
+		wantEnvelope(t, rec, c.want, c.code)
 	}
 }
 
 func TestDecisionsEndpoint(t *testing.T) {
 	s, _ := newTestServer(t)
 	// 15 minutes at a 2-minute window = several decisions.
-	var ds []decisionResponse
-	if resp := get(t, s, "/api/layers/ingestion/decisions?n=5", &ds); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	var ds []apiv1.Decision
+	if rec := get(t, s, "/v1/flows/clicks/layers/ingestion/decisions?n=5", &ds); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if len(ds) == 0 || len(ds) > 5 {
 		t.Fatalf("decisions = %d, want 1..5", len(ds))
@@ -213,18 +317,15 @@ func TestDecisionsEndpoint(t *testing.T) {
 			t.Errorf("decision ref %v, want 60", d.Ref)
 		}
 	}
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/layers/ingestion/decisions?n=x", nil))
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("bad n: status = %d, want 400", rec.Code)
-	}
+	rec := get(t, s, "/v1/flows/clicks/layers/ingestion/decisions?n=x", nil)
+	wantEnvelope(t, rec, http.StatusBadRequest, apiv1.CodeInvalidArgument)
 }
 
 func TestMetricsListCoversAllPlatforms(t *testing.T) {
 	s, _ := newTestServer(t)
-	var out map[string][]metricIDResponse
-	if resp := get(t, s, "/api/metrics", &out); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	var out map[string][]apiv1.MetricID
+	if rec := get(t, s, "/v1/flows/clicks/metrics", &out); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	for _, ns := range []string{"Ingestion/Stream", "Analytics/Compute", "Storage/KVStore", "Workload/Generator", "Billing"} {
 		if len(out[ns]) == 0 {
@@ -234,13 +335,14 @@ func TestMetricsListCoversAllPlatforms(t *testing.T) {
 }
 
 func TestMetricsQueryReturnsSeries(t *testing.T) {
-	s, mgr := newTestServer(t)
+	s, _ := newTestServer(t)
+	// The test flow's spec name equals its registry id, "clicks".
 	path := fmt.Sprintf(
-		"/api/metrics/query?ns=Analytics/Compute&name=CPUUtilization&dim.Topology=%s&window=10m&period=1m&stat=avg",
-		mgr.Spec().Name)
-	var series seriesResponse
-	if resp := get(t, s, path, &series); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+		"/v1/flows/clicks/metrics/query?ns=Analytics/Compute&name=CPUUtilization&dim.Topology=%s&window=10m&period=1m&stat=avg",
+		"clicks")
+	var series apiv1.Series
+	if rec := get(t, s, path, &series); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	// 10-minute window at 1-minute periods: 10 buckets, or 11 when the
 	// window boundary splits a bucket.
@@ -250,10 +352,65 @@ func TestMetricsQueryReturnsSeries(t *testing.T) {
 	if series.Stat != "Average" {
 		t.Errorf("stat = %q", series.Stat)
 	}
+	if series.Total != len(series.Points) || series.NextOffset != nil {
+		t.Errorf("unpaginated query: total %d, next %v", series.Total, series.NextOffset)
+	}
 	for _, p := range series.Points {
 		if p.V < 0 || p.V > 100 {
 			t.Errorf("CPU point %v out of range", p.V)
 		}
+	}
+}
+
+func TestMetricsQueryPagination(t *testing.T) {
+	s, _ := newTestServer(t)
+	base := "/v1/flows/clicks/metrics/query?ns=Analytics/Compute&name=CPUUtilization&dim.Topology=clicks&window=10m&period=1m"
+
+	var full apiv1.Series
+	get(t, s, base, &full)
+	total := full.Total
+	if total < 10 {
+		t.Fatalf("total = %d, want >= 10", total)
+	}
+
+	// Page through with limit 4 and reassemble.
+	var pages []apiv1.Point
+	offset := 0
+	for {
+		var page apiv1.Series
+		rec := get(t, s, fmt.Sprintf("%s&limit=4&offset=%d", base, offset), &page)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page status = %d", rec.Code)
+		}
+		if page.Total != total {
+			t.Errorf("page total = %d, want %d", page.Total, total)
+		}
+		if len(page.Points) > 4 {
+			t.Errorf("page size = %d, want <= 4", len(page.Points))
+		}
+		pages = append(pages, page.Points...)
+		if page.NextOffset == nil {
+			break
+		}
+		if *page.NextOffset != offset+4 {
+			t.Fatalf("next_offset = %d, want %d", *page.NextOffset, offset+4)
+		}
+		offset = *page.NextOffset
+	}
+	if len(pages) != total {
+		t.Fatalf("reassembled %d points, want %d", len(pages), total)
+	}
+	for i, p := range pages {
+		if p != full.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, p, full.Points[i])
+		}
+	}
+
+	// Offset past the end: empty page, no next.
+	var empty apiv1.Series
+	get(t, s, fmt.Sprintf("%s&limit=4&offset=%d", base, total+5), &empty)
+	if len(empty.Points) != 0 || empty.NextOffset != nil {
+		t.Errorf("past-end page: %d points, next %v", len(empty.Points), empty.NextOffset)
 	}
 }
 
@@ -262,20 +419,19 @@ func TestMetricsQueryValidation(t *testing.T) {
 	cases := []struct {
 		path string
 		want int
+		code apiv1.ErrorCode
 	}{
-		{"/api/metrics/query", http.StatusBadRequest},
-		{"/api/metrics/query?ns=X", http.StatusBadRequest},
-		{"/api/metrics/query?ns=X&name=Y&stat=bogus", http.StatusBadRequest},
-		{"/api/metrics/query?ns=X&name=Y&window=-1m", http.StatusBadRequest},
-		{"/api/metrics/query?ns=X&name=Y&period=zzz", http.StatusBadRequest},
-		{"/api/metrics/query?ns=NoSuch&name=Nope", http.StatusNotFound},
+		{"/v1/flows/clicks/metrics/query", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X&name=Y&stat=bogus", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X&name=Y&window=-1m", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X&name=Y&period=zzz", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X&name=Y&limit=-1", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=X&name=Y&offset=zz", http.StatusBadRequest, apiv1.CodeInvalidArgument},
+		{"/v1/flows/clicks/metrics/query?ns=NoSuch&name=Nope", http.StatusNotFound, apiv1.CodeNotFound},
 	}
 	for _, c := range cases {
-		rec := httptest.NewRecorder()
-		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, c.path, nil))
-		if rec.Code != c.want {
-			t.Errorf("%s: status = %d, want %d", c.path, rec.Code, c.want)
-		}
+		wantEnvelope(t, get(t, s, c.path, nil), c.want, c.code)
 	}
 }
 
@@ -287,8 +443,8 @@ func TestSnapshotEndpoint(t *testing.T) {
 			Metrics   []struct{ Last float64 }
 		}
 	}
-	if resp := get(t, s, "/api/snapshot?window=10m", &snap); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	if rec := get(t, s, "/v1/flows/clicks/snapshot?window=10m", &snap); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if len(snap.Sections) < 5 {
 		t.Errorf("sections = %d, want >= 5 platforms", len(snap.Sections))
@@ -296,14 +452,15 @@ func TestSnapshotEndpoint(t *testing.T) {
 }
 
 func TestDependenciesEndpoint(t *testing.T) {
-	s, _ := newTestServer(t)
+	s, reg := newTestServer(t)
 	// Advance enough for the dependency analyzer's minimum sample count.
-	if _, err := s.Advance(2 * time.Hour); err != nil {
+	f, _ := reg.Get("clicks")
+	if _, err := f.Advance(2 * time.Hour); err != nil {
 		t.Fatal(err)
 	}
-	var out []dependencyResponse
-	if resp := get(t, s, "/api/dependencies", &out); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	var out []apiv1.Dependency
+	if rec := get(t, s, "/v1/flows/clicks/dependencies", &out); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if len(out) == 0 {
 		t.Fatal("no dependencies learned")
@@ -315,15 +472,47 @@ func TestDependenciesEndpoint(t *testing.T) {
 	}
 }
 
-func TestDashboardRendersHTML(t *testing.T) {
+func TestPaceEndpointStartsAndStops(t *testing.T) {
 	s, _ := newTestServer(t)
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	var st apiv1.PaceState
+	rec := do(t, s, http.MethodPost, "/v1/flows/clicks/pace", `{"pace": 1200, "wall_tick": "10ms"}`, &st)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pace status = %d: %s", rec.Code, rec.Body)
+	}
+	if !st.Running || st.Pace != 1200 || st.WallTick != "10ms" {
+		t.Errorf("pace state = %+v", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+
+	get(t, s, "/v1/flows/clicks/pace", &st)
+	if !st.Running {
+		t.Error("pace state lost")
+	}
+
+	do(t, s, http.MethodPost, "/v1/flows/clicks/pace", `{"pace": 0}`, &st)
+	if st.Running {
+		t.Error("pacer still running after stop")
+	}
+	var status apiv1.Status
+	get(t, s, "/v1/flows/clicks/status", &status)
+	if status.Ticks <= 90 {
+		t.Errorf("pacer did not advance: %d ticks", status.Ticks)
+	}
+
+	rec = do(t, s, http.MethodPost, "/v1/flows/clicks/pace", `{"pace": -1}`, nil)
+	wantEnvelope(t, rec, http.StatusBadRequest, apiv1.CodeInvalidArgument)
+}
+
+// --- dashboards ---
+
+func TestDashboardRendersHTMLPerFlow(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := do(t, s, http.MethodGet, "/v1/flows/clicks/dashboard", "", nil)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
 	body := rec.Body.String()
-	for _, want := range []string{"<html", "ingestion", "analytics", "storage", "<svg", "Flower"} {
+	for _, want := range []string{"<html", "ingestion", "analytics", "storage", "<svg", "Flower", "/v1/flows/clicks/advance"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("dashboard missing %q", want)
 		}
@@ -333,46 +522,126 @@ func TestDashboardRendersHTML(t *testing.T) {
 	}
 }
 
+func TestRootServesDefaultDashboardOrIndex(t *testing.T) {
+	s, _ := newTestServer(t)
+	// One flow, no explicit default: root renders its dashboard.
+	rec := do(t, s, http.MethodGet, "/", "", nil)
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "flow “clicks”") {
+		t.Fatalf("root = %d: %.80s", rec.Code, rec.Body.String())
+	}
+	// Two flows, no default: root falls back to the index.
+	do(t, s, http.MethodPost, "/v1/flows", `{"id": "web", "peak": 1000}`, nil)
+	rec = do(t, s, http.MethodGet, "/", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"2 managed flows", "/v1/flows/clicks/dashboard", "/v1/flows/web/dashboard"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestWithDefaultFlowPinsRoot(t *testing.T) {
+	// The pinned flow "web" carries the default spec name "clickstream",
+	// distinguishing it from the pre-registered "clicks" flow.
+	s, _ := newTestServer(t, WithDefaultFlow("web"))
+	do(t, s, http.MethodPost, "/v1/flows", `{"id": "web", "peak": 1000}`, nil)
+	rec := do(t, s, http.MethodGet, "/", "", nil)
+	if !strings.Contains(rec.Body.String(), "/v1/flows/web/advance") {
+		t.Errorf("root did not render pinned default: %.80s", rec.Body.String())
+	}
+	var st apiv1.Status
+	get(t, s, "/api/status", &st)
+	if st.Flow != "clickstream" {
+		t.Errorf("legacy status flow = %q, want clickstream", st.Flow)
+	}
+}
+
+// --- legacy aliases ---
+
+func TestLegacyAliasesServeDefaultFlow(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	// The old server wrote the bare flow.Spec; the alias must keep that
+	// shape so pre-v1 callers still decode it.
+	var spec flow.Spec
+	if rec := get(t, s, "/api/flow", &spec); rec.Code != http.StatusOK {
+		t.Fatalf("/api/flow status = %d", rec.Code)
+	}
+	if spec.Name != "clicks" || len(spec.Layers) != 3 {
+		t.Errorf("legacy flow = %q with %d layers", spec.Name, len(spec.Layers))
+	}
+
+	var st apiv1.Status
+	get(t, s, "/api/status", &st)
+	if st.Ticks != 90 {
+		t.Errorf("legacy status ticks = %d, want 90", st.Ticks)
+	}
+
+	var layers []apiv1.Layer
+	get(t, s, "/api/layers", &layers)
+	if len(layers) != 3 {
+		t.Errorf("legacy layers = %d, want 3", len(layers))
+	}
+
+	rec := do(t, s, http.MethodPost, "/api/advance?d=10m", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy advance = %d: %s", rec.Code, rec.Body)
+	}
+	get(t, s, "/api/status", &st)
+	if st.Ticks != 150 {
+		t.Errorf("ticks after legacy advance = %d, want 150", st.Ticks)
+	}
+
+	var ctrl apiv1.Controller
+	rec = do(t, s, http.MethodPost, "/api/layers/analytics/controller", `{"ref": 70}`, &ctrl)
+	if rec.Code != http.StatusOK || ctrl.Ref != 70 {
+		t.Errorf("legacy tune = %d, ref %v", rec.Code, ctrl.Ref)
+	}
+
+	var metrics map[string][]apiv1.MetricID
+	get(t, s, "/api/metrics", &metrics)
+	if len(metrics) == 0 {
+		t.Error("legacy metrics empty")
+	}
+	var series apiv1.Series
+	rec = get(t, s, "/api/metrics/query?ns=Analytics/Compute&name=CPUUtilization&dim.Topology=clicks&window=10m", &series)
+	if rec.Code != http.StatusOK || len(series.Points) == 0 {
+		t.Errorf("legacy query = %d with %d points", rec.Code, len(series.Points))
+	}
+	if rec := get(t, s, "/api/snapshot?window=10m", nil); rec.Code != http.StatusOK {
+		t.Errorf("legacy snapshot = %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/layers/ingestion/decisions?n=3", nil); rec.Code != http.StatusOK {
+		t.Errorf("legacy decisions = %d", rec.Code)
+	}
+}
+
+func TestLegacyAliasesNeedResolvableDefault(t *testing.T) {
+	reg := registry.New()
+	s := NewServer(reg)
+	wantEnvelope(t, get(t, s, "/api/status", nil), http.StatusNotFound, apiv1.CodeNotFound)
+
+	// Two flows without a configured default is ambiguous.
+	s2, _ := newTestServer(t)
+	do(t, s2, http.MethodPost, "/v1/flows", `{"id": "web", "peak": 1000}`, nil)
+	wantEnvelope(t, get(t, s2, "/api/status", nil), http.StatusNotFound, apiv1.CodeNotFound)
+}
+
 func TestUnknownRouteIs404(t *testing.T) {
 	s, _ := newTestServer(t)
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	rec := do(t, s, http.MethodGet, "/nope", "", nil)
 	if rec.Code != http.StatusNotFound {
 		t.Errorf("status = %d, want 404", rec.Code)
 	}
-}
-
-func TestPacerAdvancesAndStops(t *testing.T) {
-	s, _ := newTestServer(t)
-	var before statusResponse
-	get(t, s, "/api/status", &before)
-
-	// 20 simulated minutes per wall second, ticking every 10ms: each wall
-	// tick owes 12s of simulated time, comfortably above the 10s sim step.
-	s.StartPacing(1200, 10*time.Millisecond)
-	time.Sleep(120 * time.Millisecond)
-	s.StopPacing()
-
-	var after statusResponse
-	get(t, s, "/api/status", &after)
-	if after.Ticks <= before.Ticks {
-		t.Errorf("pacer did not advance: %d -> %d ticks", before.Ticks, after.Ticks)
-	}
-	// After StopPacing, time must stand still.
-	var later statusResponse
-	time.Sleep(50 * time.Millisecond)
-	get(t, s, "/api/status", &later)
-	if later.Ticks != after.Ticks {
-		t.Errorf("pacer still running after stop: %d -> %d ticks", after.Ticks, later.Ticks)
-	}
-}
-
-func TestStopPacingWithoutStartIsNoop(t *testing.T) {
-	s, _ := newTestServer(t)
-	s.StopPacing() // must not panic
+	wantEnvelope(t, get(t, s, "/v1/flows/ghost/status", nil), http.StatusNotFound, apiv1.CodeNotFound)
 }
 
 func TestLayersIncludeReadResourceWhenDashboardEnabled(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
 	spec, err := flow.NewBuilder("clicks").
 		WithWorkload(flow.WorkloadSpec{Pattern: "constant", Base: 1000}).
 		WithIngestion(2, 1, 50, flow.DefaultAdaptive(60, 2*time.Minute, 4)).
@@ -385,17 +654,17 @@ func TestLayersIncludeReadResourceWhenDashboardEnabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr, err := core.NewManager(spec, sim.Options{Step: 10 * time.Second, Seed: 3})
+	f, err := reg.Create("clicks", spec, sim.Options{Step: 10 * time.Second, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewServer(mgr)
-	if _, err := s.Advance(15 * time.Minute); err != nil {
+	if _, err := f.Advance(15 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	var layers []layerResponse
-	if resp := get(t, s, "/api/layers", &layers); resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
+	s := NewServer(reg)
+	var layers []apiv1.Layer
+	if rec := get(t, s, "/v1/flows/clicks/layers", &layers); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
 	}
 	if len(layers) != 4 {
 		t.Fatalf("layers = %d, want 4 (three layers + storage-reads)", len(layers))
@@ -408,14 +677,12 @@ func TestLayersIncludeReadResourceWhenDashboardEnabled(t *testing.T) {
 		t.Error("read controller not exposed")
 	}
 	// The read controller is tunable through the same endpoint.
-	req := httptest.NewRequest(http.MethodPost, "/api/layers/storage-reads/controller",
-		strings.NewReader(`{"ref": 50}`))
-	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, req)
+	var ctrl apiv1.Controller
+	rec := do(t, s, http.MethodPost, "/v1/flows/clicks/layers/storage-reads/controller", `{"ref": 50}`, &ctrl)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("tune status = %d: %s", rec.Code, rec.Body)
 	}
-	if got := mgr.Harness().Loops[flow.StorageReads].Ref(); got != 50 {
-		t.Errorf("read loop ref = %v, want 50", got)
+	if ctrl.Ref != 50 {
+		t.Errorf("read loop ref = %v, want 50", ctrl.Ref)
 	}
 }

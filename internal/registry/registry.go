@@ -1,0 +1,284 @@
+// Package registry is the multi-flow heart of the v1 control plane: a
+// concurrency-safe collection of named, independently-managed flows. Where
+// the original HTTP server wrapped exactly one core.Manager behind one
+// server-wide mutex, the registry gives every flow its own lock and its own
+// optional wall-clock pacer, so one daemon can create, advance, pace and
+// delete many flows concurrently — the prerequisite for the ROADMAP's
+// many-tenants north star.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+// Errors returned by registry operations; the HTTP layer maps them onto
+// status codes (409, 404, 400).
+var (
+	ErrExists   = errors.New("flow already exists")
+	ErrNotFound = errors.New("flow not found")
+	ErrBadID    = errors.New("invalid flow id")
+)
+
+// MaxIDLength bounds flow identifiers so they stay usable as URL path
+// segments and log fields.
+const MaxIDLength = 64
+
+// ValidateID checks that id is non-empty, within length bounds, and made of
+// URL-path-safe characters (letters, digits, '.', '_', '-').
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrBadID)
+	}
+	if len(id) > MaxIDLength {
+		return fmt.Errorf("%w: %q longer than %d bytes", ErrBadID, id, MaxIDLength)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("%w: %q contains %q (allowed: letters, digits, '.', '_', '-')", ErrBadID, id, r)
+		}
+	}
+	return nil
+}
+
+// Flow is one registered flow: a core.Manager plus the lock that serialises
+// all simulation access to it and the state of its optional pacer. Two
+// different flows never contend on each other's locks.
+type Flow struct {
+	id      string
+	created time.Time
+
+	// mu serialises every touch of mgr (the simulation harness is
+	// single-threaded by design).
+	mu  sync.Mutex
+	mgr *core.Manager
+
+	// pacerMu guards the pacer fields below. It is separate from mu so
+	// stopping a pacer can wait for the pacer goroutine, which itself
+	// acquires mu through Advance.
+	pacerMu   sync.Mutex
+	pacerStop chan struct{}
+	pacerDone chan struct{}
+	pace      float64
+	wallTick  time.Duration
+	// pacerErr records why the last pacer died on its own (an Advance
+	// failure); cleared when a new pacer starts.
+	pacerErr error
+}
+
+// ID returns the flow's registry identifier.
+func (f *Flow) ID() string { return f.id }
+
+// Created returns when the flow was registered (wall clock).
+func (f *Flow) Created() time.Time { return f.created }
+
+// View runs fn with exclusive access to the flow's manager. The manager and
+// everything reachable from it (harness, store, loops) must only be touched
+// inside fn.
+func (f *Flow) View(fn func(m *core.Manager)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f.mgr)
+}
+
+// Advance runs the flow's simulation forward by d under the flow lock.
+func (f *Flow) Advance(d time.Duration) (sim.Result, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mgr.Run(d)
+}
+
+// StartPacing advances the flow continuously: every wallTick of wall time,
+// the flow moves pace simulated seconds per wall second. A pacer already
+// running is replaced. Safe to call concurrently with StopPacing — the
+// pacer state has its own lock, fixing the double-close race of the old
+// single-flow server.
+func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
+	if pace <= 0 {
+		return fmt.Errorf("pace %v must be positive", pace)
+	}
+	if wallTick <= 0 {
+		return fmt.Errorf("wall tick %v must be positive", wallTick)
+	}
+	f.mu.Lock()
+	simStep := f.mgr.Harness().Scheduler.Step()
+	f.mu.Unlock()
+
+	f.pacerMu.Lock()
+	defer f.pacerMu.Unlock()
+	f.stopPacerLocked()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.pacerStop, f.pacerDone = stop, done
+	f.pace, f.wallTick = pace, wallTick
+	f.pacerErr = nil
+	perWallTick := time.Duration(pace * float64(wallTick))
+	go func() {
+		var failure error
+		// On an Advance failure the pacer dies on its own: close done
+		// FIRST (a concurrent StopPacing may be waiting on it while
+		// holding pacerMu), then clear the pacer state if nobody has
+		// replaced it yet, so the flow doesn't report a dead pacer as
+		// running.
+		defer func() {
+			close(done)
+			f.pacerMu.Lock()
+			if f.pacerDone == done {
+				f.pacerStop, f.pacerDone = nil, nil
+				f.pace, f.wallTick = 0, 0
+				f.pacerErr = failure
+			}
+			f.pacerMu.Unlock()
+		}()
+		t := time.NewTicker(wallTick)
+		defer t.Stop()
+		var debt time.Duration // simulated time owed but not yet advanced
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// The scheduler advances in whole simulation steps, so
+				// carry sub-step remainders forward instead of losing them.
+				debt += perWallTick
+				if due := debt / simStep * simStep; due > 0 {
+					debt -= due
+					if _, err := f.Advance(due); err != nil {
+						failure = err
+						return
+					}
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// StopPacing halts the flow's pacer, if any, and waits for it to exit.
+func (f *Flow) StopPacing() {
+	f.pacerMu.Lock()
+	defer f.pacerMu.Unlock()
+	f.stopPacerLocked()
+}
+
+// stopPacerLocked swaps the pacer channels out under pacerMu, so exactly
+// one caller ever closes a given stop channel.
+func (f *Flow) stopPacerLocked() {
+	stop, done := f.pacerStop, f.pacerDone
+	f.pacerStop, f.pacerDone = nil, nil
+	f.pace, f.wallTick = 0, 0
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Pacing reports whether a pacer is running and at what pace.
+func (f *Flow) Pacing() (pace float64, wallTick time.Duration, running bool) {
+	f.pacerMu.Lock()
+	defer f.pacerMu.Unlock()
+	return f.pace, f.wallTick, f.pacerStop != nil
+}
+
+// PaceError returns why the last pacer died on its own (an Advance
+// failure), or nil. Starting a new pacer clears it.
+func (f *Flow) PaceError() error {
+	f.pacerMu.Lock()
+	defer f.pacerMu.Unlock()
+	return f.pacerErr
+}
+
+// Registry is a concurrency-safe collection of named flows.
+type Registry struct {
+	mu    sync.RWMutex
+	flows map[string]*Flow
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{flows: make(map[string]*Flow)}
+}
+
+// Create materialises spec under opts and registers it as id. It fails with
+// ErrBadID for unusable ids, ErrExists for duplicates, and passes through
+// materialisation errors (invalid specs).
+func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	// Materialise outside the registry lock: sim.New is the expensive part
+	// and must not serialise unrelated creates.
+	mgr, err := core.NewManager(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{id: id, created: time.Now(), mgr: mgr}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.flows[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	r.flows[id] = f
+	return f, nil
+}
+
+// Get returns the flow registered as id.
+func (r *Registry) Get(id string) (*Flow, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.flows[id]
+	return f, ok
+}
+
+// List returns all flows sorted by id.
+func (r *Registry) List() []*Flow {
+	r.mu.RLock()
+	out := make([]*Flow, 0, len(r.flows))
+	for _, f := range r.flows {
+		out = append(out, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Len returns the number of registered flows.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.flows)
+}
+
+// Delete stops the flow's pacer and removes it from the registry. An
+// Advance already in flight finishes on the detached flow harmlessly.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	f, ok := r.flows[id]
+	delete(r.flows, id)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	f.StopPacing()
+	return nil
+}
+
+// Close stops every flow's pacer. The registry remains usable.
+func (r *Registry) Close() {
+	for _, f := range r.List() {
+		f.StopPacing()
+	}
+}

@@ -1,0 +1,295 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+func testSpec(t *testing.T, name string) flow.Spec {
+	t.Helper()
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = name
+	return spec
+}
+
+func TestCreateGetListDelete(t *testing.T) {
+	r := New()
+	if _, err := r.Create("a", testSpec(t, "a"), sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("b", testSpec(t, "b"), sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	if f, ok := r.Get("a"); !ok || f.ID() != "a" {
+		t.Fatalf("Get(a) = %v, %v", f, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get(nope) found a flow")
+	}
+	flows := r.List()
+	if len(flows) != 2 || flows[0].ID() != "a" || flows[1].ID() != "b" {
+		t.Fatalf("List not sorted by id: %v, %v", flows[0].ID(), flows[1].ID())
+	}
+	if err := r.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second delete err = %v, want ErrNotFound", err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len after delete = %d, want 1", r.Len())
+	}
+}
+
+func TestCreateRejectsDuplicatesAndBadIDs(t *testing.T) {
+	r := New()
+	if _, err := r.Create("dup", testSpec(t, "dup"), sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("dup", testSpec(t, "dup"), sim.Options{}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate err = %v, want ErrExists", err)
+	}
+	for _, id := range []string{"", "has space", "slash/y", "q?x", string(make([]byte, MaxIDLength+1))} {
+		if _, err := r.Create(id, testSpec(t, "x"), sim.Options{}); !errors.Is(err, ErrBadID) {
+			t.Errorf("Create(%q) err = %v, want ErrBadID", id, err)
+		}
+	}
+	if err := ValidateID("ok-id_1.2"); err != nil {
+		t.Errorf("ValidateID(ok-id_1.2) = %v", err)
+	}
+}
+
+func TestCreateRejectsInvalidSpec(t *testing.T) {
+	r := New()
+	if _, err := r.Create("bad", flow.Spec{Name: "bad"}, sim.Options{}); err == nil {
+		t.Error("empty spec materialised")
+	}
+	if r.Len() != 0 {
+		t.Errorf("failed create left %d flows registered", r.Len())
+	}
+}
+
+func TestFlowsAdvanceIndependently(t *testing.T) {
+	r := New()
+	a, err := r.Create("a", testSpec(t, "a"), sim.Options{Step: 10 * time.Second, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Create("b", testSpec(t, "b"), sim.Options{Step: 10 * time.Second, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Advance(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Advance(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	ticks := func(f *Flow) (n int) {
+		f.View(func(m *core.Manager) { n = m.Harness().Result().Ticks })
+		return
+	}
+	if got := ticks(a); got != 60 {
+		t.Errorf("a ticks = %d, want 60", got)
+	}
+	if got := ticks(b); got != 120 {
+		t.Errorf("b ticks = %d, want 120", got)
+	}
+}
+
+// TestConcurrentAdvanceAcrossFlows drives many flows from many goroutines;
+// run with -race to prove per-flow locking suffices.
+func TestConcurrentAdvanceAcrossFlows(t *testing.T) {
+	r := New()
+	const flows = 4
+	for i := 0; i < flows; i++ {
+		id := fmt.Sprintf("f%d", i)
+		if _, err := r.Create(id, testSpec(t, id), sim.Options{Step: 10 * time.Second, Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, f := range r.List() {
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(f *Flow) {
+				defer wg.Done()
+				if _, err := f.Advance(5 * time.Minute); err != nil {
+					t.Errorf("%s: %v", f.ID(), err)
+				}
+			}(f)
+		}
+	}
+	wg.Wait()
+	for _, f := range r.List() {
+		var ticks int
+		f.View(func(m *core.Manager) { ticks = m.Harness().Result().Ticks })
+		if ticks != 90 { // 3 goroutines x 5 minutes at 10s ticks
+			t.Errorf("%s: ticks = %d, want 90", f.ID(), ticks)
+		}
+	}
+}
+
+func TestPacerAdvancesAndStops(t *testing.T) {
+	r := New()
+	f, err := r.Create("paced", testSpec(t, "paced"), sim.Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := func() (n int) {
+		f.View(func(m *core.Manager) { n = m.Harness().Result().Ticks })
+		return
+	}
+	// 20 simulated minutes per wall second, ticking every 10ms: each wall
+	// tick owes 12s of simulated time, comfortably above the 10s sim step.
+	if err := f.StartPacing(1200, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, running := f.Pacing(); !running {
+		t.Error("pacer not reported running")
+	}
+	time.Sleep(120 * time.Millisecond)
+	f.StopPacing()
+	after := ticks()
+	if after == 0 {
+		t.Error("pacer did not advance")
+	}
+	if _, _, running := f.Pacing(); running {
+		t.Error("pacer reported running after stop")
+	}
+	// After StopPacing, time must stand still.
+	time.Sleep(50 * time.Millisecond)
+	if later := ticks(); later != after {
+		t.Errorf("pacer still running after stop: %d -> %d ticks", after, later)
+	}
+}
+
+func TestStopPacingWithoutStartIsNoop(t *testing.T) {
+	r := New()
+	f, err := r.Create("idle", testSpec(t, "idle"), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.StopPacing() // must not panic
+}
+
+func TestPacingRejectsBadArguments(t *testing.T) {
+	r := New()
+	f, err := r.Create("x", testSpec(t, "x"), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StartPacing(0, time.Millisecond); err == nil {
+		t.Error("pace 0 accepted")
+	}
+	if err := f.StartPacing(60, 0); err == nil {
+		t.Error("wall tick 0 accepted")
+	}
+}
+
+// TestConcurrentStartStopPacing hammers the pacer lifecycle from many
+// goroutines. The old single-flow server read pacerStop/pacerDone without
+// a lock, so concurrent calls could double-close the stop channel and
+// panic; with -race this test proves the per-flow pacer state is safe.
+func TestConcurrentStartStopPacing(t *testing.T) {
+	r := New()
+	f, err := r.Create("hammer", testSpec(t, "hammer"), sim.Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if i%2 == 0 {
+					if err := f.StartPacing(600, 5*time.Millisecond); err != nil {
+						t.Error(err)
+					}
+				} else {
+					f.StopPacing()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	f.StopPacing()
+	if _, _, running := f.Pacing(); running {
+		t.Error("pacer running after final stop")
+	}
+}
+
+func TestPaceErrorNilAcrossLifecycle(t *testing.T) {
+	r := New()
+	f, err := r.Create("ok", testSpec(t, "ok"), sim.Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StartPacing(1200, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	f.StopPacing()
+	if err := f.PaceError(); err != nil {
+		t.Errorf("PaceError after clean stop = %v", err)
+	}
+	// Restarting clears any recorded failure and runs again.
+	if err := f.StartPacing(1200, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	f.StopPacing()
+	if err := f.PaceError(); err != nil {
+		t.Errorf("PaceError after restart = %v", err)
+	}
+}
+
+func TestDeleteStopsPacer(t *testing.T) {
+	r := New()
+	f, err := r.Create("doomed", testSpec(t, "doomed"), sim.Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StartPacing(1200, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, running := f.Pacing(); running {
+		t.Error("pacer running after delete")
+	}
+}
+
+func TestCloseStopsAllPacers(t *testing.T) {
+	r := New()
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("p%d", i)
+		f, err := r.Create(id, testSpec(t, id), sim.Options{Step: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StartPacing(1200, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	for _, f := range r.List() {
+		if _, _, running := f.Pacing(); running {
+			t.Errorf("%s: pacer running after Close", f.ID())
+		}
+	}
+}
