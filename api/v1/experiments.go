@@ -1,0 +1,56 @@
+package apiv1
+
+import (
+	"time"
+
+	"repro/internal/lab"
+)
+
+// Experiment wire types: the /v1/experiments surface of the Scenario
+// Lab (internal/lab). The experiment definition, trial summaries and
+// aggregates travel as the lab package's own JSON-tagged structs —
+// exactly as flow definitions travel as flow.Spec — so server, SDK and
+// engine cannot drift.
+
+// CreateExperimentRequest is the POST /v1/experiments payload. ID
+// defaults to the experiment's name.
+type CreateExperimentRequest struct {
+	ID   string   `json:"id,omitempty"`
+	Spec lab.Spec `json:"spec"`
+}
+
+// ExperimentSummary is one row of the experiment collection.
+type ExperimentSummary struct {
+	ID       string       `json:"id"`
+	Name     string       `json:"name"`
+	Status   lab.Status   `json:"status"`
+	Created  time.Time    `json:"created"`
+	Trials   int          `json:"trials"`
+	Progress lab.Progress `json:"progress"`
+}
+
+// ExperimentList is the GET /v1/experiments response.
+type ExperimentList struct {
+	Experiments []ExperimentSummary `json:"experiments"`
+	Count       int                 `json:"count"`
+}
+
+// ExperimentDetail is the GET /v1/experiments/{id} response: the
+// summary plus the full experiment definition and the expanded trial
+// coordinates.
+type ExperimentDetail struct {
+	ExperimentSummary
+	Spec lab.Spec    `json:"spec"`
+	Grid []lab.Trial `json:"trial_grid"`
+}
+
+// ExperimentResults is the GET /v1/experiments/{id}/results response:
+// every trial's summary plus cross-trial aggregates over the completed
+// ones. Served at any time — mid-run it covers the trials finished so
+// far, and after a cancellation whatever completed before the cancel.
+type ExperimentResults struct {
+	ID       string       `json:"id"`
+	Status   lab.Status   `json:"status"`
+	Progress lab.Progress `json:"progress"`
+	Results  lab.Results  `json:"results"`
+}

@@ -1,9 +1,10 @@
 // Package client is the typed Go SDK for Flower's v1 REST control plane
 // (internal/httpapi). It covers every v1 endpoint — flow lifecycle, status,
 // layers, controller tuning, decisions, paginated metric queries,
-// snapshots, dependency analysis, advancing and pacing — marshalling the
-// same wire structs the server does (repro/api/v1), so a compile-time type
-// mismatch between the two sides is impossible.
+// snapshots, dependency analysis, advancing and pacing, plus the Scenario
+// Lab's experiment farm (/v1/experiments) — marshalling the same wire
+// structs the server does (repro/api/v1), so a compile-time type mismatch
+// between the two sides is impossible.
 //
 //	c := client.New("http://127.0.0.1:8080")
 //	f, err := c.CreateFlow(ctx, apiv1.CreateFlowRequest{ID: "checkout", Peak: 3000})
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	apiv1 "repro/api/v1"
+	"repro/internal/lab"
 	"repro/internal/monitor"
 )
 
@@ -321,6 +323,104 @@ func (c *Client) Pace(ctx context.Context, id string) (apiv1.PaceState, error) {
 	var out apiv1.PaceState
 	err := c.do(ctx, http.MethodGet, flowPath(id, "/pace"), nil, &out)
 	return out, err
+}
+
+// --- Scenario Lab (/v1/experiments) ---
+
+func experimentPath(id string, suffix string) string {
+	return "/v1/experiments/" + url.PathEscape(id) + suffix
+}
+
+// CreateExperiment submits a Scenario Lab experiment; trials start
+// running on the server's worker pool immediately. Poll GetExperiment
+// (or use WaitExperiment) for progress and ExperimentResults for the
+// outcome.
+func (c *Client) CreateExperiment(ctx context.Context, req apiv1.CreateExperimentRequest) (apiv1.ExperimentSummary, error) {
+	var out apiv1.ExperimentSummary
+	err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out)
+	return out, err
+}
+
+// ListExperiments returns every submitted experiment, sorted by id.
+func (c *Client) ListExperiments(ctx context.Context) ([]apiv1.ExperimentSummary, error) {
+	var out apiv1.ExperimentList
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// GetExperiment returns one experiment's summary, definition and
+// expanded trial grid.
+func (c *Client) GetExperiment(ctx context.Context, id string) (apiv1.ExperimentDetail, error) {
+	var out apiv1.ExperimentDetail
+	err := c.do(ctx, http.MethodGet, experimentPath(id, ""), nil, &out)
+	return out, err
+}
+
+// CancelExperiment stops an experiment: queued trials are cancelled and
+// running trials stop at their next chunk boundary. Results of trials
+// already completed remain available.
+func (c *Client) CancelExperiment(ctx context.Context, id string) (apiv1.ExperimentSummary, error) {
+	var out apiv1.ExperimentSummary
+	err := c.do(ctx, http.MethodPost, experimentPath(id, "/cancel"), nil, &out)
+	return out, err
+}
+
+// ExperimentResults fetches per-trial summaries plus cross-trial
+// aggregates. Callable at any time: mid-run it covers the trials
+// finished so far.
+func (c *Client) ExperimentResults(ctx context.Context, id string) (apiv1.ExperimentResults, error) {
+	var out apiv1.ExperimentResults
+	err := c.do(ctx, http.MethodGet, experimentPath(id, "/results"), nil, &out)
+	return out, err
+}
+
+// DeleteExperiment cancels an experiment and removes it from the store.
+func (c *Client) DeleteExperiment(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, experimentPath(id, ""), nil, nil)
+}
+
+// WaitExperiment polls until the experiment leaves the running state
+// (completed or cancelled) or ctx expires, then returns its final
+// summary. poll <= 0 selects a 100ms interval. It polls the collection
+// listing, which carries only summaries — not the per-trial grid the
+// detail route serialises — so waiting on a large farm stays cheap for
+// both sides.
+func (c *Client) WaitExperiment(ctx context.Context, id string, poll time.Duration) (apiv1.ExperimentSummary, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		exps, err := c.ListExperiments(ctx)
+		if err != nil {
+			return apiv1.ExperimentSummary{}, err
+		}
+		var sum *apiv1.ExperimentSummary
+		for i := range exps {
+			if exps[i].ID == id {
+				sum = &exps[i]
+				break
+			}
+		}
+		if sum == nil {
+			return apiv1.ExperimentSummary{}, &APIError{
+				StatusCode: http.StatusNotFound,
+				Code:       apiv1.CodeNotFound,
+				Message:    fmt.Sprintf("no experiment %q", id),
+			}
+		}
+		if sum.Status != lab.StatusRunning {
+			return *sum, nil
+		}
+		select {
+		case <-ctx.Done():
+			return *sum, ctx.Err()
+		case <-t.C:
+		}
+	}
 }
 
 // Dashboard fetches the flow's rendered HTML dashboard.

@@ -14,6 +14,7 @@ import (
 	apiv1 "repro/api/v1"
 	"repro/internal/flow"
 	"repro/internal/httpapi"
+	"repro/internal/lab"
 	"repro/internal/registry"
 )
 
@@ -395,4 +396,148 @@ func TestSpecTypesSharedWithServer(t *testing.T) {
 	var spec flow.Spec
 	req := apiv1.CreateFlowRequest{Spec: &spec}
 	_ = req // assignment compiling is the assertion
+}
+
+// TestSDKExperimentFarmEndToEnd is the Scenario Lab acceptance path: an
+// 8-trial experiment submitted through the Go SDK against a live control
+// plane runs its trials concurrently on the server's worker pool
+// (observable overlap), and the aggregated results include a Pareto
+// front over (cost, violation rate).
+func TestSDKExperimentFarmEndToEnd(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+	srv := httpapi.NewServer(reg, httpapi.WithLab(lab.NewEngine(4)))
+	t.Cleanup(srv.Lab().Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	// 4 workload patterns × 2 controller variants = 8 trials.
+	spec := lab.Spec{
+		Name:     "farm",
+		Peak:     800,
+		Duration: flow.Duration(15 * time.Minute),
+		Step:     flow.Duration(10 * time.Second),
+		Workloads: []lab.WorkloadVariant{
+			{Name: "constant", Workload: flow.WorkloadSpec{Pattern: "constant", Base: 300, Poisson: true, Seed: 3}},
+			{Name: "step", Workload: flow.WorkloadSpec{Pattern: "step", Base: 200, Peak: 700, At: flow.Duration(5 * time.Minute)}},
+			{Name: "sine", Workload: flow.WorkloadSpec{Pattern: "sine", Base: 200, Peak: 600, Period: flow.Duration(30 * time.Minute), Poisson: true, Seed: 4}},
+			{Name: "spike", Workload: flow.WorkloadSpec{Pattern: "spike", Base: 200, Peak: 500, Period: flow.Duration(2 * time.Hour), At: flow.Duration(5 * time.Minute), Length: flow.Duration(4 * time.Minute), Factor: 3, Poisson: true, Seed: 5}},
+		},
+		Controllers: []lab.ControllerVariant{
+			{Name: "adaptive"},
+			{Name: "static", Layers: map[flow.LayerKind]flow.ControllerSpec{
+				flow.Ingestion: {Type: flow.ControllerNone},
+				flow.Analytics: {Type: flow.ControllerNone},
+				flow.Storage:   {Type: flow.ControllerNone},
+			}},
+		},
+		Baseline: "constant/static",
+	}
+
+	created, err := c.CreateExperiment(ctx, apiv1.CreateExperimentRequest{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "farm" || created.Trials != 8 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	final, err := c.WaitExperiment(ctx, "farm", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != lab.StatusCompleted {
+		t.Fatalf("status = %q", final.Status)
+	}
+	if final.Progress.MaxConcurrent < 2 {
+		t.Fatalf("no observable trial overlap: max concurrent = %d", final.Progress.MaxConcurrent)
+	}
+
+	res, err := c.ExperimentResults(ctx, "farm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Results.Aggregates
+	if agg.Completed != 8 {
+		t.Fatalf("completed %d/8 trials", agg.Completed)
+	}
+	if len(agg.Pareto) == 0 {
+		t.Fatal("no Pareto front in the aggregates")
+	}
+	if agg.Baseline != "constant/static" || len(agg.Deltas) != 7 {
+		t.Fatalf("baseline deltas wrong: baseline %q, %d deltas", agg.Baseline, len(agg.Deltas))
+	}
+	names := map[string]bool{}
+	for _, tr := range res.Results.Trials {
+		if tr.Status != lab.TrialDone {
+			t.Fatalf("trial %q status %q (%s)", tr.Name, tr.Status, tr.Error)
+		}
+		if tr.TotalCost <= 0 || tr.Ticks != 90 {
+			t.Fatalf("trial %q degenerate: cost %v, ticks %d", tr.Name, tr.TotalCost, tr.Ticks)
+		}
+		names[tr.Name] = true
+	}
+	if !names["step/adaptive"] || !names["spike/static"] {
+		t.Fatalf("trial grid incomplete: %v", names)
+	}
+
+	// The experiment coexists with flows on the same control plane.
+	mustCreate(t, c, "web", 5*time.Minute)
+	list, err := c.ListExperiments(ctx)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("ListExperiments = %v, %v", list, err)
+	}
+	if err := c.DeleteExperiment(ctx, "farm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetExperiment(ctx, "farm"); !IsNotFound(err) {
+		t.Fatalf("get after delete = %v", err)
+	}
+}
+
+// TestSDKExperimentCancelMidRun cancels a long experiment through the
+// SDK and still reads partial results afterwards.
+func TestSDKExperimentCancelMidRun(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+	srv := httpapi.NewServer(reg, httpapi.WithLab(lab.NewEngine(1)))
+	t.Cleanup(srv.Lab().Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	spec := lab.Spec{
+		Name:     "slow",
+		Peak:     600,
+		Duration: flow.Duration(12 * time.Hour),
+		Seeds:    []int64{0, 1, 2, 3},
+	}
+	if _, err := c.CreateExperiment(ctx, apiv1.CreateExperimentRequest{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelExperiment(ctx, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitExperiment(ctx, "slow", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != lab.StatusCancelled {
+		t.Fatalf("status = %q", final.Status)
+	}
+	res, err := c.ExperimentResults(ctx, "slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results.Trials) != 4 {
+		t.Fatalf("results cover %d trials", len(res.Results.Trials))
+	}
+	for _, tr := range res.Results.Trials {
+		if tr.Status == lab.TrialRunning || tr.Status == lab.TrialPending {
+			t.Fatalf("trial %q unsettled after cancel: %q", tr.Name, tr.Status)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 // Command flowctl creates, validates and inspects flow definitions — the
 // command-line Flow Builder and Configuration Wizard (§4 steps 1–2) — and
-// drives a running flowerd control plane through the repro/client SDK.
+// drives a running flowerd control plane through the repro/client SDK,
+// including the Scenario Lab's experiment farm.
 //
 // Local usage:
 //
@@ -17,12 +18,23 @@
 //	flowctl advance -url http://host:8080 -flow web -d 30m
 //	flowctl tune -url http://host:8080 -flow web -layer analytics [-ref 70] [-window 4m] [-dead-band 5]
 //	flowctl delete -url http://host:8080 -flow web
+//
+// Experiment farm (Scenario Lab, /v1/experiments):
+//
+//	flowctl experiments create -url http://host:8080 -spec exp.json [-id sweep] [-wait]
+//	flowctl experiments list -url http://host:8080
+//	flowctl experiments get -url http://host:8080 -id sweep
+//	flowctl experiments results -url http://host:8080 -id sweep [-json]
+//	flowctl experiments cancel -url http://host:8080 -id sweep
+//	flowctl experiments delete -url http://host:8080 -id sweep
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -30,6 +42,7 @@ import (
 	apiv1 "repro/api/v1"
 	"repro/client"
 	"repro/internal/flow"
+	"repro/internal/lab"
 	"repro/internal/nsga2"
 	"repro/internal/sim"
 
@@ -40,6 +53,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowctl: ")
 	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "flowctl: a subcommand is required")
 		usage()
 	}
 	switch os.Args[1] {
@@ -63,16 +77,50 @@ func main() {
 		cmdTune(os.Args[2:])
 	case "delete":
 		cmdDelete(os.Args[2:])
+	case "experiments":
+		cmdExperiments(os.Args[2:])
+	case "help", "-h", "-help", "--help":
+		printUsage(os.Stdout) // requested help is a success
 	default:
+		fmt.Fprintf(os.Stderr, "flowctl: unknown subcommand %q\n", os.Args[1])
 		usage()
 	}
 }
 
+// usage enumerates every subcommand on stderr and exits non-zero, so
+// scripts and typos never silently succeed; requested help goes through
+// printUsage directly and exits 0.
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: flowctl <command> [args]
-local:   init | validate | show | plan
-remote:  create | list | status | advance | tune | delete   (all take -url)`)
+	printUsage(os.Stderr)
 	os.Exit(2)
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, `usage: flowctl <command> [args]
+
+local (flow definitions):
+  init        write the default click-stream flow definition
+  validate    check a flow definition file
+  show        summarise a flow definition file
+  plan        Pareto-optimal resource shares for a definition (§3.2)
+
+remote (against flowerd -http; all take -url):
+  create      register a flow on the control plane
+  list        list registered flows
+  status      one flow's live run summary
+  advance     move one flow's simulated time forward
+  tune        adjust a layer controller at runtime
+  delete      stop and remove a flow
+
+experiment farm (Scenario Lab; all take -url):
+  experiments create     submit an experiment grid (-spec exp.json)
+  experiments list       list experiments
+  experiments get        one experiment's progress and trial grid
+  experiments results    per-trial summaries and cross-trial aggregates
+  experiments cancel     stop a running experiment
+  experiments delete     cancel and remove an experiment
+
+run 'flowctl <command> -h' for the command's flags`)
 }
 
 func cmdInit(args []string) {
@@ -314,4 +362,203 @@ func cmdDelete(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("deleted flow %q\n", *id)
+}
+
+// --- experiment farm (Scenario Lab) ---
+
+func cmdExperiments(args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "flowctl: experiments needs an action: create | list | get | results | cancel | delete")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "create":
+		cmdExperimentsCreate(args[1:])
+	case "list":
+		cmdExperimentsList(args[1:])
+	case "get":
+		cmdExperimentsGet(args[1:])
+	case "results":
+		cmdExperimentsResults(args[1:])
+	case "cancel":
+		cmdExperimentsCancel(args[1:])
+	case "delete":
+		cmdExperimentsDelete(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "flowctl: unknown experiments action %q (want create | list | get | results | cancel | delete)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// experimentID extracts the required -id value.
+func experimentID(fs *flag.FlagSet) *string {
+	return fs.String("id", "", "experiment id (required)")
+}
+
+func needExperiment(id string) string {
+	if id == "" {
+		log.Fatal("-id is required")
+	}
+	return id
+}
+
+func cmdExperimentsCreate(args []string) {
+	fs, url := remoteFlags("experiments create")
+	id := fs.String("id", "", "experiment id (default: the spec's name)")
+	specPath := fs.String("spec", "", "JSON experiment definition (lab.Spec) to submit (required)")
+	wait := fs.Bool("wait", false, "poll until the experiment settles, then print its results")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval with -wait")
+	fs.Parse(args)
+	if *specPath == "" {
+		log.Fatal("-spec is required (a JSON lab.Spec experiment definition)")
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var spec lab.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		log.Fatalf("experiment definition %s: %v", *specPath, err)
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("experiment definition %s: %v", *specPath, err)
+	}
+
+	c := dial(*url)
+	ctx := context.Background()
+	sum, err := c.CreateExperiment(ctx, apiv1.CreateExperimentRequest{ID: *id, Spec: spec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted experiment %q (%d trials)\n", sum.ID, sum.Trials)
+	if !*wait {
+		fmt.Printf("follow it with: flowctl experiments get -url %s -id %s\n", *url, sum.ID)
+		return
+	}
+	final, err := c.WaitExperiment(ctx, sum.ID, *poll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %q %s (%d/%d trials done, max %d concurrent)\n",
+		final.ID, final.Status, final.Progress.Done, final.Progress.Total, final.Progress.MaxConcurrent)
+	res, err := c.ExperimentResults(ctx, sum.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printExperimentResults(res)
+}
+
+func cmdExperimentsList(args []string) {
+	fs, url := remoteFlags("experiments list")
+	fs.Parse(args)
+	exps, err := dial(*url).ListExperiments(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %-10s %7s %6s %6s %6s %6s\n", "ID", "STATUS", "TRIALS", "DONE", "RUN", "FAIL", "CANCEL")
+	for _, x := range exps {
+		fmt.Printf("%-20s %-10s %7d %6d %6d %6d %6d\n",
+			x.ID, x.Status, x.Trials, x.Progress.Done, x.Progress.Running,
+			x.Progress.Failed, x.Progress.Cancelled)
+	}
+}
+
+func cmdExperimentsGet(args []string) {
+	fs, url := remoteFlags("experiments get")
+	id := experimentID(fs)
+	fs.Parse(args)
+	x, err := dial(*url).GetExperiment(context.Background(), needExperiment(*id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := x.Progress
+	fmt.Printf("experiment %q: %s (%d trials: %d done, %d running, %d pending, %d failed, %d cancelled; max %d concurrent)\n",
+		x.ID, x.Status, p.Total, p.Done, p.Running, p.Pending, p.Failed, p.Cancelled, p.MaxConcurrent)
+	fmt.Printf("  duration %s per trial, step %s, %d seed(s)\n",
+		x.Spec.Duration.D(), x.Spec.Step.D(), len(x.Spec.Seeds))
+	for _, tr := range x.Grid {
+		fmt.Printf("  trial %-3d %s (sim seed %d)\n", tr.Index, tr.Name, tr.SimSeed)
+	}
+}
+
+func cmdExperimentsResults(args []string) {
+	fs, url := remoteFlags("experiments results")
+	id := experimentID(fs)
+	asJSON := fs.Bool("json", false, "print the raw JSON results instead of tables")
+	fs.Parse(args)
+	res, err := dial(*url).ExperimentResults(context.Background(), needExperiment(*id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("experiment %q: %s (%d/%d trials done)\n",
+		res.ID, res.Status, res.Progress.Done, res.Progress.Total)
+	printExperimentResults(res)
+}
+
+// printExperimentResults renders the per-trial table and the aggregates.
+func printExperimentResults(res apiv1.ExperimentResults) {
+	fmt.Printf("  %-32s %-10s %10s %10s %8s %10s\n", "trial", "status", "cost ($)", "viol.rate", "actions", "|err| mean")
+	for _, tr := range res.Results.Trials {
+		actions := 0
+		for _, n := range tr.Actions {
+			actions += n
+		}
+		fmt.Printf("  %-32s %-10s %10.4f %10.3f %8d %10.2f\n",
+			tr.Name, tr.Status, tr.TotalCost, tr.ViolationRate, actions, tr.MeanAbsError)
+	}
+	agg := res.Results.Aggregates
+	if agg.Completed == 0 {
+		return
+	}
+	fmt.Printf("aggregates over %d completed trials:\n", agg.Completed)
+	fmt.Printf("  mean cost $%.4f, mean violation rate %.3f\n", agg.MeanCost, agg.MeanViolationRate)
+	if agg.BestCost != nil && agg.WorstCost != nil {
+		fmt.Printf("  cost:       best %s ($%.4f), worst %s ($%.4f)\n",
+			agg.BestCost.Name, agg.BestCost.Value, agg.WorstCost.Name, agg.WorstCost.Value)
+	}
+	if agg.BestViolation != nil && agg.WorstViolation != nil {
+		fmt.Printf("  violations: best %s (%.3f), worst %s (%.3f)\n",
+			agg.BestViolation.Name, agg.BestViolation.Value, agg.WorstViolation.Name, agg.WorstViolation.Value)
+	}
+	if len(agg.Pareto) > 0 {
+		fmt.Printf("  Pareto front over (cost, violation rate):\n")
+		for _, p := range agg.Pareto {
+			fmt.Printf("    %-32s $%.4f  %.3f\n", p.Name, p.TotalCost, p.ViolationRate)
+		}
+	}
+	if len(agg.Deltas) > 0 {
+		fmt.Printf("  deltas vs baseline %q:\n", agg.Baseline)
+		for _, d := range agg.Deltas {
+			fmt.Printf("    %-32s cost %+.1f%%  viol %+.3f\n", d.Name, d.CostPct, d.ViolationDelta)
+		}
+	}
+}
+
+func cmdExperimentsCancel(args []string) {
+	fs, url := remoteFlags("experiments cancel")
+	id := experimentID(fs)
+	fs.Parse(args)
+	sum, err := dial(*url).CancelExperiment(context.Background(), needExperiment(*id))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cancelled experiment %q (%d trials done before the cancel)\n", sum.ID, sum.Progress.Done)
+}
+
+func cmdExperimentsDelete(args []string) {
+	fs, url := remoteFlags("experiments delete")
+	id := experimentID(fs)
+	fs.Parse(args)
+	if err := dial(*url).DeleteExperiment(context.Background(), needExperiment(*id)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted experiment %q\n", *id)
 }

@@ -13,7 +13,9 @@
 // With -http, flowerd serves the multi-flow v1 control plane
 // (internal/httpapi): the /v1/flows collection, per-flow status, controller
 // tuning, paginated metric queries, dependency analysis, advance and
-// pacing, plus per-flow HTML dashboards. -spec may repeat to serve several
+// pacing, plus per-flow HTML dashboards — and the Scenario Lab's
+// /v1/experiments farm, which fans declarative experiment grids out over
+// a worker pool sized by -lab-workers. -spec may repeat to serve several
 // flows at once, and -flows N serves N independently-seeded replicas of the
 // built-in flow; more flows can be created at runtime with POST /v1/flows
 // (see API.md, or use the repro/client SDK / flowctl's remote
@@ -37,6 +39,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/httpapi"
+	"repro/internal/lab"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/sim"
@@ -60,6 +63,7 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the HTTP control plane on this address instead of a batch run")
 	pace := flag.Float64("pace", 60, "with -http: simulated seconds advanced per wall second (0 = manual)")
 	replicas := flag.Int("flows", 1, "with -http and no -spec: serve this many independently-seeded replicas of the built-in flow")
+	labWorkers := flag.Int("lab-workers", 0, "with -http: worker pool width of the /v1/experiments farm (0: GOMAXPROCS)")
 	journalPath := flag.String("journal", "", "append the default flow's metric datapoints to this journal file (replayable with flowmon -replay)")
 	flag.Parse()
 
@@ -79,7 +83,7 @@ func main() {
 		serveHTTP(*httpAddr, serveConfig{
 			specPaths: specPaths, loadSpec: loadSpec,
 			peak: *peak, step: *step, seed: *seed, pace: *pace,
-			replicas: *replicas, journalPath: *journalPath,
+			replicas: *replicas, labWorkers: *labWorkers, journalPath: *journalPath,
 		})
 		return
 	}
@@ -168,6 +172,7 @@ type serveConfig struct {
 	seed        int64
 	pace        float64
 	replicas    int
+	labWorkers  int
 	journalPath string
 }
 
@@ -230,15 +235,19 @@ func serveHTTP(addr string, cfg serveConfig) {
 		}()
 	}
 
+	engine := lab.NewEngine(cfg.labWorkers)
+	defer engine.Close()
 	srv := httpapi.NewServer(reg,
 		httpapi.WithDefaultFlow(defaultID),
+		httpapi.WithLab(engine),
 		httpapi.WithLogger(log.New(os.Stderr, "flowerd: http: ", 0)))
 
 	fmt.Printf("flower: serving %d flows on %s (pace %.0f sim-s per wall-s)\n", reg.Len(), addr, cfg.pace)
 	for _, f := range reg.List() {
 		fmt.Printf("  flow %-24s dashboard http://%s/v1/flows/%s/dashboard\n", f.ID(), addr, f.ID())
 	}
-	fmt.Printf("  api:        http://%s/v1/flows\n  dashboard:  http://%s/\n", addr, addr)
+	fmt.Printf("  api:         http://%s/v1/flows\n  experiments: http://%s/v1/experiments (%d workers)\n  dashboard:   http://%s/\n",
+		addr, addr, engine.Workers(), addr)
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	// Serve until interrupted; a clean shutdown lets the deferred journal

@@ -2,111 +2,61 @@
 // (Eq. 6–7) and the baselines — fixed-gain [12], quasi-adaptive [14],
 // provider-style rules [1], and the gain-memory ablation — on a 4× step
 // workload. The companion paper [9] reports the adaptive controller
-// outperforming the baselines; this example lets you watch it do so.
+// outperforming the baselines; this example submits the comparison as
+// one Scenario Lab experiment, so the five variants run concurrently on
+// the worker pool instead of the serial loop this program used to be.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math"
-	"time"
 
-	"repro/internal/compute"
-	"repro/internal/flow"
-	"repro/internal/sim"
-	"repro/internal/timeseries"
-
-	flower "repro"
+	"repro/internal/exper"
+	"repro/internal/lab"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	kinds := []flower.ControllerSpec{
-		flower.DefaultAdaptive(60, 2*time.Minute, 4),
-		memoryless(),
-		{Type: flower.ControllerFixedGain, Ref: 60, Window: flower.Duration(2 * time.Minute), DeadBand: 5, L: 0.02},
-		{Type: flower.ControllerQuasiAdaptive, Ref: 60, Window: flower.Duration(2 * time.Minute), DeadBand: 5, Forgetting: 0.95},
-		{Type: flower.ControllerRule, Ref: 60, Window: flower.Duration(2 * time.Minute), High: 80, Low: 35, UpFactor: 1.5, DownFactor: 0.8, Cooldown: 2},
-	}
+	engine := lab.NewEngine(0)
+	defer engine.Close()
 
-	fmt.Printf("%-20s %-14s %-12s %-12s\n", "controller", "settle (min)", "viol. rate", "mean |err|")
-	for _, ctrl := range kinds {
-		settle, viol, absErr := run(ctrl)
-		settleStr := "never"
-		if !math.IsInf(settle, 1) {
-			settleStr = fmt.Sprintf("%.0f", settle)
-		}
-		fmt.Printf("%-20s %-14s %-12.3f %-12.1f\n", ctrl.Type, settleStr, viol, absErr)
-	}
-}
-
-func memoryless() flower.ControllerSpec {
-	c := flower.DefaultAdaptive(60, 2*time.Minute, 4)
-	c.Type = flower.ControllerMemoryless
-	return c
-}
-
-// run drives a step workload (1000 → 4000 rec/s at t=40min) under the given
-// analytics controller and reports settling time, violation rate, and mean
-// |CPU − 60| after the step.
-func run(ctrl flower.ControllerSpec) (settleMin, violRate, absErr float64) {
-	spec, err := flower.NewBuilder("clickstream").
-		WithWorkload(flower.WorkloadSpec{
-			Pattern: "step", Base: 1000, Peak: 4000, At: flower.Duration(40 * time.Minute),
-		}).
-		WithIngestion(2, 1, 50, scale(ctrl, 1)).
-		WithAnalytics(2, 1, 50, scale(ctrl, 1)).
-		WithStorage(200, 50, 20000, scale(ctrl, 100)).
-		Build()
+	spec := exper.ControllerShootoutSpec(1)
+	x, err := engine.Submit(spec.Name, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h, err := sim.New(spec, sim.Options{Step: 10 * time.Second, Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := h.Run(4 * time.Hour)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("running %d controller variants for %v each on %d workers...\n",
+		len(spec.Controllers), spec.Duration.D(), engine.Workers())
+	<-x.Done()
 
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
-		map[string]string{"Topology": spec.Name})
-	vals := cpu.Resample(time.Minute, timeseries.AggMean).Values()
-	const stepMin, ref = 40, 60.0
-
-	settleMin = math.Inf(1)
-	for i := stepMin; i < len(vals); i++ {
-		ok := true
-		for _, v := range vals[i:] {
-			if math.Abs(v-ref) > 10 {
-				ok = false
-				break
-			}
+	// The tail error answers the original shoot-out's settling question:
+	// a controller that settled after the step tracks the reference
+	// tightly over the final quarter of the run, one still hunting does
+	// not.
+	res := x.Results()
+	fmt.Printf("\n%-28s %-12s %-10s %-12s %-12s %-10s\n", "controller", "viol. rate", "actions", "|err| mean", "|err| tail", "cost ($)")
+	for _, tr := range res.Trials {
+		if tr.Status != lab.TrialDone {
+			fmt.Printf("%-28s %s: %s\n", tr.Controller, tr.Status, tr.Error)
+			continue
 		}
-		if ok {
-			settleMin = float64(i - stepMin)
-			break
+		actions := 0
+		for _, n := range tr.Actions {
+			actions += n
 		}
+		fmt.Printf("%-28s %-12.3f %-10d %-12.1f %-12.1f %-10.3f\n",
+			tr.Controller, tr.ViolationRate, actions, tr.MeanAbsError, tr.TailAbsError, tr.TotalCost)
 	}
-	var sum float64
-	for _, v := range vals[stepMin:] {
-		sum += math.Abs(v - ref)
-	}
-	absErr = sum / float64(len(vals)-stepMin)
-	return settleMin, res.ViolationRate, absErr
-}
 
-// scale multiplies the gain parameters of ctrl for layers with larger
-// allocation magnitudes (the storage layer holds hundreds of WCU).
-func scale(ctrl flower.ControllerSpec, factor float64) flower.ControllerSpec {
-	out := ctrl
-	out.L0 *= factor
-	out.Gamma *= factor
-	out.LMin *= factor
-	out.LMax *= factor
-	out.L *= factor
-	_ = flow.Storage
-	return out
+	agg := res.Aggregates
+	if agg.Completed == 0 {
+		log.Fatal("no trial completed")
+	}
+	fmt.Printf("\nbest tracking: %s (viol. rate %.3f); cheapest: %s ($%.3f)\n",
+		agg.BestViolation.Name, agg.BestViolation.Value, agg.BestCost.Name, agg.BestCost.Value)
+	fmt.Printf("deltas vs the %q baseline:\n", agg.Baseline)
+	for _, d := range agg.Deltas {
+		fmt.Printf("  %-28s cost %+.1f%%  viol %+.3f\n", d.Name, d.CostPct, d.ViolationDelta)
+	}
 }

@@ -1,69 +1,62 @@
-// Pareto: reproduce the Resource Share Analysis of §3.2 / Fig. 4 — given a
-// budget and the paper's assumptive dependency constraints, find the
-// Pareto-optimal resource shares of the three layers with NSGA-II, then
-// pick one plan and apply it as the initial allocation of a managed flow.
+// Pareto: reproduce the Resource Share Analysis of §3.2 / Fig. 4 — given
+// a budget and the paper's assumptive dependency constraints, find the
+// Pareto-optimal resource shares of the three layers with NSGA-II — and
+// then go one step further than the paper: submit every plan as an
+// allocation variant of one Scenario Lab experiment, run all of them
+// concurrently under management, and extract the *measured* Pareto front
+// over (cost, violation rate) from the trial outcomes. Where the paper
+// leaves picking a plan "either manually by the user or randomly by the
+// system", the farm answers it with data.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/nsga2"
-	"repro/internal/share"
-	"repro/internal/sim"
-
-	flower "repro"
+	"repro/internal/exper"
+	"repro/internal/lab"
 )
 
 func main() {
 	log.SetFlags(0)
 
 	// The paper's example: r(I)=shards, r(A)=VMs, r(S)=write capacity,
-	// subject to 5·r(A) ≥ r(I), 2·r(A) ≤ r(I), 2·r(I) ≤ r(S) and a budget.
-	problem := share.PaperExampleProblem(0.29, 0.015, 0.10, 0.00065)
-	plans, err := share.Analyze(problem, nsga2.Config{PopSize: 120, Generations: 250, Seed: 42})
+	// subject to 5·r(A) ≥ r(I), 2·r(A) ≤ r(I), 2·r(I) ≤ r(S) and a
+	// budget. SharePlanSpec solves it and encodes each plan as one trial.
+	spec, plans, err := exper.SharePlanSpec(42, 0.29)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("Pareto-optimal resource shares under a $%.2f/h budget (paper finds 6):\n", problem.Budget)
+	fmt.Printf("Pareto-optimal resource shares under a $0.29/h budget (paper finds 6):\n")
 	fmt.Printf("  %-8s %-6s %-6s %-8s\n", "shards", "vms", "wcu", "$/hour")
 	for _, p := range plans {
 		fmt.Printf("  %-8.0f %-6.0f %-6.0f %-8.4f\n", p.Amounts[0], p.Amounts[1], p.Amounts[2], p.HourlyCost)
 	}
 
-	// "One solution which is best suited to the problem in practice must be
-	// identified either manually by the user or randomly by the system" —
-	// take the plan with the most analytics VMs and run the flow with it.
-	best := plans[0]
-	for _, p := range plans {
-		if p.Amounts[1] > best.Amounts[1] {
-			best = p
-		}
+	engine := lab.NewEngine(0)
+	defer engine.Close()
+	x, err := engine.Submit(spec.Name, spec)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\napplying plan %v as the initial allocation...\n", best.Amounts)
+	fmt.Printf("\nrunning all %d plans for %v each under management (%d workers)...\n",
+		len(plans), spec.Duration.D(), engine.Workers())
+	<-x.Done()
 
-	window := 2 * time.Minute
-	spec, err := flower.NewBuilder("clickstream").
-		WithWorkload(flower.WorkloadSpec{Pattern: "constant", Base: 1800, Seed: 3}).
-		WithIngestion(best.Amounts[0], 1, 50, flower.DefaultAdaptive(60, window, 4)).
-		WithAnalytics(best.Amounts[1], 1, 50, flower.DefaultAdaptive(60, window, 4)).
-		WithStorage(best.Amounts[2], 10, 20000, flower.DefaultAdaptive(60, window, 400)).
-		WithBudget(problem.Budget).
-		Build()
-	if err != nil {
-		log.Fatal(err)
+	res := x.Results()
+	fmt.Printf("\n%-20s %-22s %-10s %-12s\n", "plan", "final allocation", "cost ($)", "viol. rate")
+	for _, tr := range res.Trials {
+		if tr.Status != lab.TrialDone {
+			fmt.Printf("%-20s %s: %s\n", tr.Allocation, tr.Status, tr.Error)
+			continue
+		}
+		alloc := fmt.Sprintf("%dsh/%dvm/%.0fwcu", tr.Final.Shards, tr.Final.VMs, tr.Final.WCU)
+		fmt.Printf("%-20s %-22s %-10.4f %-12.3f\n", tr.Allocation, alloc, tr.TotalCost, tr.ViolationRate)
 	}
-	mgr, err := flower.New(spec, sim.Options{Step: 10 * time.Second, Seed: 3})
-	if err != nil {
-		log.Fatal(err)
+
+	fmt.Printf("\nmeasured Pareto front over (cost, violation rate):\n")
+	for _, p := range res.Aggregates.Pareto {
+		fmt.Printf("  %-20s $%.4f  %.3f\n", p.Name, p.TotalCost, p.ViolationRate)
 	}
-	res, err := mgr.Run(90 * time.Minute)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("after 90 min under management: %d shards / %d VMs / %.0f WCU, cost $%.4f, violations %.1f%%\n",
-		res.FinalAllocation.Shards, res.FinalAllocation.VMs, res.FinalAllocation.WCU,
-		res.TotalCost, 100*res.ViolationRate)
+	fmt.Printf("pick from the measured front instead of \"manually or randomly\" (§3.2)\n")
 }

@@ -27,12 +27,52 @@
 //	if err != nil { ... }
 //	fmt.Printf("cost $%.2f, violations %.1f%%\n", res.TotalCost, 100*res.ViolationRate)
 //	mgr.RenderDashboard(os.Stdout, 30*time.Minute)
+//
+// # Scenario Lab
+//
+// Beyond managing one flow at a time, the Scenario Lab (internal/lab)
+// turns whole evaluation studies into first-class experiments: a
+// declarative grid of workload patterns × controller knob sets ×
+// initial-allocation plans × seeds expands into trials, which an engine
+// fans out over a bounded worker pool with deterministic per-trial
+// seeds, progress tracking and cancellation. Results come back as
+// per-trial summaries (cost, violation rate, utilisation) plus
+// cross-trial aggregates — best/worst, baseline deltas, and the Pareto
+// front over (cost, violation rate). The lab is also served remotely at
+// /v1/experiments (see API.md), driven by `flowctl experiments`, and
+// powers cmd/flowerbench's benchmark farm.
+//
+// Lab quickstart — compare two monitoring windows across two workload
+// patterns, eight simulated hours each, all cores busy:
+//
+//	engine := flower.NewLab(0) // 0: one worker per core
+//	defer engine.Close()
+//	x, err := engine.Submit("sweep", flower.ExperimentSpec{
+//		Name:     "sweep",
+//		Peak:     3000,
+//		Duration: flower.Duration(8 * time.Hour),
+//		Workloads: []flower.WorkloadVariant{
+//			{Name: "diurnal", Workload: flower.WorkloadSpec{Pattern: "diurnal", Base: 500, Peak: 3000, Period: flower.Duration(9 * time.Hour), Poisson: true}},
+//			{Name: "spike", Workload: flower.WorkloadSpec{Pattern: "spike", Base: 400, Peak: 1500, Period: flower.Duration(24 * time.Hour), At: flower.Duration(3 * time.Hour), Length: flower.Duration(45 * time.Minute), Factor: 5}},
+//		},
+//		Controllers: []flower.ControllerVariant{
+//			{Name: "fast", Layers: map[flower.LayerKind]flower.ControllerSpec{flower.Analytics: flower.DefaultAdaptive(60, time.Minute, 4)}},
+//			{Name: "slow", Layers: map[flower.LayerKind]flower.ControllerSpec{flower.Analytics: flower.DefaultAdaptive(60, 5*time.Minute, 4)}},
+//		},
+//	})
+//	if err != nil { ... }
+//	<-x.Done()
+//	res := x.Results()
+//	for _, p := range res.Aggregates.Pareto {
+//		fmt.Printf("%s: $%.2f at %.1f%% violations\n", p.Name, p.TotalCost, 100*p.ViolationRate)
+//	}
 package flower
 
 import (
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/flow"
+	"repro/internal/lab"
 	"repro/internal/monitor"
 	"repro/internal/nsga2"
 	"repro/internal/registry"
@@ -109,6 +149,30 @@ type (
 	// Snapshot is one all-in-one-place monitoring view.
 	Snapshot = monitor.Snapshot
 )
+
+// Scenario Lab types (the experiment farm; see internal/lab).
+type (
+	// Lab executes experiments on a bounded worker pool.
+	Lab = lab.Engine
+	// Experiment is one submitted experiment with live results.
+	Experiment = lab.Experiment
+	// ExperimentSpec is a declarative experiment grid.
+	ExperimentSpec = lab.Spec
+	// WorkloadVariant is one point on an experiment's workload axis.
+	WorkloadVariant = lab.WorkloadVariant
+	// ControllerVariant is one point on the controller-knobs axis.
+	ControllerVariant = lab.ControllerVariant
+	// AllocationVariant is one point on the initial-allocation axis.
+	AllocationVariant = lab.AllocationVariant
+	// TrialSummary is one trial's outcome.
+	TrialSummary = lab.TrialSummary
+	// ExperimentResults holds per-trial summaries plus aggregates.
+	ExperimentResults = lab.Results
+)
+
+// NewLab returns an experiment engine with the given worker-pool width
+// (workers <= 0 selects one worker per core).
+func NewLab(workers int) *Lab { return lab.NewEngine(workers) }
 
 // New materialises a flow and attaches the elasticity manager.
 func New(spec Spec, opts Options) (*Manager, error) {

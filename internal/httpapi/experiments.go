@@ -1,0 +1,110 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/lab"
+	"repro/internal/registry"
+)
+
+// Experiment handlers: the /v1/experiments surface of the Scenario Lab.
+// Experiments run asynchronously on the server's shared worker pool;
+// creation returns immediately and progress/results are polled.
+
+func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.CreateExperimentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid body: %v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = req.Spec.Name
+	}
+	x, err := s.lab.Submit(id, req.Spec)
+	switch {
+	case errors.Is(err, lab.ErrExists):
+		writeError(w, http.StatusConflict, apiv1.CodeConflict, "%v", err)
+		return
+	case errors.Is(err, registry.ErrBadID):
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, experimentSummary(x))
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	exps := s.lab.List()
+	out := apiv1.ExperimentList{
+		Experiments: make([]apiv1.ExperimentSummary, 0, len(exps)),
+		Count:       len(exps),
+	}
+	for _, x := range exps {
+		out.Experiments = append(out.Experiments, experimentSummary(x))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetExperiment(w http.ResponseWriter, r *http.Request, x *lab.Experiment) {
+	writeJSON(w, http.StatusOK, apiv1.ExperimentDetail{
+		ExperimentSummary: experimentSummary(x),
+		Spec:              x.Spec(),
+		Grid:              x.Trials(),
+	})
+}
+
+func (s *Server) handleCancelExperiment(w http.ResponseWriter, r *http.Request, x *lab.Experiment) {
+	x.Cancel()
+	writeJSON(w, http.StatusOK, experimentSummary(x))
+}
+
+func (s *Server) handleExperimentResults(w http.ResponseWriter, r *http.Request, x *lab.Experiment) {
+	status, progress, results := x.ResultsSnapshot()
+	writeJSON(w, http.StatusOK, apiv1.ExperimentResults{
+		ID:       x.ID(),
+		Status:   status,
+		Progress: progress,
+		Results:  results,
+	})
+}
+
+func (s *Server) handleDeleteExperiment(w http.ResponseWriter, r *http.Request) {
+	if err := s.lab.Delete(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// experimentScoped resolves {id} against the lab engine.
+func (s *Server) experimentScoped(h func(http.ResponseWriter, *http.Request, *lab.Experiment)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		x, ok := s.lab.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no experiment %q", id)
+			return
+		}
+		h(w, r, x)
+	}
+}
+
+// experimentSummary snapshots one experiment's collection row; status
+// and progress come from one consistent cut.
+func experimentSummary(x *lab.Experiment) apiv1.ExperimentSummary {
+	status, progress := x.Snapshot()
+	return apiv1.ExperimentSummary{
+		ID:       x.ID(),
+		Name:     x.Spec().Name,
+		Status:   status,
+		Created:  x.Created(),
+		Trials:   len(x.Trials()),
+		Progress: progress,
+	}
+}

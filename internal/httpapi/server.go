@@ -11,6 +11,10 @@
 //     queries, learned workload dependencies (§3.1), snapshots, manual
 //     advance and wall-clock pacing,
 //   - a per-flow HTML dashboard plus an index of all flows,
+//   - the /v1/experiments collection — the Scenario Lab (internal/lab):
+//     declarative experiment grids fanned out over a bounded worker pool,
+//     with progress tracking, cancellation, per-trial summaries and
+//     cross-trial aggregates (Pareto fronts, baseline deltas),
 //   - the original single-flow /api/... routes as thin aliases onto a
 //     default flow, for callers written against the old server.
 //
@@ -30,12 +34,14 @@ import (
 	"time"
 
 	apiv1 "repro/api/v1"
+	"repro/internal/lab"
 	"repro/internal/registry"
 )
 
 // Server exposes a flow registry over HTTP.
 type Server struct {
 	reg    *registry.Registry
+	lab    *lab.Engine // Scenario Lab behind /v1/experiments
 	mux    *http.ServeMux
 	h      http.Handler // mux wrapped in middleware
 	logger *log.Logger  // nil: no request logging
@@ -58,11 +64,21 @@ func WithDefaultFlow(id string) Option {
 	return func(s *Server) { s.defaultID = id }
 }
 
+// WithLab substitutes the Scenario Lab engine behind /v1/experiments
+// (pool width, test doubles). Without it, the server creates one with
+// the default pool width (GOMAXPROCS).
+func WithLab(e *lab.Engine) Option {
+	return func(s *Server) { s.lab = e }
+}
+
 // NewServer wraps a registry.
 func NewServer(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.lab == nil {
+		s.lab = lab.NewEngine(0)
 	}
 	s.routes()
 	s.h = s.withMiddleware(s.mux)
@@ -71,6 +87,9 @@ func NewServer(reg *registry.Registry, opts ...Option) *Server {
 
 // Registry returns the registry the server fronts.
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Lab returns the Scenario Lab engine the server fronts.
+func (s *Server) Lab() *lab.Engine { return s.lab }
 
 func (s *Server) routes() {
 	// v1 flow collection.
@@ -92,6 +111,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/flows/{id}/pace", s.flowScoped(s.handlePace))
 	s.mux.HandleFunc("GET /v1/flows/{id}/pace", s.flowScoped(s.handlePaceState))
 	s.mux.HandleFunc("GET /v1/flows/{id}/dashboard", s.flowScoped(s.handleDashboard))
+
+	// v1 experiment collection (the Scenario Lab).
+	s.mux.HandleFunc("POST /v1/experiments", s.handleCreateExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/experiments/{id}", s.experimentScoped(s.handleGetExperiment))
+	s.mux.HandleFunc("POST /v1/experiments/{id}/cancel", s.experimentScoped(s.handleCancelExperiment))
+	s.mux.HandleFunc("GET /v1/experiments/{id}/results", s.experimentScoped(s.handleExperimentResults))
+	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleDeleteExperiment)
 
 	// Legacy single-flow aliases onto the default flow. /api/flow keeps the
 	// old bare-spec response shape; everything else matches v1 exactly.

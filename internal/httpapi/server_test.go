@@ -12,6 +12,7 @@ import (
 	apiv1 "repro/api/v1"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/lab"
 	"repro/internal/registry"
 	"repro/internal/sim"
 )
@@ -684,5 +685,140 @@ func TestLayersIncludeReadResourceWhenDashboardEnabled(t *testing.T) {
 	}
 	if ctrl.Ref != 50 {
 		t.Errorf("read loop ref = %v, want 50", ctrl.Ref)
+	}
+}
+
+// --- experiment collection (Scenario Lab) ---
+
+// labSpecJSON is a small two-trial experiment grid: constant workload ×
+// two controller window variants.
+func labSpecJSON(name string, durMinutes int) string {
+	return fmt.Sprintf(`{
+	  "name": %q,
+	  "peak": 600,
+	  "duration": "%dm",
+	  "step": "10s",
+	  "workloads": [{"name": "constant", "workload": {"pattern": "constant", "base": 300, "poisson": true, "seed": 7}}],
+	  "controllers": [
+	    {"name": "fast", "layers": {"analytics": {"type": "adaptive", "ref": 60, "window": "1m", "dead_band": 5, "l0": 0.02, "gamma": 0.01, "l_min": 0.01, "l_max": 0.3}}},
+	    {"name": "slow", "layers": {"analytics": {"type": "adaptive", "ref": 60, "window": "5m", "dead_band": 5, "l0": 0.02, "gamma": 0.01, "l_min": 0.01, "l_max": 0.3}}}
+	  ]
+	}`, name, durMinutes)
+}
+
+// waitExperiment polls the detail route until the experiment settles.
+func waitExperiment(t *testing.T, s *Server, id string) apiv1.ExperimentDetail {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		var detail apiv1.ExperimentDetail
+		if rec := get(t, s, "/v1/experiments/"+id, &detail); rec.Code != http.StatusOK {
+			t.Fatalf("get experiment: %d (%s)", rec.Code, rec.Body.String())
+		}
+		if detail.Status != lab.StatusRunning {
+			return detail
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("experiment %q did not settle", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestExperimentLifecycleOverHTTP(t *testing.T) {
+	s, _ := newTestServer(t)
+	t.Cleanup(s.Lab().Close)
+
+	var created apiv1.ExperimentSummary
+	rec := do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "sweep", "spec": `+labSpecJSON("windows", 10)+`}`, &created)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if created.ID != "sweep" || created.Trials != 2 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Duplicate id conflicts; bad specs and ids are 400s.
+	wantEnvelope(t, do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "sweep", "spec": `+labSpecJSON("windows", 10)+`}`, nil),
+		http.StatusConflict, apiv1.CodeConflict)
+	wantEnvelope(t, do(t, s, http.MethodPost, "/v1/experiments",
+		`{"spec": {"name": "no-duration"}}`, nil),
+		http.StatusBadRequest, apiv1.CodeInvalidArgument)
+	wantEnvelope(t, do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "bad id!", "spec": `+labSpecJSON("x", 1)+`}`, nil),
+		http.StatusBadRequest, apiv1.CodeInvalidArgument)
+	wantEnvelope(t, do(t, s, http.MethodPost, "/v1/experiments", `{nope`, nil),
+		http.StatusBadRequest, apiv1.CodeInvalidArgument)
+
+	// The collection lists it; unknown ids are 404s.
+	var list apiv1.ExperimentList
+	get(t, s, "/v1/experiments", &list)
+	if list.Count != 1 || list.Experiments[0].ID != "sweep" {
+		t.Fatalf("list = %+v", list)
+	}
+	wantEnvelope(t, get(t, s, "/v1/experiments/ghost", nil), http.StatusNotFound, apiv1.CodeNotFound)
+	wantEnvelope(t, get(t, s, "/v1/experiments/ghost/results", nil), http.StatusNotFound, apiv1.CodeNotFound)
+
+	detail := waitExperiment(t, s, "sweep")
+	if detail.Status != lab.StatusCompleted {
+		t.Fatalf("status = %q", detail.Status)
+	}
+	if len(detail.Grid) != 2 || detail.Grid[0].Name != "constant/fast" {
+		t.Fatalf("trial grid = %+v", detail.Grid)
+	}
+
+	var res apiv1.ExperimentResults
+	get(t, s, "/v1/experiments/sweep/results", &res)
+	if res.Progress.Done != 2 || res.Results.Aggregates.Completed != 2 {
+		t.Fatalf("results = %+v", res.Progress)
+	}
+	if res.Results.Aggregates.BestCost == nil || len(res.Results.Aggregates.Pareto) == 0 {
+		t.Fatalf("aggregates incomplete: %+v", res.Results.Aggregates)
+	}
+	for _, tr := range res.Results.Trials {
+		if tr.Status != lab.TrialDone || tr.TotalCost <= 0 {
+			t.Fatalf("trial %q: %+v", tr.Name, tr.Status)
+		}
+	}
+
+	// Delete removes it from the collection.
+	if rec := do(t, s, http.MethodDelete, "/v1/experiments/sweep", "", nil); rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	wantEnvelope(t, do(t, s, http.MethodDelete, "/v1/experiments/sweep", "", nil),
+		http.StatusNotFound, apiv1.CodeNotFound)
+}
+
+func TestExperimentCancelOverHTTP(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+	// A one-worker engine with a long experiment guarantees the cancel
+	// lands mid-run.
+	s := NewServer(reg, WithLab(lab.NewEngine(1)))
+	t.Cleanup(s.Lab().Close)
+
+	rec := do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "long", "spec": `+labSpecJSON("long", 12*60)+`}`, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var cancelled apiv1.ExperimentSummary
+	if rec := do(t, s, http.MethodPost, "/v1/experiments/long/cancel", "", &cancelled); rec.Code != http.StatusOK {
+		t.Fatalf("cancel: %d", rec.Code)
+	}
+	detail := waitExperiment(t, s, "long")
+	if detail.Status != lab.StatusCancelled {
+		t.Fatalf("status after cancel = %q", detail.Status)
+	}
+	// Results are still served after the cancel.
+	var res apiv1.ExperimentResults
+	get(t, s, "/v1/experiments/long/results", &res)
+	if res.Status != lab.StatusCancelled || len(res.Results.Trials) != 2 {
+		t.Fatalf("results after cancel = %q, %d trials", res.Status, len(res.Results.Trials))
+	}
+	if res.Progress.Cancelled == 0 {
+		t.Fatalf("no cancelled trials recorded: %+v", res.Progress)
 	}
 }

@@ -1,0 +1,52 @@
+package lab
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFarm8Trials measures one full Scenario Lab experiment — the
+// acceptance-sized farm: 8 controller variants × 10 simulated minutes on
+// the shared worker pool. ns/op is the wall cost of the whole farm, so
+// pool-width or harness regressions show up directly.
+func BenchmarkFarm8Trials(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(0)
+		x, err := e.Submit("bench", quickSpec("bench", 8, 10*time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-x.Done()
+		res := x.Results()
+		if res.Aggregates.Completed != 8 {
+			b.Fatalf("completed %d/8 trials", res.Aggregates.Completed)
+		}
+		b.ReportMetric(float64(x.Progress().MaxConcurrent), "max_concurrent")
+		e.Close()
+	}
+}
+
+// BenchmarkExpandGrid measures pure grid expansion (no simulation): a
+// 4×4×4×4 = 256-trial grid with per-trial spec materialisation and
+// validation.
+func BenchmarkExpandGrid(b *testing.B) {
+	s := quickSpec("grid", 4, time.Minute)
+	s.Seeds = []int64{0, 1, 2, 3}
+	s.Workloads = append(s.Workloads,
+		WorkloadVariant{Name: "w2", Workload: s.Workloads[0].Workload},
+		WorkloadVariant{Name: "w3", Workload: s.Workloads[0].Workload},
+		WorkloadVariant{Name: "w4", Workload: s.Workloads[0].Workload})
+	s.Allocations = []AllocationVariant{
+		{Name: "a1"}, {Name: "a2"}, {Name: "a3"}, {Name: "a4"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trials, err := s.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(trials) != 256 {
+			b.Fatalf("expanded %d trials", len(trials))
+		}
+	}
+}

@@ -1,0 +1,375 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// Errors returned by engine operations; the HTTP layer maps them onto
+// status codes (409, 404, 400 — invalid ids surface as
+// registry.ErrBadID, the shared id grammar of the control plane).
+var (
+	ErrExists   = errors.New("experiment already exists")
+	ErrNotFound = errors.New("experiment not found")
+)
+
+// Status is an experiment's lifecycle state.
+type Status string
+
+const (
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Engine executes experiments on a bounded worker pool shared by every
+// experiment it runs. Submitting is asynchronous: trials start
+// immediately, one goroutine per trial, with the pool semaphore bounding
+// how many simulate at once.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+
+	mu   sync.Mutex
+	exps map[string]*Experiment
+}
+
+// NewEngine returns an engine with the given pool width; workers <= 0
+// selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		exps:    make(map[string]*Experiment),
+	}
+}
+
+// Workers returns the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Submit expands the experiment and starts running it under id. It
+// fails with registry.ErrBadID for unusable ids, ErrExists for
+// duplicates, and validation/expansion errors for bad specs.
+func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
+	if err := registry.ValidateID(id); err != nil {
+		return nil, err
+	}
+	trials, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	x := &Experiment{
+		id:      id,
+		spec:    spec,
+		created: time.Now(),
+		trials:  trials,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusRunning,
+		results: make([]TrialSummary, len(trials)),
+	}
+	for i, t := range trials {
+		x.results[i] = TrialSummary{Trial: t, Status: TrialPending}
+	}
+
+	e.mu.Lock()
+	if _, dup := e.exps[id]; dup {
+		e.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	e.exps[id] = x
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	wg.Add(len(trials))
+	for i := range trials {
+		go func(i int) {
+			defer wg.Done()
+			x.runTrial(ctx, e.sem, i)
+		}(i)
+	}
+	// The supervisor settles the final status once every trial goroutine
+	// has exited, then releases the context.
+	go func() {
+		wg.Wait()
+		x.mu.Lock()
+		if ctx.Err() != nil {
+			x.status = StatusCancelled
+		} else {
+			x.status = StatusCompleted
+		}
+		x.mu.Unlock()
+		cancel()
+		close(x.done)
+	}()
+	return x, nil
+}
+
+// Get returns the experiment registered as id.
+func (e *Engine) Get(id string) (*Experiment, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	x, ok := e.exps[id]
+	return x, ok
+}
+
+// List returns all experiments sorted by id.
+func (e *Engine) List() []*Experiment {
+	e.mu.Lock()
+	out := make([]*Experiment, 0, len(e.exps))
+	for _, x := range e.exps {
+		out = append(out, x)
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Delete cancels the experiment and removes it from the store. Trials
+// already simulating notice the cancellation at their next chunk
+// boundary and exit harmlessly on the detached experiment.
+func (e *Engine) Delete(id string) error {
+	e.mu.Lock()
+	x, ok := e.exps[id]
+	delete(e.exps, id)
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	x.Cancel()
+	return nil
+}
+
+// Close cancels every experiment and waits for all trials to exit. The
+// engine remains usable.
+func (e *Engine) Close() {
+	for _, x := range e.List() {
+		x.Cancel()
+		<-x.done
+	}
+}
+
+// Experiment is one submitted experiment: its expanded trials, live
+// per-trial results, and progress counters.
+type Experiment struct {
+	id      string
+	spec    Spec
+	created time.Time
+	trials  []Trial
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu      sync.Mutex
+	status  Status
+	results []TrialSummary
+	running int
+	maxConc int
+}
+
+// ID returns the experiment's engine identifier.
+func (x *Experiment) ID() string { return x.id }
+
+// Spec returns the experiment definition (with defaults resolved).
+func (x *Experiment) Spec() Spec { return x.spec }
+
+// Created returns when the experiment was submitted (wall clock).
+func (x *Experiment) Created() time.Time { return x.created }
+
+// Trials returns the expanded grid in trial order.
+func (x *Experiment) Trials() []Trial { return x.trials }
+
+// Status returns the experiment's lifecycle state.
+func (x *Experiment) Status() Status {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.status
+}
+
+// Cancel stops the experiment: pending trials are marked cancelled as
+// their goroutines observe the context, and running trials stop at
+// their next chunk boundary. Safe to call repeatedly.
+func (x *Experiment) Cancel() { x.cancel() }
+
+// Done returns a channel closed once every trial goroutine has exited
+// and the final status is settled.
+func (x *Experiment) Done() <-chan struct{} { return x.done }
+
+// Wait blocks until the experiment settles or ctx expires.
+func (x *Experiment) Wait(ctx context.Context) error {
+	select {
+	case <-x.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// progressLocked counts the trials by state; x.mu must be held.
+func (x *Experiment) progressLocked() Progress {
+	p := Progress{Total: len(x.results), MaxConcurrent: x.maxConc}
+	for i := range x.results {
+		switch x.results[i].Status {
+		case TrialPending:
+			p.Pending++
+		case TrialRunning:
+			p.Running++
+		case TrialDone:
+			p.Done++
+		case TrialFailed:
+			p.Failed++
+		case TrialCancelled:
+			p.Cancelled++
+		}
+	}
+	return p
+}
+
+// Progress counts the trials by state.
+func (x *Experiment) Progress() Progress {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.progressLocked()
+}
+
+// Snapshot reads the status and progress under one lock acquisition, so
+// the pair cannot contradict each other (a status of "completed" always
+// comes with every trial counted in a terminal state).
+func (x *Experiment) Snapshot() (Status, Progress) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.status, x.progressLocked()
+}
+
+// ResultsSnapshot reads status, progress and every trial's summary in
+// one consistent cut, then computes aggregates outside the lock.
+// Callable at any time — mid-run it reports the trials finished so far,
+// and after a cancellation it still serves what completed before the
+// cancel.
+func (x *Experiment) ResultsSnapshot() (Status, Progress, Results) {
+	x.mu.Lock()
+	st := x.status
+	p := x.progressLocked()
+	trials := append([]TrialSummary(nil), x.results...)
+	baseline := x.spec.Baseline
+	x.mu.Unlock()
+	return st, p, Results{Trials: trials, Aggregates: aggregate(trials, baseline)}
+}
+
+// Results snapshots every trial's summary plus aggregates over the
+// completed ones.
+func (x *Experiment) Results() Results {
+	_, _, res := x.ResultsSnapshot()
+	return res
+}
+
+// trialChunks splits a trial's duration so cancellation is responsive:
+// chunks are whole steps, at most maxTrialChunks per trial.
+const maxTrialChunks = 16
+
+// runTrial executes one trial end to end: acquire a pool slot, simulate
+// in chunks (checking for cancellation between chunks), summarise.
+func (x *Experiment) runTrial(ctx context.Context, sem chan struct{}, i int) {
+	select {
+	case <-ctx.Done():
+		x.setStatus(i, TrialCancelled, nil)
+		return
+	case sem <- struct{}{}:
+	}
+	defer func() { <-sem }()
+	if ctx.Err() != nil {
+		x.setStatus(i, TrialCancelled, nil)
+		return
+	}
+
+	start := time.Now()
+	x.markRunning(i, start)
+
+	t := x.trials[i]
+	step := x.spec.Step.D()
+	h, err := sim.New(t.Spec, sim.Options{Step: step, Seed: t.SimSeed})
+	if err != nil {
+		x.setStatus(i, TrialFailed, err)
+		return
+	}
+
+	remaining := x.spec.Duration.D()
+	chunk := remaining / maxTrialChunks
+	chunk = chunk / step * step
+	if chunk < step {
+		chunk = step
+	}
+	var res sim.Result
+	for remaining > 0 {
+		if ctx.Err() != nil {
+			x.setStatus(i, TrialCancelled, nil)
+			return
+		}
+		d := chunk
+		if d > remaining {
+			d = remaining
+		}
+		if res, err = h.Run(d); err != nil {
+			x.setStatus(i, TrialFailed, err)
+			return
+		}
+		remaining -= d
+		// Yield between chunks so sibling trials interleave even on a
+		// single-core box (simulation chunks are pure CPU and would
+		// otherwise monopolise the scheduler until done) and HTTP
+		// progress reads stay responsive.
+		runtime.Gosched()
+	}
+
+	sum := summarize(t, h, res)
+	sum.StartedAt = start
+	sum.WallSeconds = time.Since(start).Seconds()
+
+	x.mu.Lock()
+	sum.Trial = x.results[i].Trial
+	x.results[i] = sum
+	x.running--
+	x.mu.Unlock()
+}
+
+// markRunning flips a trial to running and tracks the pool overlap.
+func (x *Experiment) markRunning(i int, start time.Time) {
+	x.mu.Lock()
+	x.results[i].Status = TrialRunning
+	x.results[i].StartedAt = start
+	x.running++
+	if x.running > x.maxConc {
+		x.maxConc = x.running
+	}
+	x.mu.Unlock()
+}
+
+// setStatus settles a trial in a terminal non-done state.
+func (x *Experiment) setStatus(i int, st TrialStatus, err error) {
+	x.mu.Lock()
+	if x.results[i].Status == TrialRunning {
+		x.running--
+		if !x.results[i].StartedAt.IsZero() {
+			x.results[i].WallSeconds = time.Since(x.results[i].StartedAt).Seconds()
+		}
+	}
+	x.results[i].Status = st
+	if err != nil {
+		x.results[i].Error = err.Error()
+	}
+	x.mu.Unlock()
+}

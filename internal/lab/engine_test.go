@@ -1,0 +1,257 @@
+package lab
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/registry"
+)
+
+func TestSubmitValidation(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	if _, err := e.Submit("bad id!", quickSpec("x", 1, time.Minute)); err == nil {
+		t.Fatal("Submit accepted an invalid id")
+	} else if !strings.Contains(err.Error(), registry.ErrBadID.Error()) {
+		t.Fatalf("invalid id error = %v, want ErrBadID", err)
+	}
+	if _, err := e.Submit("x", Spec{Name: "x"}); err == nil {
+		t.Fatal("Submit accepted a spec without duration")
+	}
+	if _, err := e.Submit("x", quickSpec("x", 1, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("x", quickSpec("x", 1, time.Minute)); err == nil {
+		t.Fatal("Submit accepted a duplicate id")
+	}
+}
+
+func TestExperimentRunsTrialsConcurrently(t *testing.T) {
+	e := NewEngine(4)
+	defer e.Close()
+	x, err := e.Submit("overlap", quickSpec("overlap", 8, 10*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := x.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p := x.Progress()
+	if p.Done != 8 || p.Failed != 0 || p.Cancelled != 0 {
+		t.Fatalf("progress after completion: %+v", p)
+	}
+	if p.MaxConcurrent < 2 {
+		t.Fatalf("no observable overlap: max concurrent = %d", p.MaxConcurrent)
+	}
+	if x.Status() != StatusCompleted {
+		t.Fatalf("status = %q, want completed", x.Status())
+	}
+	res := x.Results()
+	if res.Aggregates.Completed != 8 {
+		t.Fatalf("aggregates cover %d trials, want 8", res.Aggregates.Completed)
+	}
+	if len(res.Aggregates.Pareto) == 0 {
+		t.Fatal("no Pareto front extracted")
+	}
+}
+
+func TestCancelMidRunAndResultsAfterCancel(t *testing.T) {
+	// One worker and a long duration: the first trial simulates while
+	// the rest queue, so a cancel catches the farm mid-run.
+	e := NewEngine(1)
+	defer e.Close()
+	x, err := e.Submit("cancel", quickSpec("cancel", 6, 12*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first trial to actually start.
+	deadline := time.Now().Add(time.Minute)
+	for x.Progress().Running == 0 && x.Progress().Done == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no trial started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	x.Cancel()
+	select {
+	case <-x.Done():
+	case <-time.After(time.Minute):
+		t.Fatal("cancelled experiment did not settle")
+	}
+	if x.Status() != StatusCancelled {
+		t.Fatalf("status = %q, want cancelled", x.Status())
+	}
+	p := x.Progress()
+	if p.Cancelled == 0 {
+		t.Fatalf("no trials recorded as cancelled: %+v", p)
+	}
+	if p.Running != 0 || p.Pending != 0 {
+		t.Fatalf("unsettled trials after cancel: %+v", p)
+	}
+	// Results are still served after a cancel: every trial reports a
+	// terminal status, and the aggregates cover whatever completed.
+	res := x.Results()
+	if len(res.Trials) != 6 {
+		t.Fatalf("results cover %d trials, want 6", len(res.Trials))
+	}
+	for _, tr := range res.Trials {
+		if tr.Status != TrialDone && tr.Status != TrialCancelled {
+			t.Fatalf("trial %q in non-terminal state %q", tr.Name, tr.Status)
+		}
+	}
+	if res.Aggregates.Completed != p.Done {
+		t.Fatalf("aggregates cover %d trials, progress says %d done",
+			res.Aggregates.Completed, p.Done)
+	}
+	// Cancel is idempotent.
+	x.Cancel()
+}
+
+func TestTwoExperimentsShareTheWorkerPool(t *testing.T) {
+	e := NewEngine(4)
+	defer e.Close()
+	var wg sync.WaitGroup
+	results := make([]Results, 2)
+	for i, id := range []string{"alpha", "beta"} {
+		x, err := e.Submit(id, quickSpec(id, 4, 10*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, x *Experiment) {
+			defer wg.Done()
+			<-x.Done()
+			results[i] = x.Results()
+		}(i, x)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Aggregates.Completed != 4 {
+			t.Fatalf("experiment %d completed %d trials, want 4", i, res.Aggregates.Completed)
+		}
+	}
+	// Both experiments remain addressable and listed in id order.
+	list := e.List()
+	if len(list) != 2 || list[0].ID() != "alpha" || list[1].ID() != "beta" {
+		t.Fatalf("List = %v", list)
+	}
+	if err := e.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Get("alpha"); ok {
+		t.Fatal("deleted experiment still addressable")
+	}
+	if err := e.Delete("alpha"); err == nil {
+		t.Fatal("double delete did not fail")
+	}
+}
+
+func TestTrialSummariesCarryDomainMetrics(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	x, err := e.Submit("metrics", quickSpec("metrics", 1, 20*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-x.Done()
+	res := x.Results()
+	tr := res.Trials[0]
+	if tr.Status != TrialDone {
+		t.Fatalf("trial status %q: %s", tr.Status, tr.Error)
+	}
+	if tr.Ticks != 120 {
+		t.Fatalf("20 min at 10s step should be 120 ticks, got %d", tr.Ticks)
+	}
+	if tr.TotalCost <= 0 || tr.Offered <= 0 {
+		t.Fatalf("degenerate summary: cost %v, offered %d", tr.TotalCost, tr.Offered)
+	}
+	if tr.Final.Shards <= 0 || tr.Final.VMs <= 0 || tr.Final.WCU <= 0 {
+		t.Fatalf("final allocation missing: %+v", tr.Final)
+	}
+	if len(tr.MeanUtil) == 0 {
+		t.Fatal("no per-layer utilisation recorded")
+	}
+	if tr.WallSeconds <= 0 || tr.StartedAt.IsZero() {
+		t.Fatalf("wall timing missing: started %v, %vs", tr.StartedAt, tr.WallSeconds)
+	}
+}
+
+func TestSeedAxisDecorrelatesReplicates(t *testing.T) {
+	s := quickSpec("seeds", 1, 15*time.Minute)
+	s.Seeds = []int64{1, 2, 3}
+	e := NewEngine(3)
+	defer e.Close()
+	x, err := e.Submit("seeds", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-x.Done()
+	res := x.Results()
+	if len(res.Trials) != 3 {
+		t.Fatalf("expanded %d trials, want 3", len(res.Trials))
+	}
+	// Poisson arrivals under different seeds must differ.
+	if res.Trials[0].Offered == res.Trials[1].Offered &&
+		res.Trials[1].Offered == res.Trials[2].Offered {
+		t.Fatalf("replicates identical: offered %d/%d/%d",
+			res.Trials[0].Offered, res.Trials[1].Offered, res.Trials[2].Offered)
+	}
+}
+
+func TestVariantOverridesLandInSimulation(t *testing.T) {
+	// A controller variant with no controller at all (static allocation)
+	// must produce zero actions, unlike the adaptive variant.
+	s := Spec{
+		Name:     "variants",
+		Peak:     2000,
+		Duration: flow.Duration(30 * time.Minute),
+		Workloads: []WorkloadVariant{{
+			Name:     "step",
+			Workload: flow.WorkloadSpec{Pattern: "step", Base: 300, Peak: 2000, At: flow.Duration(5 * time.Minute)},
+		}},
+		Controllers: []ControllerVariant{
+			{Name: "adaptive"}, // base spec's controllers
+			{Name: "static", Layers: map[flow.LayerKind]flow.ControllerSpec{
+				flow.Ingestion: {Type: flow.ControllerNone},
+				flow.Analytics: {Type: flow.ControllerNone},
+				flow.Storage:   {Type: flow.ControllerNone},
+			}},
+		},
+	}
+	e := NewEngine(2)
+	defer e.Close()
+	x, err := e.Submit("variants", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-x.Done()
+	byName := map[string]TrialSummary{}
+	for _, tr := range x.Results().Trials {
+		byName[tr.Name] = tr
+	}
+	static := byName["step/static"]
+	adaptive := byName["step/adaptive"]
+	if static.Status != TrialDone || adaptive.Status != TrialDone {
+		t.Fatalf("trials did not complete: %+v / %+v", static.Status, adaptive.Status)
+	}
+	if n := len(static.Actions); n != 0 {
+		for k, v := range static.Actions {
+			if v != 0 {
+				t.Fatalf("static variant acted: %s resized %d times", k, v)
+			}
+		}
+	}
+	acted := 0
+	for _, v := range adaptive.Actions {
+		acted += v
+	}
+	if acted == 0 {
+		t.Fatal("adaptive variant never resized under a 6x step")
+	}
+}

@@ -163,6 +163,53 @@ func Run(p Problem, cfg Config) ([]Solution, error) {
 	return out, nil
 }
 
+// NonDominated returns the indices of the points whose objective vectors
+// are not Pareto-dominated by any other point, minimising every
+// objective, in input order. It is the front-extraction primitive behind
+// both the share analyzer's plan filter and the Scenario Lab's
+// cross-trial aggregates (internal/lab), applied to already-evaluated
+// outcomes rather than an evolving population. Points with mismatched
+// lengths are compared over the shorter prefix; an empty input yields an
+// empty front.
+func NonDominated(objs [][]float64) []int {
+	var front []int
+	for i, a := range objs {
+		dominated := false
+		for j, b := range objs {
+			if i == j {
+				continue
+			}
+			if dominatesMin(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// dominatesMin reports whether a Pareto-dominates b when minimising all
+// components: a is no worse everywhere and strictly better somewhere.
+func dominatesMin(a, b []float64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	better := false
+	for i := 0; i < n; i++ {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
 func newIndividual(p Problem, x []float64) *individual {
 	objs, violation := p.Evaluate(x)
 	if len(objs) != p.NumObjectives {

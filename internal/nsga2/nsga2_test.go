@@ -307,3 +307,29 @@ func TestRunIsFastEnoughForInteractiveUse(t *testing.T) {
 		t.Fatalf("run took %v; too slow for the demo's interactive share analysis", d)
 	}
 }
+
+func TestNonDominatedExtractsMinimisationFront(t *testing.T) {
+	objs := [][]float64{
+		{1, 5}, // on the front
+		{5, 1}, // on the front
+		{3, 3}, // on the front
+		{4, 4}, // dominated by {3,3}
+		{3, 3}, // duplicate of the front point: not dominated
+	}
+	got := NonDominated(objs)
+	want := []int{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("front = %v, want %v", got, want)
+		}
+	}
+	if out := NonDominated(nil); len(out) != 0 {
+		t.Fatalf("empty input yielded %v", out)
+	}
+	if out := NonDominated([][]float64{{2}}); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("singleton input yielded %v", out)
+	}
+}

@@ -16,6 +16,28 @@ import (
 	"math/rand"
 )
 
+// DeriveSeed deterministically mixes a base seed with coordinate parts
+// into a decorrelated child seed, so every trial of an experiment grid
+// (internal/lab) gets its own reproducible RNG stream: the same
+// (base, parts...) always yields the same seed, while neighbouring
+// coordinates yield statistically unrelated ones. The mixer is
+// SplitMix64 (Steele, Lea, Flood — OOPSLA 2014), the standard generator
+// for splitting one seed into many.
+func DeriveSeed(base int64, parts ...int64) int64 {
+	z := uint64(base)
+	mix := func(v uint64) {
+		z += v + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	mix(0) // diffuse the base even with no parts
+	for _, p := range parts {
+		mix(uint64(p))
+	}
+	return int64(z)
+}
+
 // Binomial draws from Binomial(n, p).
 //
 // Three regimes: degenerate p, an exact Bernoulli-count loop for small n,

@@ -1,6 +1,7 @@
 package randx
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -189,5 +190,32 @@ func TestMultinomialTrailingZeroWeights(t *testing.T) {
 	}
 	if counts[0]+counts[1] != 1000 {
 		t.Errorf("sum = %d, want 1000", counts[0]+counts[1])
+	}
+}
+
+func TestDeriveSeedDeterministicAndDecorrelated(t *testing.T) {
+	if DeriveSeed(42, 1, 2, 3) != DeriveSeed(42, 1, 2, 3) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	// Neighbouring coordinates, bases, and part counts all yield
+	// distinct seeds.
+	seen := map[int64]string{}
+	for base := int64(0); base < 4; base++ {
+		for a := int64(0); a < 4; a++ {
+			for b := int64(0); b < 4; b++ {
+				s := DeriveSeed(base, a, b)
+				key := fmt.Sprintf("%d/%d/%d", base, a, b)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	if DeriveSeed(1) == DeriveSeed(1, 0) {
+		t.Fatal("part count does not enter the mix")
+	}
+	if DeriveSeed(7) == 7 {
+		t.Fatal("base seed passes through unmixed")
 	}
 }

@@ -225,40 +225,22 @@ func Analyze(p Problem, cfg nsga2.Config) ([]Plan, error) {
 }
 
 // paretoFilter removes plans dominated in the maximisation sense after
-// quantisation (rounding can introduce dominated duplicates).
+// quantisation (rounding can introduce dominated duplicates), reusing
+// the shared front-extraction primitive over negated amounts.
 func paretoFilter(plans []Plan) []Plan {
+	objs := make([][]float64, len(plans))
+	for i, p := range plans {
+		neg := make([]float64, len(p.Amounts))
+		for j, v := range p.Amounts {
+			neg[j] = -v
+		}
+		objs[i] = neg
+	}
 	var out []Plan
-	for i, a := range plans {
-		dominated := false
-		for j, b := range plans {
-			if i == j {
-				continue
-			}
-			if dominatesMax(b.Amounts, a.Amounts) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, a)
-		}
+	for _, i := range nsga2.NonDominated(objs) {
+		out = append(out, plans[i])
 	}
 	return out
-}
-
-// dominatesMax reports whether a dominates b when maximising all
-// components.
-func dominatesMax(a, b []float64) bool {
-	better := false
-	for i := range a {
-		if a[i] < b[i] {
-			return false
-		}
-		if a[i] > b[i] {
-			better = true
-		}
-	}
-	return better
 }
 
 // PaperExampleProblem builds the exact example of §3.2 / Fig. 4: shards in

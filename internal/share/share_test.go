@@ -98,6 +98,21 @@ func TestAnalyzeRespectsBudgetAndConstraints(t *testing.T) {
 	}
 }
 
+// dominatesMax is the test's independent oracle for maximisation
+// dominance (the production path goes through nsga2.NonDominated).
+func dominatesMax(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
 func TestAnalyzeFrontIsMutuallyNonDominated(t *testing.T) {
 	p := validProblem()
 	plans, err := Analyze(p, nsga2.Config{PopSize: 60, Generations: 80, Seed: 2})
