@@ -11,7 +11,9 @@
 // Usage:
 //
 //	flowerbench                          run every suite, write BENCH_REPORT.json
-//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto
+//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf
+//	flowerbench -suite perf              metric-pipeline micro-benchmarks only (ns/op, B/op,
+//	                                     allocs/op + speedups vs the pre-rebuild implementations)
 //	flowerbench -workers 8 -seed 7       pool width and experiment seed
 //	flowerbench -o report.json           report path ('-' for stdout, '' to skip)
 //
@@ -31,10 +33,12 @@ import (
 	"log"
 	"os"
 	"sync"
+	"testing"
 	"time"
 
 	"repro/internal/exper"
 	"repro/internal/lab"
+	"repro/internal/perfbench"
 )
 
 // report is the machine-readable output.
@@ -44,6 +48,79 @@ type report struct {
 	Workers     int           `json:"workers"`
 	WallSeconds float64       `json:"wall_seconds"`
 	Suites      []suiteReport `json:"suites"`
+	// Perf holds the metric-pipeline micro-benchmarks (suite "perf"):
+	// ns/op, B/op and allocs/op per benchmark, with speedup ratios against
+	// the frozen pre-rebuild implementations — the repository's perf
+	// trajectory, tracked commit over commit.
+	Perf *perfReport `json:"perf,omitempty"`
+}
+
+// perfReport is the perf suite's section of the report.
+type perfReport struct {
+	WallSeconds float64       `json:"wall_seconds"`
+	Benchmarks  []benchResult `json:"benchmarks"`
+}
+
+// benchResult is one micro-benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Baseline names the legacy benchmark the ratios compare against.
+	Baseline string `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by this ns/op (>1: faster).
+	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
+	// AllocReductionPct is the percentage of baseline allocs/op removed.
+	AllocReductionPct float64 `json:"alloc_reduction_pct_vs_baseline,omitempty"`
+}
+
+// runPerfSuite executes the perfbench micro-benchmarks through
+// testing.Benchmark and derives the vs-legacy ratios.
+func runPerfSuite() *perfReport {
+	start := time.Now()
+	fmt.Println("=== suite perf: metric-pipeline micro-benchmarks ===")
+	byName := map[string]benchResult{}
+	rep := &perfReport{}
+	for _, bench := range perfbench.Suite() {
+		r := testing.Benchmark(bench.F)
+		br := benchResult{
+			Name:        bench.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Baseline:    bench.Baseline,
+		}
+		if bench.Baseline != "" {
+			base, ok := byName[bench.Baseline]
+			if !ok {
+				// A baseline must precede its comparisons in the suite;
+				// a silent miss would drop the vs-legacy columns from the
+				// trajectory artifact.
+				log.Fatalf("perf suite: benchmark %q names baseline %q, which has not run", bench.Name, bench.Baseline)
+			}
+			if br.NsPerOp > 0 {
+				br.Speedup = base.NsPerOp / br.NsPerOp
+			}
+			if base.AllocsPerOp > 0 {
+				br.AllocReductionPct = 100 * float64(base.AllocsPerOp-br.AllocsPerOp) / float64(base.AllocsPerOp)
+			}
+		}
+		byName[bench.Name] = br
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		line := fmt.Sprintf("  %-32s %12.1f ns/op %8d B/op %6d allocs/op",
+			br.Name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+		if br.Speedup > 0 {
+			line += fmt.Sprintf("   %5.1fx vs %s", br.Speedup, br.Baseline)
+			if br.AllocReductionPct > 0 {
+				line += fmt.Sprintf(", -%.0f%% allocs", br.AllocReductionPct)
+			}
+		}
+		fmt.Println(line)
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	fmt.Printf("  perf suite completed in %.1fs\n\n", rep.WallSeconds)
+	return rep
 }
 
 type suiteReport struct {
@@ -58,7 +135,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowerbench: ")
 
-	suite := flag.String("suite", "all", "suite: all|controllers|windows|gamma|workloads|pareto")
+	suite := flag.String("suite", "all", "suite: all|controllers|windows|gamma|workloads|pareto|perf")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool width (0: GOMAXPROCS)")
 	out := flag.String("o", "BENCH_REPORT.json", "JSON report path ('-' for stdout, '' to skip)")
@@ -81,13 +158,16 @@ func main() {
 	}
 	order := []string{"controllers", "windows", "gamma", "workloads", "pareto"}
 
+	runPerf := *suite == "all" || *suite == "perf"
 	var selected []string
 	if *suite == "all" {
 		selected = order
+	} else if *suite == "perf" {
+		// micro-benchmarks only; no lab suites
 	} else if _, ok := suites[*suite]; ok {
 		selected = []string{*suite}
 	} else {
-		fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", *suite, "controllers|windows|gamma|workloads|pareto")
+		fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", *suite, "controllers|windows|gamma|workloads|pareto|perf")
 		os.Exit(2)
 	}
 
@@ -143,6 +223,9 @@ func main() {
 		}
 		rep.Suites = append(rep.Suites, sr)
 		printSuite(sr)
+	}
+	if runPerf {
+		rep.Perf = runPerfSuite()
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	fmt.Printf("farm completed in %v\n", time.Since(start).Round(time.Millisecond))

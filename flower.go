@@ -66,6 +66,23 @@
 //	for _, p := range res.Aggregates.Pareto {
 //		fmt.Printf("%s: $%.2f at %.1f%% violations\n", p.Name, p.TotalCost, 100*p.ViolationRate)
 //	}
+//
+// # Metric pipeline
+//
+// The metric store at the centre of every flow (internal/metricstore, the
+// CloudWatch analogue of Fig. 3) is columnar and handle-based: series are
+// stored as parallel int64 unix-nano / float64 columns, and hot-path
+// callers — per-tick publishers in the simulated substrates, control-loop
+// sensors, SLO accounting — resolve a *metricstore.Handle once at build
+// time and then append or aggregate through it allocation-free, under a
+// per-metric lock. Windowed statistics are answered by binary search plus
+// a single streaming pass over a zero-copy view; retention pruning is an
+// amortised head drop, never a copy of the surviving points. The map-keyed
+// Put/GetStatistics calls remain as compatibility wrappers for callers
+// whose metric identity is per-request (HTTP queries, journal replay).
+// See API.md ("Metric store: handle-based hot path") for the performance
+// model, and internal/perfbench — or `flowerbench -suite perf` — for the
+// measured speedups versus the pre-rebuild implementation.
 package flower
 
 import (

@@ -90,6 +90,12 @@ type Meter struct {
 	ms     *metricstore.Store
 	dims   map[string]string
 
+	// Per-tick publish handles, resolved once at construction (nil when ms
+	// is nil).
+	mTickCost *metricstore.Handle
+	mCumCost  *metricstore.Handle
+	mRunRate  *metricstore.Handle
+
 	total float64
 	peak  float64 // highest hourly run rate observed
 }
@@ -102,12 +108,18 @@ func NewMeter(prices PriceBook, src AllocationReader, ms *metricstore.Store) (*M
 	if src == nil {
 		return nil, fmt.Errorf("billing: allocation reader is required")
 	}
-	return &Meter{
+	m := &Meter{
 		prices: prices,
 		src:    src,
 		ms:     ms,
 		dims:   map[string]string{"Meter": "flow"},
-	}, nil
+	}
+	if ms != nil {
+		m.mTickCost = ms.MustHandle(Namespace, MetricTickCost, m.dims)
+		m.mCumCost = ms.MustHandle(Namespace, MetricCumulativeCost, m.dims)
+		m.mRunRate = ms.MustHandle(Namespace, MetricRunRate, m.dims)
+	}
+	return m, nil
 }
 
 // Total reports the cumulative cost in dollars.
@@ -128,8 +140,8 @@ func (m *Meter) Tick(now time.Time, step time.Duration) {
 		m.peak = rate
 	}
 	if m.ms != nil {
-		m.ms.MustPut(Namespace, MetricTickCost, m.dims, now, cost)
-		m.ms.MustPut(Namespace, MetricCumulativeCost, m.dims, now, m.total)
-		m.ms.MustPut(Namespace, MetricRunRate, m.dims, now, rate)
+		m.mTickCost.MustAppend(now, cost)
+		m.mCumCost.MustAppend(now, m.total)
+		m.mRunRate.MustAppend(now, rate)
 	}
 }

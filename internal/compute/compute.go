@@ -190,6 +190,15 @@ type Cluster struct {
 	dims  map[string]string
 	rng   *rand.Rand
 
+	// Per-tick publish handles, resolved once at construction so Tick's
+	// metric writes are allocation-free (nil when store is nil).
+	mCPU       *metricstore.Handle
+	mProcessed *metricstore.Handle
+	mPending   *metricstore.Handle
+	mVMs       *metricstore.Handle
+	mLatency   *metricstore.Handle
+	mEmitted   *metricstore.Handle
+
 	lastUtil float64 // last published CPU utilisation (pre-noise)
 }
 
@@ -223,7 +232,7 @@ func NewCluster(cfg Config, source Source, sink Sink, store *metricstore.Store) 
 	if cfg.OutputBytes <= 0 {
 		cfg.OutputBytes = 256
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:    cfg,
 		vms:    cfg.InitialVMs,
 		source: source,
@@ -231,7 +240,16 @@ func NewCluster(cfg Config, source Source, sink Sink, store *metricstore.Store) 
 		store:  store,
 		dims:   map[string]string{"Topology": cfg.Topology.Name},
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if store != nil {
+		c.mCPU = store.MustHandle(Namespace, MetricCPUUtilization, c.dims)
+		c.mProcessed = store.MustHandle(Namespace, MetricProcessedTuples, c.dims)
+		c.mPending = store.MustHandle(Namespace, MetricPendingTuples, c.dims)
+		c.mVMs = store.MustHandle(Namespace, MetricVMCount, c.dims)
+		c.mLatency = store.MustHandle(Namespace, MetricLatencyMs, c.dims)
+		c.mEmitted = store.MustHandle(Namespace, MetricEmittedTuples, c.dims)
+	}
+	return c, nil
 }
 
 // VMCount reports the currently effective VM count.
@@ -368,11 +386,11 @@ func (c *Cluster) Tick(now time.Time, step time.Duration) {
 				measured = 100
 			}
 		}
-		c.store.MustPut(Namespace, MetricCPUUtilization, c.dims, now, measured)
-		c.store.MustPut(Namespace, MetricProcessedTuples, c.dims, now, float64(processed))
-		c.store.MustPut(Namespace, MetricPendingTuples, c.dims, now, float64(c.queue))
-		c.store.MustPut(Namespace, MetricVMCount, c.dims, now, float64(c.vms))
-		c.store.MustPut(Namespace, MetricLatencyMs, c.dims, now, latency)
-		c.store.MustPut(Namespace, MetricEmittedTuples, c.dims, now, float64(emitted))
+		c.mCPU.MustAppend(now, measured)
+		c.mProcessed.MustAppend(now, float64(processed))
+		c.mPending.MustAppend(now, float64(c.queue))
+		c.mVMs.MustAppend(now, float64(c.vms))
+		c.mLatency.MustAppend(now, latency)
+		c.mEmitted.MustAppend(now, float64(emitted))
 	}
 }

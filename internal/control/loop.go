@@ -35,13 +35,20 @@ type Actuator interface {
 }
 
 // MetricSensor reads a statistic of a metric-store metric, exactly as
-// Flower's sensors read CloudWatch.
+// Flower's sensors read CloudWatch. The metric is resolved to a store
+// handle on first successful measurement; after that each Measure is a
+// single-pass windowed aggregation with no copying or key construction.
 type MetricSensor struct {
 	Store      *metricstore.Store
 	Namespace  string
 	Metric     string
 	Dimensions map[string]string
 	Stat       timeseries.Agg
+
+	// handle is the lazily resolved hot-path reference. Lazy because the
+	// simulated substrate only registers the metric on its first tick,
+	// after the loops are built.
+	handle *metricstore.Handle
 }
 
 // Name implements Sensor.
@@ -50,20 +57,17 @@ func (s *MetricSensor) Name() string { return s.Namespace + "/" + s.Metric }
 // Measure implements Sensor: the chosen statistic of the raw datapoints in
 // [now−window, now].
 func (s *MetricSensor) Measure(now time.Time, window time.Duration) (float64, error) {
-	series, err := s.Store.GetStatistics(metricstore.Query{
-		Namespace:  s.Namespace,
-		Name:       s.Metric,
-		Dimensions: s.Dimensions,
-		From:       now.Add(-window),
-		To:         now.Add(time.Nanosecond),
-	})
-	if err != nil {
-		return 0, err
+	if s.handle == nil {
+		h, ok := s.Store.Lookup(s.Namespace, s.Metric, s.Dimensions)
+		if !ok {
+			return 0, fmt.Errorf("control: no such metric for sensor %s", s.Name())
+		}
+		s.handle = h
 	}
-	if series.Len() == 0 {
+	v, n := s.handle.Stat(now.Add(-window), now.Add(time.Nanosecond), s.Stat)
+	if n == 0 {
 		return 0, fmt.Errorf("control: sensor %s has no datapoints in window", s.Name())
 	}
-	v := s.Stat.Apply(series.Values())
 	if math.IsNaN(v) {
 		return 0, fmt.Errorf("control: sensor %s produced NaN", s.Name())
 	}

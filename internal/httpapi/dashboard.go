@@ -145,13 +145,16 @@ type dashboardData struct {
 // a metric with no datapoints yet (fresh flow) yields nil.
 func sparkValues(store *metricstore.Store, ns, metric string, dims map[string]string,
 	now time.Time, window time.Duration) []float64 {
-	raw := store.Raw(ns, metric, dims)
-	if raw == nil {
+	h, ok := store.Lookup(ns, metric, dims)
+	if !ok {
 		return nil
 	}
-	return raw.Between(now.Add(-window), now.Add(time.Nanosecond)).
-		Resample(time.Minute, timeseries.AggMean).
-		Values()
+	return h.Window(metricstore.WindowQuery{
+		From:   now.Add(-window),
+		To:     now.Add(time.Nanosecond),
+		Period: time.Minute,
+		Stat:   timeseries.AggMean,
+	}).Values()
 }
 
 // sparkSVG renders values as a small inline SVG polyline.

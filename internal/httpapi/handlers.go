@@ -444,21 +444,20 @@ func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request, f *r
 	}
 
 	var series *timeseries.Series
-	var err error
 	f.View(func(m *core.Manager) {
 		now := m.Harness().Clock.Now()
-		series, err = m.Store().GetStatistics(metricstore.Query{
-			Namespace:  ns,
-			Name:       name,
-			Dimensions: dims,
-			From:       now.Add(-window),
-			To:         now.Add(time.Nanosecond),
-			Period:     period,
-			Stat:       stat,
-		})
+		if h, ok := m.Store().Lookup(ns, name, dims); ok {
+			series = h.Window(metricstore.WindowQuery{
+				From:   now.Add(-window),
+				To:     now.Add(time.Nanosecond),
+				Period: period,
+				Stat:   stat,
+			})
+		}
 	})
-	if err != nil {
-		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "query: %v", err)
+	if series == nil {
+		id := metricstore.MetricID{Namespace: ns, Name: name, Dimensions: dims}
+		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "query: no such metric %s", id)
 		return
 	}
 

@@ -87,6 +87,18 @@ type Table struct {
 
 	store *metricstore.Store
 	dims  map[string]string
+
+	// Per-tick publish handles, resolved once at construction so Tick's
+	// metric writes are allocation-free (nil when store is nil).
+	mConsumedWCU    *metricstore.Handle
+	mConsumedRCU    *metricstore.Handle
+	mProvisionedWCU *metricstore.Handle
+	mProvisionedRCU *metricstore.Handle
+	mWriteThrottles *metricstore.Handle
+	mReadThrottles  *metricstore.Handle
+	mWriteUtil      *metricstore.Handle
+	mReadUtil       *metricstore.Handle
+	mItemCount      *metricstore.Handle
 }
 
 // Config parameterises a table.
@@ -144,6 +156,17 @@ func NewTable(cfg Config, store *metricstore.Store) (*Table, error) {
 		stepSeconds: 1,
 		store:       store,
 		dims:        map[string]string{"TableName": cfg.Name},
+	}
+	if store != nil {
+		t.mConsumedWCU = store.MustHandle(Namespace, MetricConsumedWCU, t.dims)
+		t.mConsumedRCU = store.MustHandle(Namespace, MetricConsumedRCU, t.dims)
+		t.mProvisionedWCU = store.MustHandle(Namespace, MetricProvisionedWCU, t.dims)
+		t.mProvisionedRCU = store.MustHandle(Namespace, MetricProvisionedRCU, t.dims)
+		t.mWriteThrottles = store.MustHandle(Namespace, MetricThrottledWrites, t.dims)
+		t.mReadThrottles = store.MustHandle(Namespace, MetricThrottledReads, t.dims)
+		t.mWriteUtil = store.MustHandle(Namespace, MetricWriteUtilization, t.dims)
+		t.mReadUtil = store.MustHandle(Namespace, MetricReadUtilization, t.dims)
+		t.mItemCount = store.MustHandle(Namespace, MetricItemCount, t.dims)
 	}
 	if cfg.Partitions > 1 {
 		if err := t.SetPartitions(cfg.Partitions); err != nil {
@@ -306,15 +329,15 @@ func (t *Table) Tick(now time.Time, step time.Duration) {
 	}
 
 	if t.store != nil {
-		t.store.MustPut(Namespace, MetricConsumedWCU, t.dims, now, t.tickWCU)
-		t.store.MustPut(Namespace, MetricConsumedRCU, t.dims, now, t.tickRCU)
-		t.store.MustPut(Namespace, MetricProvisionedWCU, t.dims, now, t.wcu)
-		t.store.MustPut(Namespace, MetricProvisionedRCU, t.dims, now, t.rcu)
-		t.store.MustPut(Namespace, MetricThrottledWrites, t.dims, now, float64(t.tickWriteThrottle))
-		t.store.MustPut(Namespace, MetricThrottledReads, t.dims, now, float64(t.tickReadThrottle))
-		t.store.MustPut(Namespace, MetricWriteUtilization, t.dims, now, writeUtil)
-		t.store.MustPut(Namespace, MetricReadUtilization, t.dims, now, readUtil)
-		t.store.MustPut(Namespace, MetricItemCount, t.dims, now, float64(len(t.items)))
+		t.mConsumedWCU.MustAppend(now, t.tickWCU)
+		t.mConsumedRCU.MustAppend(now, t.tickRCU)
+		t.mProvisionedWCU.MustAppend(now, t.wcu)
+		t.mProvisionedRCU.MustAppend(now, t.rcu)
+		t.mWriteThrottles.MustAppend(now, float64(t.tickWriteThrottle))
+		t.mReadThrottles.MustAppend(now, float64(t.tickReadThrottle))
+		t.mWriteUtil.MustAppend(now, writeUtil)
+		t.mReadUtil.MustAppend(now, readUtil)
+		t.mItemCount.MustAppend(now, float64(len(t.items)))
 	}
 
 	// Bank unused capacity, capped at BurstSeconds worth of provision.

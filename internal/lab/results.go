@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/flow"
+	"repro/internal/metricstore"
 	"repro/internal/nsga2"
 	"repro/internal/sim"
 	"repro/internal/timeseries"
@@ -101,12 +102,12 @@ func analyticsAbsError(spec flow.Spec, h *sim.Harness) (mean, tail float64) {
 	if ana, ok := spec.Layer(flow.Analytics); ok && ana.Controller.Ref > 0 {
 		ref = ana.Controller.Ref
 	}
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+	cpu, ok := h.Store.Lookup(compute.Namespace, compute.MetricCPUUtilization,
 		map[string]string{"Topology": spec.Name})
-	if cpu == nil {
+	if !ok {
 		return 0, 0
 	}
-	vals := cpu.Resample(time.Minute, timeseries.AggMean).Values()
+	vals := cpu.Window(metricstore.WindowQuery{Period: time.Minute, Stat: timeseries.AggMean}).Values()
 	if len(vals) == 0 {
 		return 0, 0
 	}

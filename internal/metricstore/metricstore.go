@@ -8,6 +8,16 @@
 // back — exactly the role CloudWatch plays in the paper's architecture
 // (Fig. 3): "Flower's sensor module periodically collects live data from
 // multiple sources such as CloudWatch".
+//
+// The store has two API tiers. The hot path is handle-based: Store.Handle
+// interns a metric's identity once and returns a *Handle whose Append,
+// Latest, Stat and Window operate under that metric's own lock with no
+// per-call key construction — per-tick publishers and sensors resolve their
+// handles at build time and stay allocation-free afterwards. The map-keyed
+// Put/GetStatistics/Latest/Raw calls remain as compatibility wrappers that
+// rebuild the key per call (into a pooled scratch buffer) and then take the
+// same per-entry path; the store-level lock is only ever held to create or
+// look up entries, never while touching series data.
 package metricstore
 
 import (
@@ -15,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/timeseries"
@@ -32,31 +43,53 @@ type MetricID struct {
 // Key returns the canonical map key for the metric: namespace, name, and
 // the dimension pairs sorted by dimension name.
 func (id MetricID) Key() string {
-	var b strings.Builder
-	b.WriteString(id.Namespace)
-	b.WriteByte('|')
-	b.WriteString(id.Name)
-	b.WriteByte('|')
-	keys := make([]string, 0, len(id.Dimensions))
-	for k := range id.Dimensions {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for i, k := range keys {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(k)
-		b.WriteByte('=')
-		b.WriteString(id.Dimensions[k])
-	}
-	return b.String()
+	var sc keyScratch
+	return string(sc.appendKey(id.Namespace, id.Name, id.Dimensions))
 }
 
 // String renders the ID in a human-readable form for dashboards and errors.
 func (id MetricID) String() string {
 	key := id.Key()
 	return strings.ReplaceAll(key, "|", " ")
+}
+
+// keyScratch holds the reusable buffers the compatibility wrappers build
+// canonical keys into, so a steady-state Put or query allocates nothing for
+// key construction.
+type keyScratch struct {
+	buf  []byte
+	keys []string
+}
+
+// appendKey renders the canonical key into the scratch buffer and returns
+// it; the result is only valid until the scratch is reused.
+func (sc *keyScratch) appendKey(ns, name string, dims map[string]string) []byte {
+	b := append(sc.buf[:0], ns...)
+	b = append(b, '|')
+	b = append(b, name...)
+	b = append(b, '|')
+	keys := sc.keys[:0]
+	for k := range dims {
+		keys = append(keys, k)
+	}
+	// Insertion sort: dimension sets have a handful of keys at most, and
+	// sort.Strings would force keys to escape.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, '=')
+		b = append(b, dims[k]...)
+	}
+	sc.buf = b
+	sc.keys = keys
+	return b
 }
 
 // Query selects datapoints for GetStatistics.
@@ -69,85 +102,166 @@ type Query struct {
 	Stat       timeseries.Agg
 }
 
-// Store is the metric repository. It is safe for concurrent use; the
-// simulation itself is single-goroutine, but cmd/ tools and the monitor may
-// read while a run is in flight.
+// Store is the metric repository. It is safe for concurrent use: entry
+// creation takes the store lock, while appends and queries synchronise on
+// the individual metric's lock, so writers of different metrics never
+// contend.
 type Store struct {
-	mu        sync.RWMutex
-	series    map[string]*entry
-	retention time.Duration // 0 means keep everything
-	alarms    map[string]*Alarm
-	onPut     func(id MetricID, t time.Time, v float64)
+	mu     sync.RWMutex
+	series map[string]*entry
+	alarms map[string]*Alarm
+
+	// retention is the pruning window in nanoseconds (0 keeps everything);
+	// atomic so the per-append read does not touch the store lock.
+	retention atomic.Int64
+	// onPut is the journal observer; atomic for the same reason.
+	onPut atomic.Pointer[func(id MetricID, t time.Time, v float64)]
+
+	keyPool sync.Pool // *keyScratch
 }
 
+// entry is one metric's series plus its lock and reusable query scratch.
 type entry struct {
 	id MetricID
-	ts *timeseries.Series
+
+	mu      sync.Mutex
+	ts      *timeseries.Series
+	scratch timeseries.AggScratch // percentile sort buffer, guarded by mu
+}
+
+// published reports whether the metric has any datapoints yet. Handles
+// intern a metric's identity at build time, before its publisher has
+// ticked; the read surface (queries, listings, lookups) treats such
+// not-yet-published entries as absent, exactly as when entries were only
+// created on first Put.
+func (e *entry) published() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ts.Len() > 0
 }
 
 // NewStore returns an empty store that retains all datapoints.
 func NewStore() *Store {
-	return &Store{
+	s := &Store{
 		series: make(map[string]*entry),
 		alarms: make(map[string]*Alarm),
 	}
+	s.keyPool.New = func() any { return new(keyScratch) }
+	return s
 }
 
-// SetRetention bounds how much history Put keeps per metric; datapoints
+// SetRetention bounds how much history appends keep per metric; datapoints
 // older than d relative to the newest datapoint of the same metric are
 // dropped lazily on insert. Zero disables pruning.
 func (s *Store) SetRetention(d time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.retention = d
+	s.retention.Store(int64(d))
 }
 
-// Put records one observation. Timestamps per metric must be non-decreasing
-// (the simulation has one clock, so this holds by construction).
-func (s *Store) Put(namespace, name string, dims map[string]string, t time.Time, v float64) error {
-	if namespace == "" || name == "" {
-		return fmt.Errorf("metricstore: namespace and name are required")
+// SetOnPut installs an observer invoked after every successful append with
+// the stored metric's canonical ID — the hook internal/persist uses to
+// journal the metric stream durably. The observer runs under the metric's
+// entry lock, so appends of one metric reach it in order; it must not call
+// back into the store. Pass nil to remove it.
+func (s *Store) SetOnPut(fn func(id MetricID, t time.Time, v float64)) {
+	if fn == nil {
+		s.onPut.Store(nil)
+		return
 	}
-	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
-	key := id.Key()
+	s.onPut.Store(&fn)
+}
 
+// lookup finds the entry for the metric without creating it, building the
+// key in pooled scratch so the steady state allocates nothing.
+func (s *Store) lookup(ns, name string, dims map[string]string) *entry {
+	sc := s.keyPool.Get().(*keyScratch)
+	key := sc.appendKey(ns, name, dims)
+	s.mu.RLock()
+	e := s.series[string(key)]
+	s.mu.RUnlock()
+	s.keyPool.Put(sc)
+	return e
+}
+
+// entryFor finds or creates the entry for the metric. Only a first-time
+// creation allocates (the interned key string and a defensive copy of the
+// dimension map) or takes the store's write lock.
+func (s *Store) entryFor(ns, name string, dims map[string]string) (*entry, error) {
+	if ns == "" || name == "" {
+		return nil, fmt.Errorf("metricstore: namespace and name are required")
+	}
+	if e := s.lookup(ns, name, dims); e != nil {
+		return e, nil
+	}
+	// Copy dims so callers can reuse their map.
+	cp := make(map[string]string, len(dims))
+	for k, v := range dims {
+		cp[k] = v
+	}
+	id := MetricID{Namespace: ns, Name: name, Dimensions: cp}
+	key := id.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.series[key]
-	if !ok {
-		// Copy dims so callers can reuse their map.
-		cp := make(map[string]string, len(dims))
-		for k, v := range dims {
-			cp[k] = v
-		}
-		id.Dimensions = cp
-		e = &entry{id: id, ts: timeseries.New(1024)}
-		s.series[key] = e
+	if e, ok := s.series[key]; ok {
+		return e, nil
 	}
+	e := &entry{id: id, ts: timeseries.New(1024)}
+	s.series[key] = e
+	return e, nil
+}
+
+// append records one observation under the entry's lock: ordered append,
+// amortised retention pruning, and the journal hook.
+func (s *Store) append(e *entry, t time.Time, v float64) error {
+	e.mu.Lock()
 	if err := e.ts.Append(t, v); err != nil {
-		return fmt.Errorf("metricstore: put %s: %w", id, err)
+		e.mu.Unlock()
+		return fmt.Errorf("metricstore: put %s: %w", e.id, err)
 	}
-	if s.retention > 0 {
-		cutoff := t.Add(-s.retention)
-		if first := e.ts.At(0).T; first.Before(cutoff) {
-			e.ts = e.ts.Between(cutoff, t.Add(time.Nanosecond))
-		}
+	if ret := s.retention.Load(); ret > 0 {
+		e.ts.DropBefore(t.Add(-time.Duration(ret)))
 	}
-	if s.onPut != nil {
-		s.onPut(e.id, t, v)
+	if fn := s.onPut.Load(); fn != nil {
+		(*fn)(e.id, t, v)
 	}
+	e.mu.Unlock()
 	return nil
 }
 
-// SetOnPut installs an observer invoked after every successful Put with the
-// stored metric's canonical ID — the hook internal/persist uses to journal
-// the metric stream durably. The observer runs under the store lock (Puts
-// are ordered), so it must not call back into the store; pass nil to
-// remove it.
-func (s *Store) SetOnPut(fn func(id MetricID, t time.Time, v float64)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.onPut = fn
+// resolveTo implements the shared open-ended-window rule — a zero to
+// means "through the newest datapoint" — for every windowed read (window,
+// Handle.Stat, Handle.WindowValues). It must be called under e.mu.
+func (e *entry) resolveTo(to time.Time) time.Time {
+	if to.IsZero() {
+		if last, ok := e.ts.Last(); ok {
+			return last.T.Add(time.Nanosecond)
+		}
+	}
+	return to
+}
+
+// window answers a statistics query against one entry: the raw points in
+// [from, to) when period is zero, otherwise the period-bucketed statistic.
+// A zero to means "through the newest datapoint".
+func (s *Store) window(e *entry, from, to time.Time, period time.Duration, stat timeseries.Agg) *timeseries.Series {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.ts.View(from, e.resolveTo(to))
+	if period <= 0 {
+		return v.Materialize()
+	}
+	return v.ResampleInto(timeseries.New(0), period, stat, &e.scratch)
+}
+
+// Put records one observation. Timestamps per metric must be non-decreasing
+// (the simulation has one clock, so this holds by construction). Callers on
+// a per-tick path should resolve a Handle once instead and Append through
+// it; Put re-derives the metric key from the dimension map on every call.
+func (s *Store) Put(namespace, name string, dims map[string]string, t time.Time, v float64) error {
+	e, err := s.entryFor(namespace, name, dims)
+	if err != nil {
+		return err
+	}
+	return s.append(e, t, v)
 }
 
 // MustPut is Put for simulation components that own the clock; a failure is
@@ -162,61 +276,43 @@ func (s *Store) MustPut(namespace, name string, dims map[string]string, t time.T
 // q.Stat, CloudWatch-style. A zero Period returns the raw points between
 // From and To.
 func (s *Store) GetStatistics(q Query) (*timeseries.Series, error) {
-	id := MetricID{Namespace: q.Namespace, Name: q.Name, Dimensions: q.Dimensions}
-	s.mu.RLock()
-	e, ok := s.series[id.Key()]
-	s.mu.RUnlock()
-	if !ok {
+	e := s.lookup(q.Namespace, q.Name, q.Dimensions)
+	if e == nil || !e.published() {
+		id := MetricID{Namespace: q.Namespace, Name: q.Name, Dimensions: q.Dimensions}
 		return nil, fmt.Errorf("metricstore: no such metric %s", id)
 	}
-	to := q.To
-	if to.IsZero() {
-		if last, ok := e.ts.Last(); ok {
-			to = last.T.Add(time.Nanosecond)
-		}
-	}
-	from := q.From
-	raw := e.ts.Between(from, to)
-	if q.Period <= 0 {
-		return raw, nil
-	}
-	return raw.Resample(q.Period, q.Stat), nil
+	return s.window(e, q.From, q.To, q.Period, q.Stat), nil
 }
 
 // Latest returns the most recent datapoint of the metric.
 func (s *Store) Latest(namespace, name string, dims map[string]string) (timeseries.Point, bool) {
-	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.series[id.Key()]
-	if !ok {
+	e := s.lookup(namespace, name, dims)
+	if e == nil {
 		return timeseries.Point{}, false
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.ts.Last()
 }
 
 // Raw returns a copy of the full stored series for the metric, or nil if
 // the metric does not exist.
 func (s *Store) Raw(namespace, name string, dims map[string]string) *timeseries.Series {
-	id := MetricID{Namespace: namespace, Name: name, Dimensions: dims}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.series[id.Key()]
-	if !ok {
+	e := s.lookup(namespace, name, dims)
+	if e == nil {
 		return nil
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.ts.Len() == 0 {
-		return timeseries.New(0)
+		return nil // interned but never published: absent to readers
 	}
-	last, _ := e.ts.Last()
-	return e.ts.Between(e.ts.At(0).T, last.T.Add(time.Nanosecond))
+	return e.ts.ViewAll().Materialize()
 }
 
-// ListMetrics returns the IDs of all metrics in the namespace (all
-// namespaces if ns is empty), sorted by key for deterministic output.
-func (s *Store) ListMetrics(ns string) []MetricID {
+// sortedEntries snapshots the published entry set sorted by canonical key.
+func (s *Store) sortedEntries(ns string) []*entry {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	keys := make([]string, 0, len(s.series))
 	for k, e := range s.series {
 		if ns == "" || e.id.Namespace == ns {
@@ -224,19 +320,48 @@ func (s *Store) ListMetrics(ns string) []MetricID {
 		}
 	}
 	sort.Strings(keys)
-	out := make([]MetricID, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, s.series[k].id)
+	entries := make([]*entry, len(keys))
+	for i, k := range keys {
+		entries[i] = s.series[k]
+	}
+	s.mu.RUnlock()
+	out := entries[:0]
+	for _, e := range entries {
+		if e.published() {
+			out = append(out, e)
+		}
 	}
 	return out
 }
 
-// Namespaces returns the distinct namespaces present, sorted.
+// Each visits every published metric sorted by canonical key, passing a
+// zero-copy view of its series taken under the metric's lock. The view is
+// only valid during the callback; the callback must not call back into the
+// store for the same metric.
+func (s *Store) Each(fn func(id MetricID, v timeseries.View)) {
+	for _, e := range s.sortedEntries("") {
+		e.mu.Lock()
+		fn(e.id, e.ts.ViewAll())
+		e.mu.Unlock()
+	}
+}
+
+// ListMetrics returns the IDs of all published metrics in the namespace
+// (all namespaces if ns is empty), sorted by key for deterministic output.
+func (s *Store) ListMetrics(ns string) []MetricID {
+	entries := s.sortedEntries(ns)
+	out := make([]MetricID, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Namespaces returns the distinct namespaces with published metrics,
+// sorted.
 func (s *Store) Namespaces() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	set := make(map[string]bool)
-	for _, e := range s.series {
+	for _, e := range s.sortedEntries("") {
 		set[e.id.Namespace] = true
 	}
 	out := make([]string, 0, len(set))

@@ -96,20 +96,18 @@ func Sparkline(vals []float64, width int) string {
 
 // Collect builds a consolidated snapshot of every metric in the store over
 // the window ending at now. Sections and rows are sorted for deterministic
-// rendering.
+// rendering. It walks the store's series as zero-copy views — one reused
+// value buffer instead of a full-series copy per metric.
 func Collect(store *metricstore.Store, now time.Time, window time.Duration) Snapshot {
 	snap := Snapshot{At: now, Window: window}
 	byNS := make(map[string][]MetricView)
-	for _, id := range store.ListMetrics("") {
-		raw := store.Raw(id.Namespace, id.Name, id.Dimensions)
-		if raw == nil || raw.Len() == 0 {
-			continue
-		}
-		recent := raw.Between(now.Add(-window), now.Add(time.Nanosecond))
+	var vals []float64 // reused across metrics
+	store.Each(func(id metricstore.MetricID, v timeseries.View) {
+		recent := v.Slice(now.Add(-window), now.Add(time.Nanosecond))
 		if recent.Len() == 0 {
-			continue
+			return
 		}
-		vals := recent.Values()
+		vals = recent.CopyValues(vals[:0])
 		last, _ := recent.Last()
 		byNS[id.Namespace] = append(byNS[id.Namespace], MetricView{
 			ID:     id,
@@ -120,16 +118,15 @@ func Collect(store *metricstore.Store, now time.Time, window time.Duration) Snap
 			Spark:  Sparkline(vals, 32),
 			Points: len(vals),
 		})
-	}
+	})
 	namespaces := make([]string, 0, len(byNS))
 	for ns := range byNS {
 		namespaces = append(namespaces, ns)
 	}
 	sort.Strings(namespaces)
 	for _, ns := range namespaces {
-		rows := byNS[ns]
-		sort.Slice(rows, func(i, j int) bool { return rows[i].ID.Key() < rows[j].ID.Key() })
-		snap.Sections = append(snap.Sections, SectionView{Namespace: ns, Metrics: rows})
+		// Each visits in canonical key order, so rows arrive sorted.
+		snap.Sections = append(snap.Sections, SectionView{Namespace: ns, Metrics: byNS[ns]})
 	}
 	snap.Alarms = store.EvaluateAlarms(now)
 	return snap

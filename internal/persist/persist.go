@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/metricstore"
+	"repro/internal/timeseries"
 )
 
 // journalVersion tags journal records for forward compatibility.
@@ -234,25 +235,17 @@ type snapshotSeries struct {
 // ErrEmptySnapshot reports a snapshot with no series.
 var ErrEmptySnapshot = errors.New("persist: snapshot contains no series")
 
-// Snapshot writes a complete point-in-time dump of the store.
+// Snapshot writes a complete point-in-time dump of the store. The store's
+// columns are copied straight into the snapshot document — the timestamps
+// are already unix nanoseconds — without materialising intermediate series.
 func Snapshot(store *metricstore.Store, now time.Time, w io.Writer) error {
 	doc := snapshotDoc{Version: snapshotVersion, TakenAt: now.UnixNano()}
-	for _, ns := range store.Namespaces() {
-		for _, id := range store.ListMetrics(ns) {
-			series := store.Raw(id.Namespace, id.Name, id.Dimensions)
-			ss := snapshotSeries{
-				NS: id.Namespace, Name: id.Name, Dims: id.Dimensions,
-				Times:  make([]int64, 0, series.Len()),
-				Values: make([]float64, 0, series.Len()),
-			}
-			for i := 0; i < series.Len(); i++ {
-				p := series.At(i)
-				ss.Times = append(ss.Times, p.T.UnixNano())
-				ss.Values = append(ss.Values, p.V)
-			}
-			doc.Series = append(doc.Series, ss)
-		}
-	}
+	store.Each(func(id metricstore.MetricID, v timeseries.View) {
+		ss := snapshotSeries{NS: id.Namespace, Name: id.Name, Dims: id.Dimensions}
+		ss.Times, ss.Values = v.CopyColumns(
+			make([]int64, 0, v.Len()), make([]float64, 0, v.Len()))
+		doc.Series = append(doc.Series, ss)
+	})
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("persist: snapshot encode: %w", err)
@@ -314,8 +307,14 @@ func Restore(r io.Reader, store *metricstore.Store) (points int, takenAt time.Ti
 			return points, time.Time{}, fmt.Errorf("persist: series %s/%s: %d times vs %d values",
 				ss.NS, ss.Name, len(ss.Times), len(ss.Values))
 		}
+		// One handle per series: the metric identity is interned once and
+		// the datapoints append through it.
+		h, err := store.Handle(ss.NS, ss.Name, ss.Dims)
+		if err != nil {
+			return points, time.Time{}, fmt.Errorf("persist: restore %s/%s: %w", ss.NS, ss.Name, err)
+		}
 		for i := range ss.Times {
-			if err := store.Put(ss.NS, ss.Name, ss.Dims, time.Unix(0, ss.Times[i]), ss.Values[i]); err != nil {
+			if err := h.Append(time.Unix(0, ss.Times[i]), ss.Values[i]); err != nil {
 				return points, time.Time{}, fmt.Errorf("persist: restore %s/%s: %w", ss.NS, ss.Name, err)
 			}
 			points++

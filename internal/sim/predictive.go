@@ -6,6 +6,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/forecast"
 	"repro/internal/metricstore"
+	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
 
@@ -62,6 +63,10 @@ type predictiveProvisioner struct {
 
 	nextAt  time.Time
 	started bool
+
+	// offered is the arrival-rate metric handle, resolved lazily on first
+	// measurement (the generator registers it on its first tick).
+	offered *metricstore.Handle
 
 	// Pre-provisioning floors: the allocations the forecast says the
 	// horizon needs. The reactive loops' actuators clamp their commands to
@@ -206,22 +211,18 @@ func (p *predictiveProvisioner) Tick(now time.Time, step time.Duration) {
 // windowRate returns the mean arrival rate (records/second) over the
 // trailing window.
 func (p *predictiveProvisioner) windowRate(now time.Time) (float64, bool) {
-	series, err := p.h.Store.GetStatistics(metricstore.Query{
-		Namespace:  workload.Namespace,
-		Name:       workload.MetricOfferedRecords,
-		Dimensions: map[string]string{"Generator": "clickstream"},
-		From:       now.Add(-p.opts.Window),
-		To:         now.Add(time.Nanosecond),
-	})
-	if err != nil || series.Len() == 0 {
+	if p.offered == nil {
+		h, ok := p.h.Store.Lookup(workload.Namespace, workload.MetricOfferedRecords,
+			map[string]string{"Generator": "clickstream"})
+		if !ok {
+			return 0, false
+		}
+		p.offered = h
+	}
+	perTick, n := p.offered.Stat(now.Add(-p.opts.Window), now.Add(time.Nanosecond), timeseries.AggMean)
+	if n == 0 {
 		return 0, false
 	}
-	vals := series.Values()
-	var sum float64
-	for _, v := range vals {
-		sum += v
-	}
-	perTick := sum / float64(len(vals))
 	return perTick / p.h.opts.Step.Seconds(), true
 }
 

@@ -85,7 +85,36 @@ type Harness struct {
 
 	predictive *predictiveProvisioner
 
+	// Accounting handles for the per-tick SLO/utilisation reads, resolved
+	// lazily on the first tick (the substrates register their metrics when
+	// they first publish) and then reused allocation-free.
+	accMetrics accountHandles
+
 	res Result
+}
+
+// accountHandles caches the metric handles account reads every tick.
+type accountHandles struct {
+	streamThrottled *metricstore.Handle
+	streamOffered   *metricstore.Handle
+	cpuUtil         *metricstore.Handle
+	kvWriteThrottle *metricstore.Handle
+	kvReadThrottle  *metricstore.Handle
+	kvWriteUtil     *metricstore.Handle
+	kvReadUtil      *metricstore.Handle
+}
+
+// latest resolves *hp against the store on first use, then reads the
+// metric's newest datapoint through the cached handle.
+func (h *Harness) latest(hp **metricstore.Handle, ns, name, dimKey string) (timeseries.Point, bool) {
+	if *hp == nil {
+		hd, ok := h.Store.Lookup(ns, name, map[string]string{dimKey: h.spec.Name})
+		if !ok {
+			return timeseries.Point{}, false
+		}
+		*hp = hd
+	}
+	return (*hp).Latest()
 }
 
 // Result summarises a run.
@@ -495,10 +524,10 @@ func (h *Harness) buildReadLoop(dash flow.DashboardSpec) error {
 // the substrates have published their tick metrics.
 func (h *Harness) account(now time.Time, step time.Duration) {
 	h.res.Ticks++
-	dims := func(k string) map[string]string { return map[string]string{k: h.spec.Name} }
+	m := &h.accMetrics
 
 	violated := false
-	if p, ok := h.Store.Latest(stream.Namespace, stream.MetricThrottledWrites, dims("StreamName")); ok && p.V > 0 {
+	if p, ok := h.latest(&m.streamThrottled, stream.Namespace, stream.MetricThrottledWrites, "StreamName"); ok && p.V > 0 {
 		h.res.Violations[flow.Ingestion]++
 		violated = true
 	}
@@ -506,12 +535,12 @@ func (h *Harness) account(now time.Time, step time.Duration) {
 		h.res.Violations[flow.Analytics]++
 		violated = true
 	}
-	if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricThrottledWrites, dims("TableName")); ok && p.V > 0 {
+	if p, ok := h.latest(&m.kvWriteThrottle, kvstore.Namespace, kvstore.MetricThrottledWrites, "TableName"); ok && p.V > 0 {
 		h.res.Violations[flow.Storage]++
 		violated = true
 	}
 	if h.Queries != nil {
-		if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricThrottledReads, dims("TableName")); ok && p.V > 0 {
+		if p, ok := h.latest(&m.kvReadThrottle, kvstore.Namespace, kvstore.MetricThrottledReads, "TableName"); ok && p.V > 0 {
 			h.res.Violations[flow.StorageReads]++
 			violated = true
 		}
@@ -520,17 +549,17 @@ func (h *Harness) account(now time.Time, step time.Duration) {
 		h.res.ViolationRate++ // normalised at the end of Run
 	}
 
-	if p, ok := h.Store.Latest(stream.Namespace, stream.MetricOfferedUtilization, dims("StreamName")); ok {
+	if p, ok := h.latest(&m.streamOffered, stream.Namespace, stream.MetricOfferedUtilization, "StreamName"); ok {
 		h.res.MeanUtil[flow.Ingestion] += p.V
 	}
-	if p, ok := h.Store.Latest(compute.Namespace, compute.MetricCPUUtilization, dims("Topology")); ok {
+	if p, ok := h.latest(&m.cpuUtil, compute.Namespace, compute.MetricCPUUtilization, "Topology"); ok {
 		h.res.MeanUtil[flow.Analytics] += p.V
 	}
-	if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricWriteUtilization, dims("TableName")); ok {
+	if p, ok := h.latest(&m.kvWriteUtil, kvstore.Namespace, kvstore.MetricWriteUtilization, "TableName"); ok {
 		h.res.MeanUtil[flow.Storage] += p.V
 	}
 	if h.Queries != nil {
-		if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization, dims("TableName")); ok {
+		if p, ok := h.latest(&m.kvReadUtil, kvstore.Namespace, kvstore.MetricReadUtilization, "TableName"); ok {
 			h.res.MeanUtil[flow.StorageReads] += p.V
 		}
 	}

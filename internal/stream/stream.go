@@ -88,6 +88,17 @@ type Stream struct {
 	store *metricstore.Store
 	dims  map[string]string
 
+	// Per-tick publish handles, resolved once at construction so Tick's
+	// metric writes are allocation-free (nil when store is nil).
+	mMaxShardUtil *metricstore.Handle
+	mIncoming     *metricstore.Handle
+	mBytes        *metricstore.Handle
+	mThrottled    *metricstore.Handle
+	mShardCount   *metricstore.Handle
+	mWriteUtil    *metricstore.Handle
+	mOfferedUtil  *metricstore.Handle
+	mBacklog      *metricstore.Handle
+
 	// Per-tick accounting, reset by Tick.
 	tickIncoming  int
 	tickBytes     int
@@ -115,6 +126,16 @@ func New(name string, shardCount int, store *metricstore.Store) (*Stream, error)
 		store:       store,
 		dims:        map[string]string{"StreamName": name},
 		stepSeconds: 1,
+	}
+	if store != nil {
+		s.mMaxShardUtil = store.MustHandle(Namespace, MetricMaxShardUtilization, s.dims)
+		s.mIncoming = store.MustHandle(Namespace, MetricIncomingRecords, s.dims)
+		s.mBytes = store.MustHandle(Namespace, MetricIncomingBytes, s.dims)
+		s.mThrottled = store.MustHandle(Namespace, MetricThrottledWrites, s.dims)
+		s.mShardCount = store.MustHandle(Namespace, MetricShardCount, s.dims)
+		s.mWriteUtil = store.MustHandle(Namespace, MetricWriteUtilization, s.dims)
+		s.mOfferedUtil = store.MustHandle(Namespace, MetricOfferedUtilization, s.dims)
+		s.mBacklog = store.MustHandle(Namespace, MetricBacklogRecords, s.dims)
 	}
 	s.shards = s.makeShards(shardCount)
 	return s, nil
@@ -340,14 +361,14 @@ func (s *Stream) Tick(now time.Time, step time.Duration) {
 		}
 	}
 	if s.store != nil {
-		s.store.MustPut(Namespace, MetricMaxShardUtilization, s.dims, now, maxShardUtil)
-		s.store.MustPut(Namespace, MetricIncomingRecords, s.dims, now, float64(s.tickIncoming))
-		s.store.MustPut(Namespace, MetricIncomingBytes, s.dims, now, float64(s.tickBytes))
-		s.store.MustPut(Namespace, MetricThrottledWrites, s.dims, now, float64(s.tickThrottled))
-		s.store.MustPut(Namespace, MetricShardCount, s.dims, now, float64(len(s.shards)))
-		s.store.MustPut(Namespace, MetricWriteUtilization, s.dims, now, writeUtil)
-		s.store.MustPut(Namespace, MetricOfferedUtilization, s.dims, now, offeredUtil)
-		s.store.MustPut(Namespace, MetricBacklogRecords, s.dims, now, float64(s.BacklogRecords()))
+		s.mMaxShardUtil.MustAppend(now, maxShardUtil)
+		s.mIncoming.MustAppend(now, float64(s.tickIncoming))
+		s.mBytes.MustAppend(now, float64(s.tickBytes))
+		s.mThrottled.MustAppend(now, float64(s.tickThrottled))
+		s.mShardCount.MustAppend(now, float64(len(s.shards)))
+		s.mWriteUtil.MustAppend(now, writeUtil)
+		s.mOfferedUtil.MustAppend(now, offeredUtil)
+		s.mBacklog.MustAppend(now, float64(s.BacklogRecords()))
 	}
 	s.tickIncoming = 0
 	s.tickBytes = 0

@@ -1,0 +1,8 @@
+package timeseries
+
+// CopiedPoints exposes the compaction copy counter to the
+// amortised-truncation regression test.
+func CopiedPoints(s *Series) int64 { return s.copied }
+
+// Head exposes the live-region offset for white-box assertions.
+func Head(s *Series) int { return s.head }

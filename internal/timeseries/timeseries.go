@@ -2,6 +2,13 @@
 // statistics used throughout the reproduction: by the metric store to answer
 // period-statistic queries, by the dependency analyzer to align layer
 // measurements, and by the experiment harness to summarise runs.
+//
+// Storage is columnar — one int64 slice of unix-nano timestamps and one
+// float64 slice of values — so the per-tick append path writes two machine
+// words, window lookups are a binary search over a flat int64 slice, and
+// retention pruning is an amortised-O(1) head drop instead of a copy of the
+// surviving points. Read paths that do not need an owned copy use View, a
+// zero-copy window over the columns.
 package timeseries
 
 import (
@@ -21,32 +28,67 @@ type Point struct {
 // of order is an error at insert time rather than a silent reorder, because
 // the simulation produces observations in clock order by construction and a
 // violation indicates a wiring bug.
+//
+// Internally the series is columnar: timestamps as unix nanoseconds and
+// values as float64s, with a head offset so DropBefore can discard old
+// points without copying the survivors on every call.
 type Series struct {
-	points []Point
+	times []int64 // unix nanos, ascending; live region is [head:len]
+	vals  []float64
+	head  int
+	// copied counts points moved by compaction; the amortised-truncation
+	// regression test reads it to assert bounded total copy work.
+	copied int64
 }
+
+// compactMin is the head size below which DropBefore never compacts, so
+// short series are not shuffled for a handful of dropped points.
+const compactMin = 32
 
 // New returns an empty series with capacity hint n.
 func New(n int) *Series {
-	return &Series{points: make([]Point, 0, n)}
+	return &Series{times: make([]int64, 0, n), vals: make([]float64, 0, n)}
 }
 
 // FromValues builds a series from evenly spaced values starting at start
 // with the given step. It is primarily a test and analysis convenience.
 func FromValues(start time.Time, step time.Duration, values []float64) *Series {
 	s := New(len(values))
+	base := start.UnixNano()
 	for i, v := range values {
-		s.points = append(s.points, Point{T: start.Add(time.Duration(i) * step), V: v})
+		s.times = append(s.times, base+int64(i)*int64(step))
+		s.vals = append(s.vals, v)
 	}
 	return s
+}
+
+// nanoTime reconstructs the time.Time for a stored nanosecond timestamp.
+// The simulation clock runs in UTC, so reconstructed times render and
+// compare identically to the originals.
+func nanoTime(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// unixNano converts t for storage and window comparisons. time.Time values
+// outside the int64-nanosecond range (the zero Time used as an open query
+// bound, or distant futures) clamp to the extremes so window selection
+// still behaves as "everything before/after".
+func unixNano(t time.Time) int64 {
+	if y := t.Year(); y < 1679 {
+		return math.MinInt64
+	} else if y > 2261 {
+		return math.MaxInt64
+	}
+	return t.UnixNano()
 }
 
 // Append adds an observation. The timestamp must not precede the last
 // appended timestamp.
 func (s *Series) Append(t time.Time, v float64) error {
-	if n := len(s.points); n > 0 && t.Before(s.points[n-1].T) {
-		return fmt.Errorf("timeseries: append at %v precedes last point %v", t, s.points[n-1].T)
+	tn := t.UnixNano()
+	if n := len(s.times); n > s.head && tn < s.times[n-1] {
+		return fmt.Errorf("timeseries: append at %v precedes last point %v", t, nanoTime(s.times[n-1]))
 	}
-	s.points = append(s.points, Point{T: t, V: v})
+	s.times = append(s.times, tn)
+	s.vals = append(s.vals, v)
 	return nil
 }
 
@@ -59,56 +101,108 @@ func (s *Series) MustAppend(t time.Time, v float64) {
 }
 
 // Len reports the number of points.
-func (s *Series) Len() int { return len(s.points) }
+func (s *Series) Len() int { return len(s.times) - s.head }
 
 // At returns the i-th point.
-func (s *Series) At(i int) Point { return s.points[i] }
+func (s *Series) At(i int) Point {
+	return Point{T: nanoTime(s.times[s.head+i]), V: s.vals[s.head+i]}
+}
 
 // Last returns the most recent point and true, or a zero point and false if
 // the series is empty.
 func (s *Series) Last() (Point, bool) {
-	if len(s.points) == 0 {
+	if s.Len() == 0 {
 		return Point{}, false
 	}
-	return s.points[len(s.points)-1], true
+	n := len(s.times) - 1
+	return Point{T: nanoTime(s.times[n]), V: s.vals[n]}, true
 }
 
 // Values returns a copy of the observation values in time order.
 func (s *Series) Values() []float64 {
-	out := make([]float64, len(s.points))
-	for i, p := range s.points {
-		out[i] = p.V
-	}
+	out := make([]float64, s.Len())
+	copy(out, s.vals[s.head:])
 	return out
 }
 
 // Times returns a copy of the timestamps in order.
 func (s *Series) Times() []time.Time {
-	out := make([]time.Time, len(s.points))
-	for i, p := range s.points {
-		out[i] = p.T
+	out := make([]time.Time, s.Len())
+	for i, n := range s.times[s.head:] {
+		out[i] = nanoTime(n)
 	}
 	return out
+}
+
+// Reset empties the series in place, keeping its capacity for reuse.
+func (s *Series) Reset() {
+	s.times = s.times[:0]
+	s.vals = s.vals[:0]
+	s.head = 0
+}
+
+// search returns the absolute index of the first live point with
+// timestamp >= tn.
+func (s *Series) search(tn int64) int {
+	return s.head + searchNanos(s.times[s.head:], tn)
+}
+
+// View returns a zero-copy window over the points p with from <= p.T < to.
+// The view shares storage with s: it is valid only until the next Append or
+// DropBefore, and callers that outlive the series must Materialize it.
+func (s *Series) View(from, to time.Time) View {
+	lo := s.search(unixNano(from))
+	hi := s.search(unixNano(to))
+	if hi < lo { // inverted window selects nothing
+		hi = lo
+	}
+	return View{times: s.times[lo:hi], vals: s.vals[lo:hi]}
+}
+
+// ViewAll returns a zero-copy view of the whole series (same validity
+// caveats as View).
+func (s *Series) ViewAll() View {
+	return View{times: s.times[s.head:], vals: s.vals[s.head:]}
 }
 
 // Between returns the sub-series of points p with from <= p.T < to. The
 // returned series shares no storage with s.
 func (s *Series) Between(from, to time.Time) *Series {
-	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(from) })
-	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(to) })
-	out := New(hi - lo)
-	out.points = append(out.points, s.points[lo:hi]...)
-	return out
+	return s.View(from, to).Materialize()
 }
 
 // TailN returns a copy of the last n points (or all of them if fewer).
 func (s *Series) TailN(n int) *Series {
-	if n > len(s.points) {
-		n = len(s.points)
+	if n > s.Len() {
+		n = s.Len()
 	}
-	out := New(n)
-	out.points = append(out.points, s.points[len(s.points)-n:]...)
-	return out
+	lo := len(s.times) - n
+	return View{times: s.times[lo:], vals: s.vals[lo:]}.Materialize()
+}
+
+// DropBefore discards every point with timestamp earlier than t and reports
+// how many were dropped. The cost is amortised O(1) per dropped point:
+// points are logically dropped by advancing a head offset, and the
+// surviving region is compacted to the front only once the dead prefix is
+// at least as large as the live region, so the total copy work over the
+// series' lifetime is bounded by the total number of appends.
+func (s *Series) DropBefore(t time.Time) int {
+	lo := s.search(unixNano(t))
+	dropped := lo - s.head
+	if dropped <= 0 {
+		return 0
+	}
+	s.head = lo
+	if s.head >= compactMin && 2*s.head >= len(s.times) {
+		live := len(s.times) - s.head
+		copy(s.times, s.times[s.head:])
+		copy(s.vals, s.vals[s.head:])
+		s.times = s.times[:live]
+		s.vals = s.vals[:live]
+		s.copied += int64(live)
+		s.head = 0
+	}
+	return dropped
 }
 
 // Agg identifies an aggregation function for Resample and period statistics.
@@ -150,9 +244,27 @@ func (a Agg) String() string {
 	}
 }
 
+// percentile reports whether the aggregation needs a sorted bucket.
+func (a Agg) percentile() (p float64, ok bool) {
+	switch a {
+	case AggP50:
+		return 50, true
+	case AggP90:
+		return 90, true
+	case AggP99:
+		return 99, true
+	}
+	return 0, false
+}
+
 // Apply computes the aggregation over vs. It returns NaN for an empty input
 // except AggCount and AggSum, which are 0.
-func (a Agg) Apply(vs []float64) float64 {
+func (a Agg) Apply(vs []float64) float64 { return a.ApplyWith(vs, nil) }
+
+// ApplyWith is Apply with a reusable scratch buffer: percentile
+// aggregations sort a copy of vs into sc instead of allocating a fresh
+// slice per call. A nil sc falls back to a one-shot allocation.
+func (a Agg) ApplyWith(vs []float64, sc *AggScratch) float64 {
 	switch a {
 	case AggCount:
 		return float64(len(vs))
@@ -169,12 +281,9 @@ func (a Agg) Apply(vs []float64) float64 {
 		return Min(vs)
 	case AggMax:
 		return Max(vs)
-	case AggP50:
-		return Percentile(vs, 50)
-	case AggP90:
-		return Percentile(vs, 90)
-	case AggP99:
-		return Percentile(vs, 99)
+	case AggP50, AggP90, AggP99:
+		p, _ := a.percentile()
+		return sc.percentile(vs, p)
 	default:
 		return math.NaN()
 	}
@@ -184,36 +293,7 @@ func (a Agg) Apply(vs []float64) float64 {
 // anchored at the first point's timestamp and aggregates each bucket. Empty
 // buckets are skipped. The resulting point carries the bucket start time.
 func (s *Series) Resample(period time.Duration, agg Agg) *Series {
-	if period <= 0 {
-		panic("timeseries: resample period must be positive")
-	}
-	out := New(0)
-	if len(s.points) == 0 {
-		return out
-	}
-	anchor := s.points[0].T
-	var bucket []float64
-	bucketIdx := 0
-	flush := func() {
-		if len(bucket) == 0 {
-			return
-		}
-		out.points = append(out.points, Point{
-			T: anchor.Add(time.Duration(bucketIdx) * period),
-			V: agg.Apply(bucket),
-		})
-		bucket = bucket[:0]
-	}
-	for _, p := range s.points {
-		idx := int(p.T.Sub(anchor) / period)
-		if idx != bucketIdx {
-			flush()
-			bucketIdx = idx
-		}
-		bucket = append(bucket, p.V)
-	}
-	flush()
-	return out
+	return s.ViewAll().Resample(period, agg)
 }
 
 // EWMA returns the exponentially weighted moving average of the series with
@@ -222,15 +302,17 @@ func (s *Series) EWMA(alpha float64) *Series {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("timeseries: EWMA alpha %v out of (0,1]", alpha))
 	}
-	out := New(len(s.points))
+	out := New(s.Len())
 	var acc float64
-	for i, p := range s.points {
+	for i, n := range s.times[s.head:] {
+		v := s.vals[s.head+i]
 		if i == 0 {
-			acc = p.V
+			acc = v
 		} else {
-			acc = alpha*p.V + (1-alpha)*acc
+			acc = alpha*v + (1-alpha)*acc
 		}
-		out.points = append(out.points, Point{T: p.T, V: acc})
+		out.times = append(out.times, n)
+		out.vals = append(out.vals, acc)
 	}
 	return out
 }
@@ -301,6 +383,20 @@ func StdDev(vs []float64) float64 { return math.Sqrt(Variance(vs)) }
 // Percentile returns the p-th percentile (0..100) of vs using linear
 // interpolation between closest ranks. It copies vs before sorting.
 func Percentile(vs []float64, p float64) float64 {
+	return (*AggScratch)(nil).percentile(vs, p)
+}
+
+// AggScratch is a reusable sort buffer for percentile aggregations. The
+// zero value is ready to use; it grows to the largest bucket it has seen
+// and is reused across calls, so steady-state percentile queries allocate
+// nothing. It is not safe for concurrent use.
+type AggScratch struct {
+	buf []float64
+}
+
+// percentile computes the p-th percentile of vs, sorting a copy held in the
+// scratch buffer (or a throwaway slice when sc is nil).
+func (sc *AggScratch) percentile(vs []float64, p float64) float64 {
 	if len(vs) == 0 {
 		return math.NaN()
 	}
@@ -310,7 +406,15 @@ func Percentile(vs []float64, p float64) float64 {
 	if p >= 100 {
 		return Max(vs)
 	}
-	sorted := make([]float64, len(vs))
+	var sorted []float64
+	if sc == nil {
+		sorted = make([]float64, len(vs))
+	} else {
+		if cap(sc.buf) < len(vs) {
+			sc.buf = make([]float64, len(vs))
+		}
+		sorted = sc.buf[:len(vs)]
+	}
 	copy(sorted, vs)
 	sort.Float64s(sorted)
 	rank := p / 100 * float64(len(sorted)-1)
@@ -356,10 +460,10 @@ func AlignedValues(x, y *Series, period time.Duration) (xs, ys []float64) {
 	if x.Len() == 0 || y.Len() == 0 {
 		return nil, nil
 	}
-	from := maxTime(x.points[0].T, y.points[0].T)
-	to := minTime(x.points[x.Len()-1].T, y.points[y.Len()-1].T).Add(time.Nanosecond)
-	xr := x.Between(from, to).Resample(period, AggMean)
-	yr := y.Between(from, to).Resample(period, AggMean)
+	from := maxTime(x.At(0).T, y.At(0).T)
+	to := minTime(x.At(x.Len()-1).T, y.At(y.Len()-1).T).Add(time.Nanosecond)
+	xr := x.View(from, to).Resample(period, AggMean)
+	yr := y.View(from, to).Resample(period, AggMean)
 	n := xr.Len()
 	if yr.Len() < n {
 		n = yr.Len()

@@ -89,6 +89,12 @@ type Generator struct {
 	ms   *metricstore.Store
 	dims map[string]string
 
+	// Per-tick publish handles, resolved once at construction (nil when ms
+	// is nil).
+	mTargetRate *metricstore.Handle
+	mOffered    *metricstore.Handle
+	mRejected   *metricstore.Handle
+
 	offered  int64
 	rejected int64
 
@@ -123,6 +129,11 @@ func NewGenerator(cfg GeneratorConfig, dest *stream.Stream, ms *metricstore.Stor
 		dest:     dest,
 		ms:       ms,
 		dims:     map[string]string{"Generator": "clickstream"},
+	}
+	if ms != nil {
+		g.mTargetRate = ms.MustHandle(Namespace, MetricTargetRate, g.dims)
+		g.mOffered = ms.MustHandle(Namespace, MetricOfferedRecords, g.dims)
+		g.mRejected = ms.MustHandle(Namespace, MetricRejected, g.dims)
 	}
 	return g, nil
 }
@@ -253,7 +264,7 @@ func (g *Generator) publishTick(now time.Time, offered, rejected int) {
 		return
 	}
 	elapsed := now.Sub(g.cfg.Start)
-	g.ms.MustPut(Namespace, MetricTargetRate, g.dims, now, g.cfg.Pattern.Rate(elapsed))
-	g.ms.MustPut(Namespace, MetricOfferedRecords, g.dims, now, float64(offered))
-	g.ms.MustPut(Namespace, MetricRejected, g.dims, now, float64(rejected))
+	g.mTargetRate.MustAppend(now, g.cfg.Pattern.Rate(elapsed))
+	g.mOffered.MustAppend(now, float64(offered))
+	g.mRejected.MustAppend(now, float64(rejected))
 }

@@ -46,6 +46,12 @@ type QueryGenerator struct {
 	ms    *metricstore.Store
 	dims  map[string]string
 
+	// Per-tick publish handles, resolved once at construction (nil when ms
+	// is nil).
+	mTargetQPS *metricstore.Handle
+	mOffered   *metricstore.Handle
+	mThrottled *metricstore.Handle
+
 	offered   int64
 	throttled int64
 }
@@ -61,13 +67,19 @@ func NewQueryGenerator(cfg QueryConfig, table *kvstore.Table, ms *metricstore.St
 	if cfg.ItemBytes <= 0 {
 		cfg.ItemBytes = 1024
 	}
-	return &QueryGenerator{
+	g := &QueryGenerator{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		table: table,
 		ms:    ms,
 		dims:  map[string]string{"Generator": "dashboard"},
-	}, nil
+	}
+	if ms != nil {
+		g.mTargetQPS = ms.MustHandle(QueryNamespace, MetricTargetQPS, g.dims)
+		g.mOffered = ms.MustHandle(QueryNamespace, MetricOfferedQueries, g.dims)
+		g.mThrottled = ms.MustHandle(QueryNamespace, MetricThrottledQueries, g.dims)
+	}
+	return g, nil
 }
 
 // Offered reports the cumulative queries issued.
@@ -95,8 +107,8 @@ func (g *QueryGenerator) Tick(now time.Time, step time.Duration) {
 	g.offered += int64(n)
 	g.throttled += int64(rejected)
 	if g.ms != nil {
-		g.ms.MustPut(QueryNamespace, MetricTargetQPS, g.dims, now, g.cfg.Pattern.Rate(elapsed))
-		g.ms.MustPut(QueryNamespace, MetricOfferedQueries, g.dims, now, float64(n))
-		g.ms.MustPut(QueryNamespace, MetricThrottledQueries, g.dims, now, float64(rejected))
+		g.mTargetQPS.MustAppend(now, g.cfg.Pattern.Rate(elapsed))
+		g.mOffered.MustAppend(now, float64(n))
+		g.mThrottled.MustAppend(now, float64(rejected))
 	}
 }
