@@ -1,0 +1,76 @@
+package apiv1
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/registry"
+)
+
+// Watch wire types: the server-push read plane. The watch endpoints
+// (GET /v1/flows/{id}/watch, GET /v1/experiments/{id}/watch and the
+// multiplexed GET /v1/watch) stream Event records as Server-Sent Events
+// (default) or NDJSON (Accept: application/x-ndjson or ?format=ndjson).
+//
+// Event types and their data payloads are defined next to their emitters —
+// internal/registry for flow events, internal/lab for experiment events —
+// and re-exported here so SDK users never import internal packages for a
+// constant. The payload structs (registry.FlowAdvanced, lab.TrialEvent,
+// ...) are the wire format, exactly as flow definitions travel as
+// flow.Spec.
+
+// Flow watch event types (topic: the flow id).
+const (
+	EventFlowCreated  = registry.EventFlowCreated
+	EventFlowDeleted  = registry.EventFlowDeleted
+	EventFlowAdvanced = registry.EventFlowAdvanced
+	EventFlowDecision = registry.EventFlowDecision
+	EventFlowPace     = registry.EventFlowPace
+)
+
+// Experiment watch event types (topic: the experiment id).
+const (
+	EventExperimentCreated = lab.EventExperimentCreated
+	EventExperimentState   = lab.EventExperimentState
+	EventExperimentDeleted = lab.EventExperimentDeleted
+	EventTrialStarted      = lab.EventTrialStarted
+	EventTrialFinished     = lab.EventTrialFinished
+)
+
+// EventDropped is the synthetic marker a watch stream inserts when a
+// subscriber fell behind (bounded buffer overflow) or resumed past the
+// server's replay ring: Data decodes as DroppedEvent. Buffer-overflow
+// drops count only events this stream would have delivered; resume gaps
+// count expired bus events of any topic or type (the server can no
+// longer filter what it no longer retains), so treat a marker as "events
+// may have been missed — resync derived state", not as an exact count.
+// It carries no ID — a client must not use it as a resume cursor.
+const EventDropped = "dropped"
+
+// EventHello is the first record of every watch stream: it carries the
+// stream's current resume cursor in ID (and nothing else), so a client
+// that reconnects before ever receiving a real event still resumes from
+// the right position instead of silently skipping the outage. SDK
+// iterators consume it internally.
+const EventHello = "hello"
+
+// EventHeartbeat is the NDJSON keep-alive record (SSE streams use comment
+// lines instead). Its ID carries the stream's current resume cursor.
+const EventHeartbeat = "heartbeat"
+
+// Event is one record of a watch stream. ID is an opaque resume cursor:
+// echo it back verbatim via the Last-Event-ID header (or ?after=) when
+// reconnecting. Data is the event-type-specific payload.
+type Event struct {
+	ID    string          `json:"id,omitempty"`
+	Type  string          `json:"type"`
+	Topic string          `json:"topic,omitempty"`
+	At    time.Time       `json:"at,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// DroppedEvent is the Data payload of an EventDropped marker.
+type DroppedEvent struct {
+	Count uint64 `json:"count"`
+}

@@ -6,6 +6,17 @@
 // structs the server does (repro/api/v1), so a compile-time type mismatch
 // between the two sides is impossible.
 //
+// The read plane is streaming and columnar: WatchFlow, WatchExperiment
+// and Watch are auto-reconnecting event-stream iterators (resume via
+// opaque cursors, explicit dropped-event markers), BatchQueryMetrics
+// fetches many series across many flows in one columnar round trip, and
+// WaitExperiment waits on a watch stream — zero steady-state polls —
+// with a polling fallback for servers without watch support.
+//
+// Every non-streaming request carries a User-Agent and a default
+// deadline (DefaultTimeout; WithTimeout tunes or disables it); watch
+// streams are exempt and stay open indefinitely.
+//
 //	c := client.New("http://127.0.0.1:8080")
 //	f, err := c.CreateFlow(ctx, apiv1.CreateFlowRequest{ID: "checkout", Peak: 3000})
 //	...
@@ -29,25 +40,57 @@ import (
 	"repro/internal/monitor"
 )
 
+// DefaultTimeout bounds each non-streaming request when New is not given
+// WithTimeout. Watch streams are exempt: they are expected to stay open.
+// The default is deliberately generous — advancing a flow by months of
+// simulated time is a legitimate multi-minute request — while still
+// unsticking callers from a hung server; tighten it with WithTimeout for
+// interactive use.
+const DefaultTimeout = 5 * time.Minute
+
+// defaultUserAgent identifies the SDK on the wire.
+const defaultUserAgent = "flower-client/1 (repro/client)"
+
 // Client talks to one Flower control plane.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	timeout   time.Duration // per-request deadline for non-streaming calls; <= 0: none
+	userAgent string
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying HTTP client (timeouts,
-// transports, test doubles).
+// WithHTTPClient substitutes the underlying HTTP client (transports, test
+// doubles). Avoid setting http.Client.Timeout — it would also kill watch
+// streams; use WithTimeout, which only bounds non-streaming requests.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout sets the per-request deadline applied to every
+// non-streaming call (default DefaultTimeout; <= 0 disables it). A
+// deadline already on the caller's context still applies — whichever is
+// sooner wins.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithUserAgent overrides the SDK's User-Agent header.
+func WithUserAgent(ua string) Option {
+	return func(c *Client) { c.userAgent = ua }
 }
 
 // New returns a client for the control plane at baseURL
 // (e.g. "http://127.0.0.1:8080").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        http.DefaultClient,
+		timeout:   DefaultTimeout,
+		userAgent: defaultUserAgent,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -81,6 +124,11 @@ func IsConflict(err error) bool {
 // do issues one request; a non-2xx status is decoded into *APIError, a 2xx
 // body into out (when non-nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -93,6 +141,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if err != nil {
 		return err
 	}
+	req.Header.Set("User-Agent", c.userAgent)
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -116,12 +165,23 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // decodeError turns a non-2xx response into an *APIError, decoding the
-// server's uniform envelope when present.
+// server's uniform envelope when present. A body that is not the envelope
+// (a proxy's HTML error page, a truncated response) never masks the
+// status code: the status line is kept and a bounded snippet of the body
+// is attached for diagnosis.
 func decodeError(resp *http.Response, body []byte) *APIError {
 	ae := &APIError{StatusCode: resp.StatusCode, Code: apiv1.CodeInternal, Message: resp.Status}
 	var env apiv1.ErrorEnvelope
 	if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
 		ae.Code, ae.Message = env.Error.Code, env.Error.Message
+		return ae
+	}
+	if snippet := strings.TrimSpace(string(body)); snippet != "" {
+		const maxSnippet = 200
+		if len(snippet) > maxSnippet {
+			snippet = snippet[:maxSnippet] + "…"
+		}
+		ae.Message = resp.Status + ": " + snippet
 	}
 	return ae
 }
@@ -280,6 +340,63 @@ func (c *Client) QueryAllMetrics(ctx context.Context, id string, q MetricQuery, 
 	return first, nil
 }
 
+// BatchQuery is one selector of a columnar batch metric query.
+type BatchQuery struct {
+	// Flow is the registry id of the flow the metric belongs to.
+	Flow       string
+	Namespace  string
+	Name       string
+	Dimensions map[string]string
+	// Stat is a CloudWatch-flavoured statistic (avg, sum, min, max, count,
+	// p50, p90, p99); empty means avg.
+	Stat string
+	// Window is the trailing query window (0: server default, 30m).
+	Window time.Duration
+	// Period is the aggregation bucket (0: server default, 1m).
+	Period time.Duration
+	// Raw requests the window's raw datapoints, unresampled (overrides
+	// Period).
+	Raw bool
+}
+
+// BatchQueryMetrics evaluates many selectors — across any number of flows
+// — in one POST /v1/metrics:batchQuery round trip and returns
+// column-oriented series (parallel unix-nano/value arrays). Results[i]
+// answers queries[i]; a selector that failed carries its own Error field
+// instead of failing the batch. One batch call replaces N QueryMetrics
+// round trips, which is both fewer bytes and far fewer allocations than
+// per-point JSON.
+func (c *Client) BatchQueryMetrics(ctx context.Context, queries []BatchQuery) ([]apiv1.ColumnSeries, error) {
+	req := apiv1.BatchQueryRequest{Queries: make([]apiv1.BatchQuerySelector, len(queries))}
+	for i, q := range queries {
+		sel := apiv1.BatchQuerySelector{
+			Flow:       q.Flow,
+			Namespace:  q.Namespace,
+			Name:       q.Name,
+			Dimensions: q.Dimensions,
+			Stat:       q.Stat,
+		}
+		if q.Window > 0 {
+			sel.Window = q.Window.String()
+		}
+		switch {
+		case q.Raw:
+			sel.Period = "0s"
+		case q.Period > 0:
+			sel.Period = q.Period.String()
+		}
+		req.Queries[i] = sel
+	}
+	var out apiv1.BatchQueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/metrics:batchQuery", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(queries) {
+		return nil, fmt.Errorf("flower api: batch query returned %d results for %d queries", len(out.Results), len(queries))
+	}
+	return out.Results, nil
+}
+
 // Snapshot fetches the flow's consolidated monitoring view over the
 // trailing window (0: server default, 30m).
 func (c *Client) Snapshot(ctx context.Context, id string, window time.Duration) (monitor.Snapshot, error) {
@@ -381,13 +498,79 @@ func (c *Client) DeleteExperiment(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, experimentPath(id, ""), nil, nil)
 }
 
-// WaitExperiment polls until the experiment leaves the running state
+// WaitExperiment blocks until the experiment leaves the running state
 // (completed or cancelled) or ctx expires, then returns its final
-// summary. poll <= 0 selects a 100ms interval. It polls the collection
-// listing, which carries only summaries — not the per-trial grid the
-// detail route serialises — so waiting on a large farm stays cheap for
-// both sides.
+// summary.
+//
+// Against a server with watch support it opens one
+// GET /v1/experiments/{id}/watch stream (replaying the retained ring, so
+// an experiment that settled before the call is seen immediately) and
+// issues zero polls while waiting — one final GetExperiment fetches the
+// authoritative summary once the terminal state event arrives. Against an
+// older server without watch endpoints it falls back to polling the
+// collection listing every poll (<= 0 selects 100ms).
 func (c *Client) WaitExperiment(ctx context.Context, id string, poll time.Duration) (apiv1.ExperimentSummary, error) {
+	w := c.WatchExperiment(id, WatchOptions{
+		After: "0", // replay: a terminal state recorded before the call still arrives
+		Types: []string{
+			apiv1.EventExperimentCreated,
+			apiv1.EventExperimentState,
+			apiv1.EventExperimentDeleted,
+		},
+	})
+	defer w.Close()
+	for {
+		ev, err := w.Next(ctx)
+		switch {
+		case err == nil:
+		case ctx.Err() != nil:
+			return apiv1.ExperimentSummary{}, ctx.Err()
+		case permanentWatchError(err):
+			ae, _ := err.(*APIError)
+			if ae.Code == apiv1.CodeNotFound && strings.Contains(ae.Message, "no experiment") {
+				// The experiment does not exist; falling back would only
+				// reproduce the same answer one poll later.
+				return apiv1.ExperimentSummary{}, err
+			}
+			// No watch endpoint (an older control plane): poll instead.
+			return c.waitExperimentPoll(ctx, id, poll)
+		default:
+			return apiv1.ExperimentSummary{}, err
+		}
+
+		switch ev.Type {
+		case apiv1.EventExperimentCreated, apiv1.EventExperimentState, apiv1.EventExperimentDeleted:
+			var state lab.ExperimentEvent
+			if err := json.Unmarshal(ev.Data, &state); err != nil {
+				return apiv1.ExperimentSummary{}, fmt.Errorf("flower api: decode %s event: %w", ev.Type, err)
+			}
+			if state.Status == lab.StatusRunning {
+				continue
+			}
+			detail, err := c.GetExperiment(ctx, id)
+			if err != nil {
+				return apiv1.ExperimentSummary{}, err
+			}
+			return detail.ExperimentSummary, nil
+		case apiv1.EventDropped:
+			// The stream has a gap: the terminal state event may be in it,
+			// so check the experiment once before waiting on.
+			detail, err := c.GetExperiment(ctx, id)
+			if err != nil {
+				return apiv1.ExperimentSummary{}, err
+			}
+			if detail.Status != lab.StatusRunning {
+				return detail.ExperimentSummary, nil
+			}
+		}
+	}
+}
+
+// waitExperimentPoll is the pre-watch waiting strategy: poll the
+// collection listing, which carries only summaries — not the per-trial
+// grid the detail route serialises — so waiting on a large farm stays
+// cheap for both sides.
+func (c *Client) waitExperimentPoll(ctx context.Context, id string, poll time.Duration) (apiv1.ExperimentSummary, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}

@@ -18,6 +18,8 @@
 //	flowctl advance -url http://host:8080 -flow web -d 30m
 //	flowctl tune -url http://host:8080 -flow web -layer analytics [-ref 70] [-window 4m] [-dead-band 5]
 //	flowctl delete -url http://host:8080 -flow web
+//	flowctl watch -url http://host:8080 [-flow web | -experiment sweep | -flows a,b -experiments x]
+//	              [-types flow.advanced,flow.decision] [-after 0] [-json]
 //
 // Experiment farm (Scenario Lab, /v1/experiments):
 //
@@ -37,6 +39,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	apiv1 "repro/api/v1"
@@ -77,6 +80,8 @@ func main() {
 		cmdTune(os.Args[2:])
 	case "delete":
 		cmdDelete(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
 	case "experiments":
 		cmdExperiments(os.Args[2:])
 	case "help", "-h", "-help", "--help":
@@ -111,6 +116,7 @@ remote (against flowerd -http; all take -url):
   advance     move one flow's simulated time forward
   tune        adjust a layer controller at runtime
   delete      stop and remove a flow
+  watch       stream live events (flows, experiments) to the terminal
 
 experiment farm (Scenario Lab; all take -url):
   experiments create     submit an experiment grid (-spec exp.json)
@@ -362,6 +368,74 @@ func cmdDelete(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("deleted flow %q\n", *id)
+}
+
+// cmdWatch streams control-plane events to the terminal: one flow
+// (-flow), one experiment (-experiment), or the multiplexed stream
+// (-flows/-experiments lists, empty for everything). The SDK iterator
+// reconnects with resume on its own, so the stream survives daemon
+// restarts with at most a dropped-events marker.
+func cmdWatch(args []string) {
+	fs, url := remoteFlags("watch")
+	flowID := fs.String("flow", "", "watch one flow")
+	expID := fs.String("experiment", "", "watch one experiment")
+	flows := fs.String("flows", "", "multiplexed stream: comma-separated flow ids ('*' for all)")
+	exps := fs.String("experiments", "", "multiplexed stream: comma-separated experiment ids ('*' for all)")
+	types := fs.String("types", "", "comma-separated event type filter (e.g. flow.advanced,flow.decision)")
+	after := fs.String("after", "", "resume cursor ('0' replays the server's retained history)")
+	asJSON := fs.Bool("json", false, "print raw event JSON, one object per line")
+	fs.Parse(args)
+
+	var typeList []string
+	if *types != "" {
+		typeList = strings.Split(*types, ",")
+	}
+	c := dial(*url)
+	var w *client.Watch
+	switch {
+	case *flowID != "" && *expID != "":
+		log.Fatal("-flow and -experiment are mutually exclusive; use -flows/-experiments for a mixed stream")
+	case *flowID != "":
+		w = c.WatchFlow(*flowID, client.WatchOptions{Types: typeList, After: *after})
+	case *expID != "":
+		w = c.WatchExperiment(*expID, client.WatchOptions{Types: typeList, After: *after})
+	default:
+		q := client.WatchQuery{Types: typeList, After: *after}
+		switch {
+		case *flows == "*":
+			q.AllFlows = true
+		case *flows != "":
+			q.Flows = strings.Split(*flows, ",")
+		}
+		switch {
+		case *exps == "*":
+			q.AllExperiments = true
+		case *exps != "":
+			q.Experiments = strings.Split(*exps, ",")
+		}
+		w = c.Watch(q)
+	}
+	defer w.Close()
+
+	ctx := context.Background()
+	enc := json.NewEncoder(os.Stdout)
+	for {
+		ev, err := w.Next(ctx)
+		if err != nil {
+			log.Fatalf("watch: %v", err)
+		}
+		if *asJSON {
+			if err := enc.Encode(ev); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		at := ""
+		if !ev.At.IsZero() {
+			at = ev.At.Format("15:04:05") + " "
+		}
+		fmt.Printf("%s%-26s %-16s %s\n", at, ev.Type, ev.Topic, ev.Data)
+	}
 }
 
 // --- experiment farm (Scenario Lab) ---

@@ -73,6 +73,12 @@ type benchResult struct {
 	Speedup float64 `json:"speedup_vs_baseline,omitempty"`
 	// AllocReductionPct is the percentage of baseline allocs/op removed.
 	AllocReductionPct float64 `json:"alloc_reduction_pct_vs_baseline,omitempty"`
+	// BytesFactor / AllocsFactor are baseline B/op and allocs/op divided
+	// by this benchmark's (>1: lighter) — the read-plane acceptance bars
+	// ("batch query ≥4x fewer bytes and allocs than N single queries")
+	// are stated in these.
+	BytesFactor  float64 `json:"bytes_factor_vs_baseline,omitempty"`
+	AllocsFactor float64 `json:"allocs_factor_vs_baseline,omitempty"`
 }
 
 // runPerfSuite executes the perfbench micro-benchmarks through
@@ -104,6 +110,12 @@ func runPerfSuite() *perfReport {
 			}
 			if base.AllocsPerOp > 0 {
 				br.AllocReductionPct = 100 * float64(base.AllocsPerOp-br.AllocsPerOp) / float64(base.AllocsPerOp)
+			}
+			if br.BytesPerOp > 0 {
+				br.BytesFactor = float64(base.BytesPerOp) / float64(br.BytesPerOp)
+			}
+			if br.AllocsPerOp > 0 {
+				br.AllocsFactor = float64(base.AllocsPerOp) / float64(br.AllocsPerOp)
 			}
 		}
 		byName[bench.Name] = br

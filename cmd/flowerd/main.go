@@ -15,7 +15,11 @@
 // tuning, paginated metric queries, dependency analysis, advance and
 // pacing, plus per-flow HTML dashboards — and the Scenario Lab's
 // /v1/experiments farm, which fans declarative experiment grids out over
-// a worker pool sized by -lab-workers. -spec may repeat to serve several
+// a worker pool sized by -lab-workers. The streaming read plane rides
+// along: SSE/NDJSON watch endpoints (/v1/flows/{id}/watch,
+// /v1/experiments/{id}/watch, /v1/watch) and the columnar
+// POST /v1/metrics:batchQuery — see API.md ("Read plane"), `flowctl
+// watch` and `flowmon -follow`. -spec may repeat to serve several
 // flows at once, and -flows N serves N independently-seeded replicas of the
 // built-in flow; more flows can be created at runtime with POST /v1/flows
 // (see API.md, or use the repro/client SDK / flowctl's remote

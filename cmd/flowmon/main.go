@@ -8,6 +8,7 @@
 //	flowmon [-spec flow.json] [-for 1h] [-window 30m] [-csv out.csv]
 //	flowmon -replay metrics.jsonl [-window 30m]   render from a recorded journal
 //	flowmon -url http://host:8080 -flow web       render a live remote flow
+//	flowmon -url http://host:8080 -flow web -follow   re-render on every advance
 //
 // With -replay, flowmon renders the dashboard from a metric journal
 // recorded by `flowerd -journal` (internal/persist) instead of running a
@@ -16,7 +17,11 @@
 // With -url, flowmon fetches the named flow's consolidated snapshot from a
 // running flowerd control plane through the repro/client SDK and renders
 // it, so any flow of a multi-flow daemon can be watched from another
-// machine.
+// machine. Adding -follow subscribes to the flow's watch stream instead of
+// polling: the dashboard re-renders whenever the flow actually advances (a
+// pacer tick, a manual advance), throttled to at most one render per
+// -refresh interval, and survives daemon restarts through the SDK's
+// auto-reconnect.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	apiv1 "repro/api/v1"
 	"repro/client"
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
@@ -48,21 +54,70 @@ func main() {
 	replayPath := flag.String("replay", "", "render from this metric journal instead of running a simulation")
 	baseURL := flag.String("url", "", "render a flow served by this flowerd control plane instead of running a simulation")
 	flowID := flag.String("flow", "", "with -url: the remote flow id")
+	follow := flag.Bool("follow", false, "with -url: stream the flow's watch events and re-render on every advance")
+	refresh := flag.Duration("refresh", time.Second, "with -follow: minimum interval between renders")
 	flag.Parse()
 
 	if *baseURL != "" {
 		if *flowID == "" {
 			log.Fatal("-flow is required with -url")
 		}
-		snap, err := client.New(*baseURL).Snapshot(context.Background(), *flowID, *window)
-		if err != nil {
-			log.Fatalf("snapshot: %v", err)
+		c := client.New(*baseURL)
+		ctx := context.Background()
+		render := func() error {
+			snap, err := c.Snapshot(ctx, *flowID, *window)
+			if err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			if *follow {
+				fmt.Print("\033[H\033[2J") // clear for the live view
+			}
+			fmt.Printf("flow %q on %s\n\n", *flowID, *baseURL)
+			if err := monitor.Render(os.Stdout, snap); err != nil {
+				return fmt.Errorf("dashboard: %w", err)
+			}
+			return nil
 		}
-		fmt.Printf("flow %q on %s\n\n", *flowID, *baseURL)
-		if err := monitor.Render(os.Stdout, snap); err != nil {
-			log.Fatalf("dashboard: %v", err)
+		if err := render(); err != nil && !*follow {
+			log.Fatal(err)
+		} else if err != nil {
+			log.Printf("%v (retrying on next event)", err)
 		}
-		return
+		if !*follow {
+			return
+		}
+		// Follow mode: one watch stream instead of snapshot polling. Each
+		// flow.advanced event invalidates the view; renders are throttled
+		// so a fast pacer does not melt the terminal.
+		w := c.WatchFlow(*flowID, client.WatchOptions{
+			Types: []string{apiv1.EventFlowAdvanced, apiv1.EventFlowDeleted},
+		})
+		defer w.Close()
+		last := time.Now()
+		for {
+			ev, err := w.Next(ctx)
+			if err != nil {
+				log.Fatalf("watch: %v", err)
+			}
+			if ev.Type == apiv1.EventFlowDeleted {
+				fmt.Printf("\nflow %q was deleted; exiting\n", *flowID)
+				return
+			}
+			// Throttle by waiting out the remainder of the interval rather
+			// than dropping the event: the render after a burst's LAST
+			// advance must happen, or the terminal would stay stale until
+			// some future event arrived.
+			if since := time.Since(last); since < *refresh {
+				time.Sleep(*refresh - since)
+			}
+			last = time.Now()
+			// A transient snapshot failure (daemon restarting mid-stream)
+			// must not kill the live view: the watch iterator is already
+			// reconnecting, so just try again on the next event.
+			if err := render(); err != nil {
+				log.Printf("%v (retrying on next event)", err)
+			}
+		}
 	}
 
 	if *replayPath != "" {

@@ -2,7 +2,10 @@
 // programmatic form of the demo's three steps (§4): build flows, run them
 // under management, watch them through the all-in-one-place view, and tune
 // a controller live. It serves two flows from one process and drives both
-// through the typed Go SDK (repro/client).
+// through the typed Go SDK (repro/client), including the streaming read
+// plane: a watch subscription replaces status polling, and one columnar
+// batch query fetches every panel's sparkline series in a single round
+// trip.
 //
 // By default it runs a scripted session against an in-process server and
 // exits. Pass -serve to keep the server up for a browser:
@@ -75,11 +78,26 @@ func main() {
 	ctx := context.Background()
 	c := client.New("http://" + ln.Addr().String())
 
+	// The watch stream sees every advance the session performs — server
+	// push instead of request/response polling. After "0" replays the
+	// server's retained history, so events published before the stream
+	// connects still arrive.
+	w := c.Watch(client.WatchQuery{AllFlows: true, Types: []string{apiv1.EventFlowAdvanced}, After: "0"})
+	defer w.Close()
+
 	// Step 2 — run both flows for two simulated hours, independently.
 	for _, id := range []string{"clicks-1", "clicks-2"} {
 		if _, err := c.Advance(ctx, id, 2*time.Hour); err != nil {
 			log.Fatal(err)
 		}
+	}
+	fmt.Println("== watch events ==")
+	for i := 0; i < 2; i++ {
+		ev, err := w.Next(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %s %s\n", ev.Type, ev.Topic, ev.Data)
 	}
 	flows, err := c.ListFlows(ctx)
 	if err != nil {
@@ -129,6 +147,35 @@ func main() {
 	fmt.Println("== learned dependencies ==")
 	for _, d := range deps {
 		fmt.Printf("%s\n", d.Equation)
+	}
+
+	// Every sparkline of a custom dashboard in ONE round trip: a columnar
+	// batch query over both flows, instead of one /metrics/query call per
+	// panel.
+	batch := []client.BatchQuery{
+		{Flow: "clicks-1", Namespace: "Ingestion/Stream", Name: "IncomingRecords",
+			Dimensions: map[string]string{"StreamName": "clicks-1"}, Window: time.Hour},
+		{Flow: "clicks-1", Namespace: "Analytics/Compute", Name: "CPUUtilization",
+			Dimensions: map[string]string{"Topology": "clicks-1"}, Window: time.Hour, Stat: "p90"},
+		{Flow: "clicks-2", Namespace: "Storage/KVStore", Name: "ConsumedWriteCapacityUnits",
+			Dimensions: map[string]string{"TableName": "clicks-2"}, Window: time.Hour},
+	}
+	cols, err := c.BatchQueryMetrics(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== one batch query, three sparkline series ==")
+	for i, res := range cols {
+		if res.Error != nil {
+			log.Fatalf("selector %d: %s", i, res.Error.Message)
+		}
+		if len(res.Vs) == 0 {
+			fmt.Printf("%s %s/%s: no data in window\n", res.Flow, res.Namespace, res.Name)
+			continue
+		}
+		last := res.Vs[len(res.Vs)-1]
+		fmt.Printf("%s %s/%s: %d columnar points, last %.1f\n",
+			res.Flow, res.Namespace, res.Name, len(res.Ts), last)
 	}
 
 	// The HTML dashboard is one GET away, per flow.

@@ -83,6 +83,28 @@
 // See API.md ("Metric store: handle-based hot path") for the performance
 // model, and internal/perfbench — or `flowerbench -suite perf` — for the
 // measured speedups versus the pre-rebuild implementation.
+//
+// # Read plane
+//
+// Observation is push-and-batch, not poll-and-point. Every control-plane
+// state change — flow lifecycle, advances, per-layer controller
+// decisions, pacer transitions, experiment and trial state — is published
+// on bounded event buses (internal/eventbus; Registry.Events and the lab
+// engine's Events) and streamed over HTTP as Server-Sent Events or NDJSON
+// at /v1/flows/{id}/watch, /v1/experiments/{id}/watch and the
+// multiplexed /v1/watch, with Last-Event-ID resume, heartbeats, and
+// explicit dropped-event markers for slow consumers (publishing never
+// blocks the simulation tick). Bulk series reads go through
+// POST /v1/metrics:batchQuery: many (flow, metric, window, resample)
+// selectors per request, answered as columnar ts/vs arrays serialized
+// straight from the store — the SDK's BatchQueryMetrics fetches 16 series
+// with several-fold fewer bytes and allocations than 16 per-point
+// queries (see BENCH_REPORT.json's batch_query_x16). The SDK's
+// WatchFlow/WatchExperiment/Watch iterators reconnect and resume on
+// their own, WaitExperiment waits on a watch stream with zero
+// steady-state polls (falling back to polling on pre-watch servers), and
+// `flowctl watch` / `flowmon -follow` bring the streams to the terminal.
+// See API.md ("Read plane").
 package flower
 
 import (

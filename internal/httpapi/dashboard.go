@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/flow"
-	"repro/internal/metricstore"
 	"repro/internal/registry"
 	"repro/internal/timeseries"
 )
@@ -141,20 +140,14 @@ type dashboardData struct {
 	Alarms       []string
 }
 
-// sparkValues resamples a stored metric's trailing window for a sparkline;
-// a metric with no datapoints yet (fresh flow) yields nil.
-func sparkValues(store *metricstore.Store, ns, metric string, dims map[string]string,
-	now time.Time, window time.Duration) []float64 {
-	h, ok := store.Lookup(ns, metric, dims)
-	if !ok {
-		return nil
-	}
-	return h.Window(metricstore.WindowQuery{
-		From:   now.Add(-window),
-		To:     now.Add(time.Nanosecond),
-		Period: time.Minute,
-		Stat:   timeseries.AggMean,
-	}).Values()
+// sparkSelector is the batch-query shape of one sparkline: a one-minute
+// mean resample of the metric's trailing window. The dashboard collects
+// every panel's selector and evaluates them in one grouped pass through
+// the same evalSelectorsLocked the POST /v1/metrics:batchQuery endpoint
+// uses — one batch evaluation per render instead of one store query per
+// sparkline.
+func sparkSelector(ns, metric string, dims map[string]string, window time.Duration) selector {
+	return selector{ns: ns, name: metric, dims: dims, window: window, period: time.Minute, stat: timeseries.AggMean}
 }
 
 // sparkSVG renders values as a small inline SVG polyline.
@@ -241,6 +234,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 			Window:       window.String(),
 			Alarms:       snap.Alarms,
 		}
+		// First pass: collect the panels and the selector of every
+		// sparkline; layerSpark[i] indexes sels for data.Layers[i] (-1:
+		// no sparkline). The row sparklines follow in section order.
+		var sels []selector
+		var layerSpark []int
 		for _, l := range spec.Layers {
 			dl := dashboardLayer{
 				Kind: l.Kind, System: l.System, Resource: l.Resource,
@@ -254,11 +252,13 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 			case flow.Storage:
 				dl.Allocation = fmt.Sprintf("%.0f", h.Table.WCU())
 			}
+			spark := -1
 			if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
 				if p, ok := h.Store.Latest(ns, metric, dims); ok {
 					dl.Utilization = p.V
 				}
-				dl.Spark = sparkSVG(sparkValues(h.Store, ns, metric, dims, now, window), 120, 24)
+				spark = len(sels)
+				sels = append(sels, sparkSelector(ns, metric, dims, window))
 			}
 			if loop, ok := h.Loops[l.Kind]; ok {
 				dl.Controller = loop.Controller().Name()
@@ -267,6 +267,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 				dl.Actions = loop.Actions()
 			}
 			data.Layers = append(data.Layers, dl)
+			layerSpark = append(layerSpark, spark)
 		}
 		if spec.Dashboard.Enabled {
 			dl := dashboardLayer{
@@ -278,23 +279,38 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 			if p, ok := h.Store.Latest(ns, metric, dims); ok {
 				dl.Utilization = p.V
 			}
-			dl.Spark = sparkSVG(sparkValues(h.Store, ns, metric, dims, now, window), 120, 24)
-			if loop, ok := h.Loops[flow.StorageReads]; ok {
-				dl.Controller = loop.Controller().Name()
-				dl.Ref = loop.Ref()
-				dl.Window = loop.Window().String()
-				dl.Actions = loop.Actions()
-			}
 			data.Layers = append(data.Layers, dl)
+			layerSpark = append(layerSpark, len(sels))
+			sels = append(sels, sparkSelector(ns, metric, dims, window))
+			if loop, ok := h.Loops[flow.StorageReads]; ok {
+				i := len(data.Layers) - 1
+				data.Layers[i].Controller = loop.Controller().Name()
+				data.Layers[i].Ref = loop.Ref()
+				data.Layers[i].Window = loop.Window().String()
+				data.Layers[i].Actions = loop.Actions()
+			}
 		}
 		for _, section := range snap.Sections {
-			for _, m := range section.Metrics {
-				vals := sparkValues(h.Store, m.ID.Namespace, m.ID.Name, m.ID.Dimensions, now, window)
+			for _, sm := range section.Metrics {
 				data.Rows = append(data.Rows, dashboardRow{
-					Name: m.ID.String(),
-					Last: m.Last, Mean: m.Mean, Min: m.Min, Max: m.Max,
-					Spark: sparkSVG(vals, 120, 18),
+					Name: sm.ID.String(),
+					Last: sm.Last, Mean: sm.Mean, Min: sm.Min, Max: sm.Max,
 				})
+				sels = append(sels, sparkSelector(sm.ID.Namespace, sm.ID.Name, sm.ID.Dimensions, window))
+			}
+		}
+
+		// Second pass: one grouped evaluation answers every sparkline.
+		cols := evalSelectorsLocked(m, sels)
+		for i, spark := range layerSpark {
+			if spark >= 0 && cols[spark].err == nil {
+				data.Layers[i].Spark = sparkSVG(cols[spark].vs, 120, 24)
+			}
+		}
+		next := len(sels) - len(data.Rows) // row selectors are the tail of sels
+		for i := range data.Rows {
+			if c := cols[next+i]; c.err == nil {
+				data.Rows[i].Spark = sparkSVG(c.vs, 120, 18)
 			}
 		}
 	})

@@ -1,0 +1,59 @@
+package httpapi
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Gzip response middleware for the bulky read-plane payloads (metric
+// queries, batch queries, snapshots, experiment results). Compression is
+// negotiated via Accept-Encoding and applied per-route rather than
+// globally: HTML dashboards are small, and the watch streams must never
+// be buffered by a compressor.
+
+// gzPool recycles gzip writers; they are expensive to allocate.
+var gzPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// gzipResponseWriter funnels the handler's body through a gzip stream.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipResponseWriter) Write(b []byte) (int, error) { return g.gz.Write(b) }
+
+// withGzip compresses the wrapped handler's response when the client
+// accepts gzip.
+func withGzip(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		gz := gzPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		defer func() {
+			if p := recover(); p != nil {
+				// Do NOT close (i.e. flush) the gzip stream on a panic: an
+				// unflushed stream means the status line is still unsent,
+				// so the recovery middleware can answer with a JSON 500 —
+				// which must go out unencoded, hence the header rollback.
+				// (A handler that already flushed real output is beyond
+				// saving here, exactly as on non-gzipped routes.)
+				w.Header().Del("Content-Encoding")
+				gzPool.Put(gz)
+				panic(p)
+			}
+			_ = gz.Close() // flushes; the status line is long gone on error
+			gzPool.Put(gz)
+		}()
+		h(&gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+	}
+}

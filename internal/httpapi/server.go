@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	apiv1 "repro/api/v1"
@@ -47,6 +48,9 @@ type Server struct {
 	logger *log.Logger  // nil: no request logging
 
 	defaultID string // explicit default flow for the legacy /api aliases
+
+	watchHeartbeat time.Duration // watch stream keep-alive interval (0: default)
+	legacyOnce     sync.Once     // logs the /api deprecation exactly once
 }
 
 // Option configures a Server.
@@ -62,6 +66,12 @@ func WithLogger(l *log.Logger) Option {
 // flow, or the first flow created through POST /v1/flows.
 func WithDefaultFlow(id string) Option {
 	return func(s *Server) { s.defaultID = id }
+}
+
+// WithWatchHeartbeat overrides the keep-alive interval of the watch
+// streams (default 15s); tests shorten it to observe heartbeats.
+func WithWatchHeartbeat(d time.Duration) Option {
+	return func(s *Server) { s.watchHeartbeat = d }
 }
 
 // WithLab substitutes the Scenario Lab engine behind /v1/experiments
@@ -103,21 +113,30 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/flows/{id}/layers", s.flowScoped(s.handleLayers))
 	s.mux.HandleFunc("GET /v1/flows/{id}/layers/{kind}/decisions", s.flowScoped(s.handleDecisions))
 	s.mux.HandleFunc("POST /v1/flows/{id}/layers/{kind}/controller", s.flowScoped(s.handleTuneController))
-	s.mux.HandleFunc("GET /v1/flows/{id}/metrics", s.flowScoped(s.handleListMetrics))
-	s.mux.HandleFunc("GET /v1/flows/{id}/metrics/query", s.flowScoped(s.handleQueryMetrics))
-	s.mux.HandleFunc("GET /v1/flows/{id}/snapshot", s.flowScoped(s.handleSnapshot))
+	s.mux.HandleFunc("GET /v1/flows/{id}/metrics", withGzip(s.flowScoped(s.handleListMetrics)))
+	s.mux.HandleFunc("GET /v1/flows/{id}/metrics/query", withGzip(s.flowScoped(s.handleQueryMetrics)))
+	s.mux.HandleFunc("GET /v1/flows/{id}/snapshot", withGzip(s.flowScoped(s.handleSnapshot)))
 	s.mux.HandleFunc("GET /v1/flows/{id}/dependencies", s.flowScoped(s.handleDependencies))
 	s.mux.HandleFunc("POST /v1/flows/{id}/advance", s.flowScoped(s.handleAdvance))
 	s.mux.HandleFunc("POST /v1/flows/{id}/pace", s.flowScoped(s.handlePace))
 	s.mux.HandleFunc("GET /v1/flows/{id}/pace", s.flowScoped(s.handlePaceState))
 	s.mux.HandleFunc("GET /v1/flows/{id}/dashboard", s.flowScoped(s.handleDashboard))
 
+	// The streaming read plane: per-flow and per-experiment watch streams,
+	// a multiplexed stream over both buses, and the columnar batch query.
+	// Watch routes are never gzipped (a compressor would buffer the
+	// stream); the batch route is the main gzip beneficiary.
+	s.mux.HandleFunc("GET /v1/flows/{id}/watch", s.flowScoped(s.handleWatchFlow))
+	s.mux.HandleFunc("GET /v1/experiments/{id}/watch", s.experimentScoped(s.handleWatchExperiment))
+	s.mux.HandleFunc("GET /v1/watch", s.handleWatchMux)
+	s.mux.HandleFunc("POST /v1/metrics:batchQuery", withGzip(s.handleBatchQuery))
+
 	// v1 experiment collection (the Scenario Lab).
 	s.mux.HandleFunc("POST /v1/experiments", s.handleCreateExperiment)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/experiments/{id}", s.experimentScoped(s.handleGetExperiment))
 	s.mux.HandleFunc("POST /v1/experiments/{id}/cancel", s.experimentScoped(s.handleCancelExperiment))
-	s.mux.HandleFunc("GET /v1/experiments/{id}/results", s.experimentScoped(s.handleExperimentResults))
+	s.mux.HandleFunc("GET /v1/experiments/{id}/results", withGzip(s.experimentScoped(s.handleExperimentResults)))
 	s.mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleDeleteExperiment)
 
 	// Legacy single-flow aliases onto the default flow. /api/flow keeps the
@@ -127,9 +146,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/layers", s.defaultScoped(s.handleLayers))
 	s.mux.HandleFunc("GET /api/layers/{kind}/decisions", s.defaultScoped(s.handleDecisions))
 	s.mux.HandleFunc("POST /api/layers/{kind}/controller", s.defaultScoped(s.handleTuneController))
-	s.mux.HandleFunc("GET /api/metrics", s.defaultScoped(s.handleListMetrics))
-	s.mux.HandleFunc("GET /api/metrics/query", s.defaultScoped(s.handleQueryMetrics))
-	s.mux.HandleFunc("GET /api/snapshot", s.defaultScoped(s.handleSnapshot))
+	s.mux.HandleFunc("GET /api/metrics", withGzip(s.defaultScoped(s.handleListMetrics)))
+	s.mux.HandleFunc("GET /api/metrics/query", withGzip(s.defaultScoped(s.handleQueryMetrics)))
+	s.mux.HandleFunc("GET /api/snapshot", withGzip(s.defaultScoped(s.handleSnapshot)))
 	s.mux.HandleFunc("GET /api/dependencies", s.defaultScoped(s.handleDependencies))
 	s.mux.HandleFunc("POST /api/advance", s.defaultScoped(s.handleAdvance))
 
@@ -154,9 +173,20 @@ func (s *Server) flowScoped(h flowHandler) http.HandlerFunc {
 	}
 }
 
-// defaultScoped resolves the legacy default flow.
+// defaultScoped resolves the legacy default flow. The unversioned /api
+// routes are deprecated aliases of /v1/flows/{id}/...: every response
+// carries a Deprecation header pointing at the successor, and the first
+// alias request is logged once so operators notice without the log
+// drowning in repeats.
 func (s *Server) defaultScoped(h flowHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/flows>; rel="successor-version"`)
+		s.legacyOnce.Do(func() {
+			if s.logger != nil {
+				s.logger.Printf("deprecated: %s %s — the unversioned /api routes alias /v1/flows/{id}/...; migrate to /v1", r.Method, r.URL.Path)
+			}
+		})
 		f, err := s.defaultFlow()
 		if err != nil {
 			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
@@ -214,6 +244,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so the watch streams can push
+// events through the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withMiddleware wraps h in panic recovery and optional request logging.
 // Recovery is innermost so a panicking handler still yields a JSON 500 and
 // a log line instead of a dropped connection.
@@ -246,6 +284,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeJSONCompact is writeJSON without indentation — the bulk wire paths
+// (batch queries) are machine-read and size-sensitive.
+func writeJSONCompact(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, code apiv1.ErrorCode, format string, args ...any) {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/eventbus"
 	"repro/internal/registry"
 	"repro/internal/sim"
 )
@@ -37,6 +38,7 @@ const (
 type Engine struct {
 	workers int
 	sem     chan struct{}
+	bus     *eventbus.Bus
 
 	mu   sync.Mutex
 	exps map[string]*Experiment
@@ -51,6 +53,7 @@ func NewEngine(workers int) *Engine {
 	return &Engine{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		bus:     eventbus.New(0),
 		exps:    make(map[string]*Experiment),
 	}
 }
@@ -77,6 +80,7 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		spec:    spec,
 		created: time.Now(),
 		trials:  trials,
+		bus:     e.bus,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		status:  StatusRunning,
@@ -93,6 +97,9 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	e.exps[id] = x
+	// Under e.mu, like Delete's event, so experiment.deleted can never
+	// precede experiment.created for the same id on the stream.
+	x.publishState(EventExperimentCreated)
 	e.mu.Unlock()
 
 	var wg sync.WaitGroup
@@ -116,6 +123,7 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		x.mu.Unlock()
 		cancel()
 		close(x.done)
+		x.publishState(EventExperimentState)
 	}()
 	return x, nil
 }
@@ -147,6 +155,9 @@ func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
 	x, ok := e.exps[id]
 	delete(e.exps, id)
+	if ok {
+		x.publishState(EventExperimentDeleted)
+	}
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
@@ -171,6 +182,7 @@ type Experiment struct {
 	spec    Spec
 	created time.Time
 	trials  []Trial
+	bus     *eventbus.Bus // the owning engine's event bus (nil when built outside an engine)
 	cancel  context.CancelFunc
 	done    chan struct{}
 
@@ -344,6 +356,7 @@ func (x *Experiment) runTrial(ctx context.Context, sem chan struct{}, i int) {
 	x.results[i] = sum
 	x.running--
 	x.mu.Unlock()
+	x.publishTrial(EventTrialFinished, i, sum.Status, &sum)
 }
 
 // markRunning flips a trial to running and tracks the pool overlap.
@@ -356,6 +369,7 @@ func (x *Experiment) markRunning(i int, start time.Time) {
 		x.maxConc = x.running
 	}
 	x.mu.Unlock()
+	x.publishTrial(EventTrialStarted, i, TrialRunning, nil)
 }
 
 // setStatus settles a trial in a terminal non-done state.
@@ -371,5 +385,7 @@ func (x *Experiment) setStatus(i int, st TrialStatus, err error) {
 	if err != nil {
 		x.results[i].Error = err.Error()
 	}
+	sum := x.results[i]
 	x.mu.Unlock()
+	x.publishTrial(EventTrialFinished, i, st, &sum)
 }

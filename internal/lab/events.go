@@ -1,0 +1,76 @@
+package lab
+
+import (
+	"repro/internal/eventbus"
+)
+
+// Watch event types published on the engine's bus. The topic of every
+// event is the experiment's engine id.
+const (
+	EventExperimentCreated = "experiment.created"
+	EventExperimentState   = "experiment.state"
+	EventExperimentDeleted = "experiment.deleted"
+	EventTrialStarted      = "experiment.trial.started"
+	EventTrialFinished     = "experiment.trial.finished"
+)
+
+// ExperimentEvent is the payload of experiment.created / experiment.state
+// / experiment.deleted: the experiment's lifecycle state plus its progress
+// counters at the moment of the event.
+type ExperimentEvent struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Status   Status   `json:"status"`
+	Trials   int      `json:"trials"`
+	Progress Progress `json:"progress"`
+}
+
+// TrialEvent is the payload of experiment.trial.started /
+// experiment.trial.finished.
+type TrialEvent struct {
+	ID     string      `json:"id"`
+	Index  int         `json:"index"`
+	Trial  string      `json:"trial"`
+	Status TrialStatus `json:"status"`
+	// Set on finished trials that completed.
+	TotalCost     float64 `json:"total_cost_usd,omitempty"`
+	ViolationRate float64 `json:"violation_rate,omitempty"`
+	WallSeconds   float64 `json:"wall_seconds,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Events returns the engine's event bus: experiment lifecycle transitions
+// and per-trial start/finish events are published on it, with the
+// experiment id as the topic. The HTTP watch endpoints subscribe here.
+func (e *Engine) Events() *eventbus.Bus { return e.bus }
+
+// publishState emits the experiment's current status and progress in one
+// consistent cut.
+func (x *Experiment) publishState(typ string) {
+	if x.bus == nil {
+		return
+	}
+	status, progress := x.Snapshot()
+	x.bus.Publish(typ, x.id, ExperimentEvent{
+		ID:       x.id,
+		Name:     x.spec.Name,
+		Status:   status,
+		Trials:   len(x.trials),
+		Progress: progress,
+	})
+}
+
+// publishTrial emits one trial transition.
+func (x *Experiment) publishTrial(typ string, i int, status TrialStatus, sum *TrialSummary) {
+	if x.bus == nil {
+		return
+	}
+	ev := TrialEvent{ID: x.id, Index: i, Trial: x.trials[i].Name, Status: status}
+	if sum != nil {
+		ev.TotalCost = sum.TotalCost
+		ev.ViolationRate = sum.ViolationRate
+		ev.WallSeconds = sum.WallSeconds
+		ev.Error = sum.Error
+	}
+	x.bus.Publish(typ, x.id, ev)
+}

@@ -249,7 +249,18 @@ func (s *Store) window(e *entry, from, to time.Time, period time.Duration, stat 
 	if period <= 0 {
 		return v.Materialize()
 	}
-	return v.ResampleInto(timeseries.New(0), period, stat, &e.scratch)
+	// Presize the output to the bucket count the window implies: resampling
+	// can only shrink the point count, and growing the columns append by
+	// append is the read path's dominant allocation source.
+	buckets := v.Len()
+	if v.Len() > 1 {
+		if span := v.NanoAt(v.Len()-1) - v.NanoAt(0); span >= 0 {
+			if n := int(span/int64(period)) + 1; n < buckets {
+				buckets = n
+			}
+		}
+	}
+	return v.ResampleInto(timeseries.New(buckets), period, stat, &e.scratch)
 }
 
 // Put records one observation. Timestamps per metric must be non-decreasing

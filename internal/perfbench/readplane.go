@@ -1,0 +1,161 @@
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/client"
+	"repro/internal/flow"
+	"repro/internal/httpapi"
+	"repro/internal/registry"
+	"repro/internal/sim"
+)
+
+// Read-plane benchmarks: the cost of fetching batchSeries aggregated
+// series from a live control plane, the old way (one /metrics/query round
+// trip per series, per-point JSON) versus the redesigned way (one
+// /v1/metrics:batchQuery round trip, columnar ts/vs arrays). Both sides
+// include the full client-to-server path — request encoding, HTTP,
+// handler, JSON decode — because that is what a dashboard render pays.
+
+// batchSeries is the fan-in of the benchmark: how many series one
+// dashboard render fetches.
+const batchSeries = 16
+
+// readPlane is the shared live control plane the read benchmarks query.
+type readPlane struct {
+	ts      *httptest.Server
+	c       *client.Client
+	singles []client.MetricQuery
+	batch   []client.BatchQuery
+}
+
+var (
+	readPlaneOnce sync.Once
+	readPlaneInst *readPlane
+	readPlaneErr  error
+)
+
+// getReadPlane builds (once) a control plane with one warmed-up flow and
+// the 16-series selector set: every listed metric of the flow, cycled
+// with different statistics until 16 distinct queries exist.
+func getReadPlane() (*readPlane, error) {
+	readPlaneOnce.Do(func() { readPlaneInst, readPlaneErr = buildReadPlane() })
+	return readPlaneInst, readPlaneErr
+}
+
+func buildReadPlane() (*readPlane, error) {
+	reg := registry.New()
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		return nil, err
+	}
+	spec.Name = "bench"
+	f, err := reg.Create("bench", spec, sim.Options{Step: 10 * time.Second, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Advance(45 * time.Minute); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(httpapi.NewServer(reg))
+	c := client.New(ts.URL)
+
+	byNS, err := c.Metrics(context.Background(), "bench")
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	// Flatten the listing deterministically (namespaces sorted, ids in the
+	// store's sorted order), then cycle metrics — varying the statistic on
+	// each full cycle — until 16 distinct queries exist.
+	type target struct {
+		ns string
+		id apiv1.MetricID
+	}
+	var pairs []target
+	namespaces := make([]string, 0, len(byNS))
+	for ns := range byNS {
+		namespaces = append(namespaces, ns)
+	}
+	sort.Strings(namespaces)
+	for _, ns := range namespaces {
+		for _, id := range byNS[ns] {
+			pairs = append(pairs, target{ns: ns, id: id})
+		}
+	}
+	if len(pairs) == 0 {
+		ts.Close()
+		return nil, fmt.Errorf("perfbench: flow lists no metrics to query")
+	}
+	stats := []string{"avg", "max", "min", "sum", "p90"}
+	rp := &readPlane{ts: ts, c: c}
+	for i := 0; len(rp.singles) < batchSeries; i++ {
+		p := pairs[i%len(pairs)]
+		stat := stats[(i/len(pairs))%len(stats)]
+		rp.singles = append(rp.singles, client.MetricQuery{
+			Namespace: p.ns, Name: p.id.Name, Dimensions: p.id.Dimensions,
+			Stat: stat, Window: 30 * time.Minute, Period: 30 * time.Second,
+		})
+		rp.batch = append(rp.batch, client.BatchQuery{
+			Flow: "bench", Namespace: p.ns, Name: p.id.Name, Dimensions: p.id.Dimensions,
+			Stat: stat, Window: 30 * time.Minute, Period: 30 * time.Second,
+		})
+	}
+	return rp, nil
+}
+
+// benchSingleQueries16 is the pre-redesign read path: 16 sequential
+// per-point queries per dashboard render.
+func benchSingleQueries16(b *testing.B) {
+	rp, err := getReadPlane()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range rp.singles {
+			series, err := rp.c.QueryMetrics(ctx, "bench", q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(series.Points) == 0 {
+				b.Fatalf("empty series for %s/%s", q.Namespace, q.Name)
+			}
+		}
+	}
+}
+
+// benchBatchQuery16 is the redesigned read path: the same 16 series in
+// one columnar batch round trip.
+func benchBatchQuery16(b *testing.B) {
+	rp, err := getReadPlane()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := rp.c.BatchQueryMetrics(ctx, rp.batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range results {
+			if results[j].Error != nil {
+				b.Fatalf("selector %d: %+v", j, results[j].Error)
+			}
+			if len(results[j].Vs) == 0 {
+				b.Fatalf("selector %d: empty columns", j)
+			}
+		}
+	}
+}

@@ -48,6 +48,8 @@ func Suite() []Bench {
 		{Name: "get_statistics_resample", Baseline: "get_statistics_resample_legacy", F: benchGetStatisticsResample},
 		{Name: "handle_window_resample", Baseline: "get_statistics_resample_legacy", F: benchHandleWindowResample},
 		{Name: "sim_tick", F: benchSimTick},
+		{Name: "single_query_x16", F: benchSingleQueries16},
+		{Name: "batch_query_x16", Baseline: "single_query_x16", F: benchBatchQuery16},
 	}
 }
 

@@ -23,3 +23,5 @@ func BenchmarkGetStatisticsResampleLegacy(b *testing.B) {
 func BenchmarkGetStatisticsResample(b *testing.B) { Run(b, "get_statistics_resample") }
 func BenchmarkHandleWindowResample(b *testing.B)  { Run(b, "handle_window_resample") }
 func BenchmarkSimTick(b *testing.B)               { Run(b, "sim_tick") }
+func BenchmarkSingleQueriesX16(b *testing.B)      { Run(b, "single_query_x16") }
+func BenchmarkBatchQueryX16(b *testing.B)         { Run(b, "batch_query_x16") }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eventbus"
 	"repro/internal/flow"
 	"repro/internal/sim"
 )
@@ -57,6 +58,7 @@ func ValidateID(id string) error {
 type Flow struct {
 	id      string
 	created time.Time
+	bus     *eventbus.Bus // the owning registry's event bus (nil in tests that build flows directly)
 
 	// mu serialises every touch of mgr (the simulation harness is
 	// single-threaded by design).
@@ -91,11 +93,25 @@ func (f *Flow) View(fn func(m *core.Manager)) {
 	fn(f.mgr)
 }
 
-// Advance runs the flow's simulation forward by d under the flow lock.
+// Advance runs the flow's simulation forward by d under the flow lock and
+// publishes the advance — and every controller decision it produced — on
+// the registry's event bus. Publication happens while f.mu is still held
+// (the lock is deferred, so a panicking run — caught by the HTTP recovery
+// middleware — cannot leak it): concurrent advances of the same flow thus
+// publish in the same order they mutated the simulation, and watch
+// consumers never see the tick counter move backwards. Publish never
+// blocks (bounded subscriber buffers), so the flow lock is not held
+// hostage to slow consumers.
 func (f *Flow) Advance(d time.Duration) (sim.Result, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.mgr.Run(d)
+	marks := markDecisions(f.mgr)
+	res, err := f.mgr.Run(d)
+	if err != nil {
+		return res, err
+	}
+	f.publishAdvance(d, res, f.mgr.Harness().Clock.Now(), newDecisions(f.mgr, marks))
+	return res, nil
 }
 
 // StartPacing advances the flow continuously: every wallTick of wall time,
@@ -138,6 +154,13 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 				f.pacerStop, f.pacerDone = nil, nil
 				f.pace, f.wallTick = 0, 0
 				f.pacerErr = failure
+				// A pacer that died on its own (an Advance failure) must
+				// tell watch consumers pacing stopped — StopPacing never
+				// ran, so nobody else will. Published under pacerMu so it
+				// cannot interleave with a concurrent StartPacing's event.
+				if failure != nil && f.bus != nil {
+					f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false, Error: failure.Error()})
+				}
 			}
 			f.pacerMu.Unlock()
 		}()
@@ -162,14 +185,23 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 			}
 		}
 	}()
+	if f.bus != nil {
+		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: true, Pace: pace})
+	}
 	return nil
 }
 
 // StopPacing halts the flow's pacer, if any, and waits for it to exit.
+// The pace event is published under pacerMu, like StartPacing's, so the
+// stream's pace events appear in the order the transitions happened.
 func (f *Flow) StopPacing() {
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
+	had := f.pacerStop != nil
 	f.stopPacerLocked()
+	if had && f.bus != nil {
+		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false})
+	}
 }
 
 // stopPacerLocked swaps the pacer channels out under pacerMu, so exactly
@@ -204,11 +236,12 @@ func (f *Flow) PaceError() error {
 type Registry struct {
 	mu    sync.RWMutex
 	flows map[string]*Flow
+	bus   *eventbus.Bus
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{flows: make(map[string]*Flow)}
+	return &Registry{flows: make(map[string]*Flow), bus: eventbus.New(0)}
 }
 
 // Create materialises spec under opts and registers it as id. It fails with
@@ -224,7 +257,7 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 	if err != nil {
 		return nil, err
 	}
-	f := &Flow{id: id, created: time.Now(), mgr: mgr}
+	f := &Flow{id: id, created: time.Now(), bus: r.bus, mgr: mgr}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -232,6 +265,9 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	r.flows[id] = f
+	// Published under r.mu, like Delete's event: watch consumers must
+	// never see flow.deleted precede flow.created for the same id.
+	r.bus.Publish(EventFlowCreated, id, FlowLifecycle{ID: id, Name: spec.Name})
 	return f, nil
 }
 
@@ -268,6 +304,12 @@ func (r *Registry) Delete(id string) error {
 	r.mu.Lock()
 	f, ok := r.flows[id]
 	delete(r.flows, id)
+	if ok {
+		// Under r.mu so the event order matches the map's: created before
+		// deleted, always. (The pacer below may still emit one trailing
+		// flow.pace while winding down; lifecycle order is what matters.)
+		r.bus.Publish(EventFlowDeleted, id, FlowLifecycle{ID: id})
+	}
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)

@@ -134,6 +134,14 @@ func (s *Series) Times() []time.Time {
 	return out
 }
 
+// Columns exposes the series' backing columns — unix-nano timestamps and
+// values, live region only — without copying. Callers must treat both
+// slices as read-only and must not retain them across a mutation of s;
+// the batch query wire path serializes them directly.
+func (s *Series) Columns() (ts []int64, vs []float64) {
+	return s.times[s.head:], s.vals[s.head:]
+}
+
 // Reset empties the series in place, keeping its capacity for reuse.
 func (s *Series) Reset() {
 	s.times = s.times[:0]
