@@ -442,6 +442,15 @@ func (c *Client) Pace(ctx context.Context, id string) (apiv1.PaceState, error) {
 	return out, err
 }
 
+// SchedulerStats fetches the control plane's execution-plane view: the
+// sharded scheduler's shape (shards, workers, capacity), queue depths,
+// late/skipped tick counters and per-shard run-latency histograms.
+func (c *Client) SchedulerStats(ctx context.Context) (apiv1.SchedulerStats, error) {
+	var out apiv1.SchedulerStats
+	err := c.do(ctx, http.MethodGet, "/v1/scheduler", nil, &out)
+	return out, err
+}
+
 // --- Scenario Lab (/v1/experiments) ---
 
 func experimentPath(id string, suffix string) string {

@@ -509,10 +509,14 @@ func TestSDKExperimentCancelMidRun(t *testing.T) {
 	c := New(ts.URL)
 	ctx := context.Background()
 
+	// Long enough that the trials cannot finish before the cancel's HTTP
+	// round trip lands: this controller-less spec simulates extremely
+	// fast, and the cancel must arrive mid-run for the test to mean
+	// anything.
 	spec := lab.Spec{
 		Name:     "slow",
 		Peak:     600,
-		Duration: flow.Duration(12 * time.Hour),
+		Duration: flow.Duration(4000 * time.Hour),
 		Seeds:    []int64{0, 1, 2, 3},
 	}
 	if _, err := c.CreateExperiment(ctx, apiv1.CreateExperimentRequest{Spec: spec}); err != nil {
@@ -539,5 +543,35 @@ func TestSDKExperimentCancelMidRun(t *testing.T) {
 		if tr.Status == lab.TrialRunning || tr.Status == lab.TrialPending {
 			t.Fatalf("trial %q unsettled after cancel: %q", tr.Name, tr.Status)
 		}
+	}
+}
+
+// TestSDKSchedulerStats fetches the execution-plane view through the SDK.
+func TestSDKSchedulerStats(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	mustCreate(t, c, "sched-view", 0)
+	if _, err := c.SetPace(ctx, "sched-view", 600, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := c.SchedulerStats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Shards <= 0 || st.Capacity != st.Shards*st.WorkersPerShard || len(st.PerShard) != st.Shards {
+			t.Fatalf("implausible scheduler stats: %+v", st)
+		}
+		if st.ExecutedFlow > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pacer executions never reached the stats endpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.SetPace(ctx, "sched-view", 0, 0); err != nil {
+		t.Fatal(err)
 	}
 }

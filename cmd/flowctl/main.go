@@ -20,6 +20,7 @@
 //	flowctl delete -url http://host:8080 -flow web
 //	flowctl watch -url http://host:8080 [-flow web | -experiment sweep | -flows a,b -experiments x]
 //	              [-types flow.advanced,flow.decision] [-after 0] [-json]
+//	flowctl sched -url http://host:8080 [-json]    execution-plane stats (GET /v1/scheduler)
 //
 // Experiment farm (Scenario Lab, /v1/experiments):
 //
@@ -82,6 +83,8 @@ func main() {
 		cmdDelete(os.Args[2:])
 	case "watch":
 		cmdWatch(os.Args[2:])
+	case "sched":
+		cmdSched(os.Args[2:])
 	case "experiments":
 		cmdExperiments(os.Args[2:])
 	case "help", "-h", "-help", "--help":
@@ -117,6 +120,7 @@ remote (against flowerd -http; all take -url):
   tune        adjust a layer controller at runtime
   delete      stop and remove a flow
   watch       stream live events (flows, experiments) to the terminal
+  sched       execution-plane stats: shards, capacity, queues, tick latency
 
 experiment farm (Scenario Lab; all take -url):
   experiments create     submit an experiment grid (-spec exp.json)
@@ -435,6 +439,41 @@ func cmdWatch(args []string) {
 			at = ev.At.Format("15:04:05") + " "
 		}
 		fmt.Printf("%s%-26s %-16s %s\n", at, ev.Type, ev.Topic, ev.Data)
+	}
+}
+
+// cmdSched prints the execution plane's live stats: the scheduler's
+// shape, the per-shard queues and timers, and the run-latency summary.
+func cmdSched(args []string) {
+	fs, url := remoteFlags("sched")
+	asJSON := fs.Bool("json", false, "print the raw JSON stats")
+	fs.Parse(args)
+	st, err := dial(*url).SchedulerStats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("execution plane: %d shards x %d workers (capacity %d), wheel tick %s\n",
+		st.Shards, st.WorkersPerShard, st.Capacity, st.WheelTick)
+	fmt.Printf("  fairness: %d flow jobs per batch job; catch-up cap %d intervals\n",
+		st.FlowWeight, st.MaxCatchUp)
+	fmt.Printf("  process goroutines: %d (O(shards), not O(flows))\n", st.Goroutines)
+	fmt.Printf("  totals: %d timers armed, queue depth %d, executed %d flow / %d batch, %d late runs, %d skipped ticks\n",
+		st.Timers, st.QueueDepth, st.ExecutedFlow, st.ExecutedBatch, st.LateRuns, st.SkippedTicks)
+	fmt.Printf("  %-6s %7s %6s %6s %10s %10s %6s %8s %10s %10s\n",
+		"SHARD", "TIMERS", "FLOWQ", "BATCHQ", "EXEC.FLOW", "EXEC.BATCH", "LATE", "SKIPPED", "MEAN(us)", "MAX(us)")
+	for _, row := range st.PerShard {
+		fmt.Printf("  %-6d %7d %6d %6d %10d %10d %6d %8d %10.1f %10.1f\n",
+			row.Shard, row.Timers, row.FlowQueue, row.BatchQueue,
+			row.ExecutedFlow, row.ExecutedBatch, row.LateRuns, row.SkippedTicks,
+			row.Latency.MeanUS, row.Latency.MaxUS)
 	}
 }
 

@@ -11,9 +11,12 @@
 // Usage:
 //
 //	flowerbench                          run every suite, write BENCH_REPORT.json
-//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf
+//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf|sched
+//	flowerbench -suite perf,sched        comma-separated selection
 //	flowerbench -suite perf              metric-pipeline micro-benchmarks only (ns/op, B/op,
 //	                                     allocs/op + speedups vs the pre-rebuild implementations)
+//	flowerbench -suite sched             execution-plane throughput: 1000 flows paced on the
+//	                                     sharded scheduler vs the goroutine-per-flow baseline
 //	flowerbench -workers 8 -seed 7       pool width and experiment seed
 //	flowerbench -o report.json           report path ('-' for stdout, '' to skip)
 //
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -53,6 +57,63 @@ type report struct {
 	// the frozen pre-rebuild implementations — the repository's perf
 	// trajectory, tracked commit over commit.
 	Perf *perfReport `json:"perf,omitempty"`
+	// Sched holds the execution-plane throughput suite (suite "sched"):
+	// flows-paced-per-second and goroutine counts on the sharded scheduler
+	// versus the retired goroutine-per-flow baseline.
+	Sched *schedReport `json:"sched,omitempty"`
+}
+
+// schedReport is the sched suite's section of the report.
+type schedReport struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Flows       int     `json:"flows"`
+	// Benchmarks holds the two measurements: pace_flows_sched (the
+	// unified execution plane) and pace_flows_legacy (the frozen
+	// goroutine-per-flow baseline), same flow count, pace and window.
+	Benchmarks []perfbench.PaceBenchResult `json:"benchmarks"`
+	// AdvancesFactor is sched advances/sec divided by legacy advances/sec
+	// (>1: the scheduler paces more simulation per second).
+	AdvancesFactor float64 `json:"advances_factor_vs_legacy"`
+	// GoroutineFactor is legacy goroutines divided by sched goroutines
+	// (>1: the scheduler needs fewer goroutines; expect ~flows/shards).
+	GoroutineFactor float64 `json:"goroutine_factor_vs_legacy"`
+}
+
+// runSchedSuite measures the pace_1000_flows pair and derives the
+// vs-legacy ratios.
+func runSchedSuite() *schedReport {
+	start := time.Now()
+	fmt.Println("=== suite sched: execution-plane pacing throughput (1000 flows) ===")
+	cfg := perfbench.PaceBenchConfig{} // defaults: 1000 flows, 2s window
+	unified, err := perfbench.RunSchedPaceBench(cfg)
+	if err != nil {
+		log.Fatalf("sched suite: %v", err)
+	}
+	legacy, err := perfbench.RunLegacyPaceBench(cfg)
+	if err != nil {
+		log.Fatalf("sched suite: %v", err)
+	}
+	rep := &schedReport{
+		Flows:      unified.Flows,
+		Benchmarks: []perfbench.PaceBenchResult{unified, legacy},
+	}
+	if legacy.AdvancesPerSec > 0 {
+		rep.AdvancesFactor = unified.AdvancesPerSec / legacy.AdvancesPerSec
+	}
+	if unified.Goroutines > 0 {
+		rep.GoroutineFactor = float64(legacy.Goroutines) / float64(unified.Goroutines)
+	}
+	for _, r := range rep.Benchmarks {
+		fmt.Printf("  %-20s %6d flows %10.0f advances/s %6d goroutines", r.Name, r.Flows, r.AdvancesPerSec, r.Goroutines)
+		if r.SkippedTicks > 0 || r.LateRuns > 0 {
+			fmt.Printf("   (%d late runs, %d ticks dropped by catch-up cap)", r.LateRuns, r.SkippedTicks)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  vs legacy: %.2fx advances/sec, %.0fx fewer goroutines\n", rep.AdvancesFactor, rep.GoroutineFactor)
+	rep.WallSeconds = time.Since(start).Seconds()
+	fmt.Printf("  sched suite completed in %.1fs\n\n", rep.WallSeconds)
+	return rep
 }
 
 // perfReport is the perf suite's section of the report.
@@ -147,7 +208,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowerbench: ")
 
-	suite := flag.String("suite", "all", "suite: all|controllers|windows|gamma|workloads|pareto|perf")
+	suite := flag.String("suite", "all", "comma-separated suites: all|controllers|windows|gamma|workloads|pareto|perf|sched")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool width (0: GOMAXPROCS)")
 	out := flag.String("o", "BENCH_REPORT.json", "JSON report path ('-' for stdout, '' to skip)")
@@ -170,23 +231,41 @@ func main() {
 	}
 	order := []string{"controllers", "windows", "gamma", "workloads", "pareto"}
 
-	runPerf := *suite == "all" || *suite == "perf"
+	// Parse the comma-separated selection; "all" is every lab suite plus
+	// the perf and sched measurement suites.
+	runPerf, runSched := false, false
 	var selected []string
-	if *suite == "all" {
-		selected = order
-	} else if *suite == "perf" {
-		// micro-benchmarks only; no lab suites
-	} else if _, ok := suites[*suite]; ok {
-		selected = []string{*suite}
-	} else {
-		fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", *suite, "controllers|windows|gamma|workloads|pareto|perf")
-		os.Exit(2)
+	for _, name := range strings.Split(*suite, ",") {
+		switch name = strings.TrimSpace(name); name {
+		case "":
+		case "all":
+			selected = append(selected, order...)
+			runPerf, runSched = true, true
+		case "perf":
+			runPerf = true
+		case "sched":
+			runSched = true
+		default:
+			if _, ok := suites[name]; !ok {
+				fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", name, "controllers|windows|gamma|workloads|pareto|perf|sched")
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
 	}
 
-	engine := lab.NewEngine(*workers)
-	defer engine.Close()
-	fmt.Printf("benchmark farm: %d suite(s) on %d workers (seed %d)\n\n",
-		len(selected), engine.Workers(), *seed)
+	// The lab engine exists only when a lab suite runs: a perf- or
+	// sched-only invocation must not carry an idle scheduler whose
+	// goroutines would pollute the sched suite's peak-goroutine column.
+	reportWorkers := *workers
+	var engine *lab.Engine
+	if len(selected) > 0 {
+		engine = lab.NewEngine(*workers)
+		defer engine.Close()
+		reportWorkers = engine.Workers()
+		fmt.Printf("benchmark farm: %d suite(s) on %d workers (seed %d)\n\n",
+			len(selected), engine.Workers(), *seed)
+	}
 
 	start := time.Now()
 	// Submit every suite up front: the engine's pool interleaves their
@@ -224,7 +303,7 @@ func main() {
 	}
 	wg.Wait()
 
-	rep := report{Generated: start, Seed: *seed, Workers: engine.Workers()}
+	rep := report{Generated: start, Seed: *seed, Workers: reportWorkers}
 	for i, r := range farm {
 		sr := suiteReport{
 			Name:        r.name,
@@ -238,6 +317,9 @@ func main() {
 	}
 	if runPerf {
 		rep.Perf = runPerfSuite()
+	}
+	if runSched {
+		rep.Sched = runSchedSuite()
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	fmt.Printf("farm completed in %v\n", time.Since(start).Round(time.Millisecond))

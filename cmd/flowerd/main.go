@@ -9,13 +9,21 @@
 //
 //	flowerd [-spec flow.json] [-for 2h] [-step 10s] [-seed 1] [-peak 3000] [-csv out.csv]
 //	flowerd -http :8080 [-pace 60] [-spec a.json -spec b.json] [-flows 4]
+//	        [-sched-shards 8] [-sched-workers 2]
 //
 // With -http, flowerd serves the multi-flow v1 control plane
 // (internal/httpapi): the /v1/flows collection, per-flow status, controller
 // tuning, paginated metric queries, dependency analysis, advance and
 // pacing, plus per-flow HTML dashboards — and the Scenario Lab's
-// /v1/experiments farm, which fans declarative experiment grids out over
-// a worker pool sized by -lab-workers. The streaming read plane rides
+// /v1/experiments farm, which fans declarative experiment grids out as
+// scheduler jobs. All execution — every flow's pacer tick, every
+// experiment trial — runs on one sharded tick scheduler (internal/sched),
+// sized by -sched-shards and -sched-workers and observable at
+// GET /v1/scheduler; goroutine count stays O(shards) no matter how many
+// flows are paced, and a weighted-fairness policy keeps big experiment
+// grids from starving live flows. On SIGINT/SIGTERM the daemon shuts
+// down in order: HTTP drained, experiments settled, pacers stopped,
+// scheduler drained, journal flushed. The streaming read plane rides
 // along: SSE/NDJSON watch endpoints (/v1/flows/{id}/watch,
 // /v1/experiments/{id}/watch, /v1/watch) and the columnar
 // POST /v1/metrics:batchQuery — see API.md ("Read plane"), `flowctl
@@ -32,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +55,7 @@ import (
 	"repro/internal/lab"
 	"repro/internal/persist"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/sim"
 
 	flower "repro"
@@ -67,7 +77,9 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the HTTP control plane on this address instead of a batch run")
 	pace := flag.Float64("pace", 60, "with -http: simulated seconds advanced per wall second (0 = manual)")
 	replicas := flag.Int("flows", 1, "with -http and no -spec: serve this many independently-seeded replicas of the built-in flow")
-	labWorkers := flag.Int("lab-workers", 0, "with -http: worker pool width of the /v1/experiments farm (0: GOMAXPROCS)")
+	schedShards := flag.Int("sched-shards", 0, "with -http: shards of the execution-plane scheduler (0: GOMAXPROCS, max 64)")
+	schedWorkers := flag.Int("sched-workers", 0, "with -http: workers per scheduler shard (0: 1); shards x workers is the whole server's execution capacity")
+	labWorkers := flag.Int("lab-workers", 0, "deprecated: experiments now share the execution plane; use -sched-shards/-sched-workers")
 	journalPath := flag.String("journal", "", "append the default flow's metric datapoints to this journal file (replayable with flowmon -replay)")
 	flag.Parse()
 
@@ -84,10 +96,14 @@ func main() {
 	}
 
 	if *httpAddr != "" {
+		if *labWorkers != 0 {
+			log.Printf("-lab-workers is deprecated and ignored: experiments run on the shared execution plane (size it with -sched-shards/-sched-workers)")
+		}
 		serveHTTP(*httpAddr, serveConfig{
 			specPaths: specPaths, loadSpec: loadSpec,
 			peak: *peak, step: *step, seed: *seed, pace: *pace,
-			replicas: *replicas, labWorkers: *labWorkers, journalPath: *journalPath,
+			replicas: *replicas, schedShards: *schedShards, schedWorkers: *schedWorkers,
+			journalPath: *journalPath,
 		})
 		return
 	}
@@ -169,22 +185,25 @@ func main() {
 }
 
 type serveConfig struct {
-	specPaths   []string
-	loadSpec    func(string) flower.Spec
-	peak        float64
-	step        time.Duration
-	seed        int64
-	pace        float64
-	replicas    int
-	labWorkers  int
-	journalPath string
+	specPaths    []string
+	loadSpec     func(string) flower.Spec
+	peak         float64
+	step         time.Duration
+	seed         int64
+	pace         float64
+	replicas     int
+	schedShards  int
+	schedWorkers int
+	journalPath  string
 }
 
 // serveHTTP registers the initial flows and serves the v1 control plane
-// until interrupted.
+// until interrupted. One scheduler — the unified execution plane — paces
+// every flow and runs every experiment trial: -sched-shards and
+// -sched-workers are the whole server's capacity knob.
 func serveHTTP(addr string, cfg serveConfig) {
-	reg := registry.New()
-	defer reg.Close()
+	plane := sched.New(sched.Config{Shards: cfg.schedShards, Workers: cfg.schedWorkers})
+	reg := registry.New(registry.WithScheduler(plane))
 
 	var specs []flower.Spec
 	for _, path := range cfg.specPaths {
@@ -239,8 +258,7 @@ func serveHTTP(addr string, cfg serveConfig) {
 		}()
 	}
 
-	engine := lab.NewEngine(cfg.labWorkers)
-	defer engine.Close()
+	engine := lab.NewEngineOn(plane)
 	srv := httpapi.NewServer(reg,
 		httpapi.WithDefaultFlow(defaultID),
 		httpapi.WithLab(engine),
@@ -250,13 +268,10 @@ func serveHTTP(addr string, cfg serveConfig) {
 	for _, f := range reg.List() {
 		fmt.Printf("  flow %-24s dashboard http://%s/v1/flows/%s/dashboard\n", f.ID(), addr, f.ID())
 	}
-	fmt.Printf("  api:         http://%s/v1/flows\n  experiments: http://%s/v1/experiments (%d workers)\n  dashboard:   http://%s/\n",
-		addr, addr, engine.Workers(), addr)
+	fmt.Printf("  api:         http://%s/v1/flows\n  experiments: http://%s/v1/experiments\n  scheduler:   http://%s/v1/scheduler (%d shards x %d workers)\n  dashboard:   http://%s/\n",
+		addr, addr, addr, plane.Shards(), plane.Workers(), addr)
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
-	// Serve until interrupted; a clean shutdown lets the deferred journal
-	// close and pacer stops run, so no recorded datapoints are lost on
-	// ctrl-c.
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	sigCh := make(chan os.Signal, 1)
@@ -266,6 +281,24 @@ func serveHTTP(addr string, cfg serveConfig) {
 		log.Printf("serve: %v", err)
 	case sig := <-sigCh:
 		fmt.Printf("\nflower: %v — shutting down\n", sig)
-		httpSrv.Close()
 	}
+
+	// Graceful teardown, producers before the plane they produce onto:
+	// stop accepting HTTP (bounded drain of in-flight requests — watch
+	// streams are force-closed when the deadline lapses), settle the lab's
+	// experiments while workers still run, stop every pacer, and only then
+	// drain the scheduler. The deferred journal close runs after all of
+	// it, so every datapoint recorded by the final ticks is flushed.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close() // long-lived watch streams: cut them
+	}
+	fmt.Println("flower: http drained")
+	engine.Close()
+	fmt.Println("flower: experiments settled")
+	reg.Close()
+	fmt.Println("flower: pacers stopped")
+	plane.Close()
+	fmt.Println("flower: scheduler drained")
 }

@@ -67,6 +67,25 @@
 //		fmt.Printf("%s: $%.2f at %.1f%% violations\n", p.Name, p.TotalCost, 100*p.ViolationRate)
 //	}
 //
+// # Execution plane
+//
+// All recurring and queued work — every paced flow's wall-clock tick,
+// every Scenario Lab trial — executes on one sharded tick scheduler
+// (internal/sched): per-shard hashed timer wheels arm periodic jobs in
+// O(1), per-shard run queues feed a fixed worker pool, and the process
+// goroutine count stays O(shards) no matter how many flows are paced.
+// Flow pacing and experiment grids are co-scheduled under a weighted
+// fairness policy (a big grid cannot starve live flows), pacers that
+// fall behind wall time degrade via a bounded catch-up policy (dropped
+// ticks are counted, backlogs never grow), and the whole plane is
+// observable — queue depths, late and skipped ticks, run-latency
+// histograms — at GET /v1/scheduler, `flowctl sched`, and
+// Scheduler.Stats. Size it with flowerd's -sched-shards/-sched-workers;
+// shards × workers is the one capacity knob of the whole server. The
+// `flowerbench -suite sched` benchmark pair records advances/sec and
+// goroutine count against the retired goroutine-per-flow pacing design
+// in BENCH_REPORT.json.
+//
 // # Metric pipeline
 //
 // The metric store at the centre of every flow (internal/metricstore, the
@@ -115,6 +134,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/nsga2"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/share"
 	"repro/internal/sim"
 )
@@ -209,17 +229,41 @@ type (
 	ExperimentResults = lab.Results
 )
 
-// NewLab returns an experiment engine with the given worker-pool width
-// (workers <= 0 selects one worker per core).
+// Execution-plane types (the sharded tick scheduler; see internal/sched).
+type (
+	// Scheduler is the unified execution plane running pacers and trials.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig sizes a scheduler (shards, workers, fairness).
+	SchedulerConfig = sched.Config
+	// SchedulerStats is a point-in-time view of the plane.
+	SchedulerStats = sched.Stats
+)
+
+// NewScheduler starts a sharded tick scheduler; the zero config selects
+// GOMAXPROCS shards with one worker each.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sched.New(cfg) }
+
+// WithScheduler makes NewRegistry pace its flows on a shared scheduler
+// instead of a private one.
+var WithScheduler = registry.WithScheduler
+
+// NewLab returns an experiment engine with the given execution capacity
+// (workers <= 0 selects one worker per core) on a private scheduler.
 func NewLab(workers int) *Lab { return lab.NewEngine(workers) }
+
+// NewLabOn returns an experiment engine running its trials on s — the
+// unified-plane wiring, where one scheduler (and one capacity knob)
+// governs flow pacing and experiments alike.
+func NewLabOn(s *Scheduler) *Lab { return lab.NewEngineOn(s) }
 
 // New materialises a flow and attaches the elasticity manager.
 func New(spec Spec, opts Options) (*Manager, error) {
 	return core.NewManager(spec, opts)
 }
 
-// NewRegistry returns an empty flow registry.
-func NewRegistry() *Registry { return registry.New() }
+// NewRegistry returns an empty flow registry; pass WithScheduler to run
+// its pacers on a shared execution plane.
+func NewRegistry(opts ...registry.Option) *Registry { return registry.New(opts...) }
 
 // NewBuilder starts a flow definition.
 func NewBuilder(name string) *Builder { return flow.NewBuilder(name) }

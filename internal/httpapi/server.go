@@ -15,6 +15,9 @@
 //     declarative experiment grids fanned out over a bounded worker pool,
 //     with progress tracking, cancellation, per-trial summaries and
 //     cross-trial aggregates (Pareto fronts, baseline deltas),
+//   - GET /v1/scheduler — the unified execution plane (internal/sched):
+//     shard count, capacity, queue depths, late/skipped ticks and run
+//     latency of the scheduler that paces flows and runs trials,
 //   - the original single-flow /api/... routes as thin aliases onto a
 //     default flow, for callers written against the old server.
 //
@@ -88,7 +91,10 @@ func NewServer(reg *registry.Registry, opts ...Option) *Server {
 		o(s)
 	}
 	if s.lab == nil {
-		s.lab = lab.NewEngine(0)
+		// Default wiring is the unified execution plane: experiment trials
+		// run on the same scheduler as the registry's pacers, so one
+		// capacity knob (and one /v1/scheduler view) governs both.
+		s.lab = lab.NewEngineOn(reg.Scheduler())
 	}
 	s.routes()
 	s.h = s.withMiddleware(s.mux)
@@ -130,6 +136,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/experiments/{id}/watch", s.experimentScoped(s.handleWatchExperiment))
 	s.mux.HandleFunc("GET /v1/watch", s.handleWatchMux)
 	s.mux.HandleFunc("POST /v1/metrics:batchQuery", withGzip(s.handleBatchQuery))
+
+	// The execution plane: live scheduler shape and counters.
+	s.mux.HandleFunc("GET /v1/scheduler", s.handleSchedulerStats)
 
 	// v1 experiment collection (the Scenario Lab).
 	s.mux.HandleFunc("POST /v1/experiments", s.handleCreateExperiment)

@@ -4,13 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/eventbus"
 	"repro/internal/registry"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -31,35 +31,56 @@ const (
 	StatusCancelled Status = "cancelled"
 )
 
-// Engine executes experiments on a bounded worker pool shared by every
-// experiment it runs. Submitting is asynchronous: trials start
-// immediately, one goroutine per trial, with the pool semaphore bounding
-// how many simulate at once.
+// Engine executes experiments on the shared execution plane
+// (internal/sched): every trial is a chunked batch-class scheduler job,
+// not a goroutine. Submitting is asynchronous — trials queue immediately
+// and the scheduler's workers interleave their chunks, bounded by the
+// scheduler's capacity (its one knob governs pacers and trials alike when
+// the engine shares the control plane's scheduler via NewEngineOn), with
+// the weighted-fairness drain keeping a big grid from starving live flow
+// pacing.
 type Engine struct {
-	workers int
-	sem     chan struct{}
-	bus     *eventbus.Bus
+	sched    *sched.Scheduler
+	ownSched bool // NewEngine created the scheduler, so Close releases it
+	bus      *eventbus.Bus
 
 	mu   sync.Mutex
 	exps map[string]*Experiment
 }
 
-// NewEngine returns an engine with the given pool width; workers <= 0
-// selects GOMAXPROCS.
+// NewEngine returns an engine on a private scheduler with the given
+// execution capacity; workers <= 0 selects GOMAXPROCS. Use NewEngineOn to
+// co-schedule experiments with the rest of the control plane.
 func NewEngine(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// One worker per shard up to the shard cap; beyond it, widths round
+	// DOWN to a multiple of the cap (never above the requested bound).
+	cfg := sched.Config{Shards: workers, Workers: 1}
+	if workers > 64 {
+		cfg.Shards = 64
+		cfg.Workers = workers / 64
 	}
+	e := NewEngineOn(sched.New(cfg))
+	e.ownSched = true
+	return e
+}
+
+// NewEngineOn returns an engine running its trials on s. The caller owns
+// s's lifecycle: close the engine (settling every trial) before closing
+// the scheduler, never the other way around.
+func NewEngineOn(s *sched.Scheduler) *Engine {
 	return &Engine{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		bus:     eventbus.New(0),
-		exps:    make(map[string]*Experiment),
+		sched: s,
+		bus:   eventbus.New(0),
+		exps:  make(map[string]*Experiment),
 	}
 }
 
-// Workers returns the pool width.
-func (e *Engine) Workers() int { return e.workers }
+// Workers returns the execution capacity trials draw on: the scheduler's
+// shard × worker pool width.
+func (e *Engine) Workers() int { return e.sched.Capacity() }
+
+// Scheduler returns the execution plane trials run on.
+func (e *Engine) Scheduler() *sched.Scheduler { return e.sched }
 
 // Submit expands the experiment and starts running it under id. It
 // fails with registry.ErrBadID for unusable ids, ErrExists for
@@ -105,13 +126,24 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 	var wg sync.WaitGroup
 	wg.Add(len(trials))
 	for i := range trials {
-		go func(i int) {
-			defer wg.Done()
-			x.runTrial(ctx, e.sem, i)
+		// onStop settles the trial if the scheduler abandons the job
+		// between chunks (a plane closed out of order); the normal paths
+		// all settle inside the chunk function itself.
+		abandoned := func(i int) func(error) {
+			return func(err error) {
+				x.setStatus(i, TrialFailed, err)
+				wg.Done()
+			}
 		}(i)
+		if _, err := e.sched.Submit(fmt.Sprintf("exp/%s/%d", id, i), sched.ClassBatch, x.trialJob(ctx, i, &wg), abandoned); err != nil {
+			// The scheduler is closing down; settle the trial here since
+			// no worker ever will.
+			x.setStatus(i, TrialFailed, err)
+			wg.Done()
+		}
 	}
-	// The supervisor settles the final status once every trial goroutine
-	// has exited, then releases the context.
+	// The supervisor settles the final status once every trial job has
+	// finished, then releases the context.
 	go func() {
 		wg.Wait()
 		x.mu.Lock()
@@ -166,12 +198,19 @@ func (e *Engine) Delete(id string) error {
 	return nil
 }
 
-// Close cancels every experiment and waits for all trials to exit. The
-// engine remains usable.
+// Close cancels every experiment, waits for all trials to settle, and —
+// when the engine created its own scheduler (NewEngine) — drains and
+// releases it, so a plain NewEngine leaks nothing. A shared scheduler
+// (NewEngineOn) keeps running for its owner to close after every
+// producer is quiet; submitting to a closed private engine fails its
+// trials with the scheduler's ErrClosed.
 func (e *Engine) Close() {
 	for _, x := range e.List() {
 		x.Cancel()
 		<-x.done
+	}
+	if e.ownSched {
+		e.sched.Close()
 	}
 }
 
@@ -212,13 +251,13 @@ func (x *Experiment) Status() Status {
 	return x.status
 }
 
-// Cancel stops the experiment: pending trials are marked cancelled as
-// their goroutines observe the context, and running trials stop at
-// their next chunk boundary. Safe to call repeatedly.
+// Cancel stops the experiment: trials are marked cancelled as the
+// scheduler reaches their next chunk, so running trials stop at a chunk
+// boundary and queued ones never simulate. Safe to call repeatedly.
 func (x *Experiment) Cancel() { x.cancel() }
 
-// Done returns a channel closed once every trial goroutine has exited
-// and the final status is settled.
+// Done returns a channel closed once every trial has settled and the
+// final status is recorded.
 func (x *Experiment) Done() <-chan struct{} { return x.done }
 
 // Wait blocks until the experiment settles or ctx expires.
@@ -289,77 +328,93 @@ func (x *Experiment) Results() Results {
 	return res
 }
 
-// trialChunks splits a trial's duration so cancellation is responsive:
-// chunks are whole steps, at most maxTrialChunks per trial.
+// trialChunks splits a trial's duration so cancellation stays responsive
+// and sibling jobs interleave: chunks are whole steps, at most
+// maxTrialChunks per trial, and never more than maxChunkSim of simulated
+// time — the chunk is the unit the scheduler's workers run without
+// yielding, so its cost bounds how long a co-scheduled pacer tick can
+// wait behind a trial.
 const maxTrialChunks = 16
 
-// runTrial executes one trial end to end: acquire a pool slot, simulate
-// in chunks (checking for cancellation between chunks), summarise.
-func (x *Experiment) runTrial(ctx context.Context, sem chan struct{}, i int) {
-	select {
-	case <-ctx.Done():
-		x.setStatus(i, TrialCancelled, nil)
-		return
-	case sem <- struct{}{}:
-	}
-	defer func() { <-sem }()
-	if ctx.Err() != nil {
-		x.setStatus(i, TrialCancelled, nil)
-		return
-	}
+const maxChunkSim = 15 * time.Minute
 
-	start := time.Now()
-	x.markRunning(i, start)
-
-	t := x.trials[i]
+// trialJob builds the chunked scheduler job driving trial i: the first
+// chunk materialises the simulation, each following chunk advances it one
+// slice, and the final chunk summarises. Returning false re-queues the
+// job on the least-loaded shard, which is what interleaves trials and
+// lets them migrate toward idle capacity. wg is decremented exactly once,
+// when the trial settles in a terminal state.
+func (x *Experiment) trialJob(ctx context.Context, i int, wg *sync.WaitGroup) sched.ChunkFunc {
+	var (
+		h         *sim.Harness
+		res       sim.Result
+		remaining time.Duration
+		chunk     time.Duration
+		start     time.Time
+		started   bool
+	)
 	step := x.spec.Step.D()
-	h, err := sim.New(t.Spec, sim.Options{Step: step, Seed: t.SimSeed})
-	if err != nil {
-		x.setStatus(i, TrialFailed, err)
-		return
+	finish := func(st TrialStatus, err error) bool {
+		x.setStatus(i, st, err)
+		wg.Done()
+		return true
 	}
-
-	remaining := x.spec.Duration.D()
-	chunk := remaining / maxTrialChunks
-	chunk = chunk / step * step
-	if chunk < step {
-		chunk = step
-	}
-	var res sim.Result
-	for remaining > 0 {
+	return func() bool {
 		if ctx.Err() != nil {
-			x.setStatus(i, TrialCancelled, nil)
-			return
+			return finish(TrialCancelled, nil)
+		}
+		if !started {
+			started = true
+			start = time.Now()
+			x.markRunning(i, start)
+			t := x.trials[i]
+			var err error
+			h, err = sim.New(t.Spec, sim.Options{Step: step, Seed: t.SimSeed})
+			if err != nil {
+				return finish(TrialFailed, err)
+			}
+			remaining = x.spec.Duration.D()
+			chunk = remaining / maxTrialChunks
+			if chunk > maxChunkSim {
+				chunk = maxChunkSim
+			}
+			chunk = chunk / step * step
+			if chunk < step {
+				chunk = step
+			}
+			// Yield before the first simulation slice so a whole grid
+			// reaches Running quickly and interleaves from the start.
+			return false
 		}
 		d := chunk
 		if d > remaining {
 			d = remaining
 		}
+		var err error
 		if res, err = h.Run(d); err != nil {
-			x.setStatus(i, TrialFailed, err)
-			return
+			return finish(TrialFailed, err)
 		}
 		remaining -= d
-		// Yield between chunks so sibling trials interleave even on a
-		// single-core box (simulation chunks are pure CPU and would
-		// otherwise monopolise the scheduler until done) and HTTP
-		// progress reads stay responsive.
-		runtime.Gosched()
+		if remaining > 0 {
+			return false
+		}
+
+		sum := summarize(x.trials[i], h, res)
+		sum.StartedAt = start
+		sum.WallSeconds = time.Since(start).Seconds()
+
+		x.mu.Lock()
+		sum.Trial = x.results[i].Trial
+		x.results[i] = sum
+		x.running--
+		x.mu.Unlock()
+		x.publishTrial(EventTrialFinished, i, sum.Status, &sum)
+		wg.Done()
+		return true
 	}
-
-	sum := summarize(t, h, res)
-	sum.StartedAt = start
-	sum.WallSeconds = time.Since(start).Seconds()
-
-	x.mu.Lock()
-	sum.Trial = x.results[i].Trial
-	x.results[i] = sum
-	x.running--
-	x.mu.Unlock()
-	x.publishTrial(EventTrialFinished, i, sum.Status, &sum)
 }
 
-// markRunning flips a trial to running and tracks the pool overlap.
+// markRunning flips a trial to running and tracks the in-flight overlap.
 func (x *Experiment) markRunning(i int, start time.Time) {
 	x.mu.Lock()
 	x.results[i].Status = TrialRunning

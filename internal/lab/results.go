@@ -122,8 +122,11 @@ func analyticsAbsError(spec flow.Spec, h *sim.Harness) (mean, tail float64) {
 }
 
 // Progress counts an experiment's trials by state. MaxConcurrent is the
-// highest number of this experiment's trials that ran simultaneously —
-// the worker pool's overlap made observable.
+// highest number of this experiment's trials that were in flight
+// (started, not yet settled) simultaneously. Trials interleave as chunked
+// scheduler jobs, so in-flight overlap typically spans the whole grid
+// while the instantaneous execution overlap stays bounded by the
+// scheduler's capacity.
 type Progress struct {
 	Total         int `json:"total"`
 	Pending       int `json:"pending"`

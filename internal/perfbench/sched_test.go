@@ -1,0 +1,46 @@
+package perfbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPaceBenchSmoke runs both pacing benchmarks at toy scale so the
+// measurement harness cannot rot: both paths must advance flows, and the
+// scheduler path must not grow goroutines with the flow count.
+func TestPaceBenchSmoke(t *testing.T) {
+	cfg := PaceBenchConfig{
+		Flows:    32,
+		Pace:     1200, // 12 sim-seconds per 10ms tick: >1 step per tick
+		WallTick: 10 * time.Millisecond,
+		Wall:     250 * time.Millisecond,
+		Shards:   2,
+		Workers:  1,
+	}
+	unified, err := RunSchedPaceBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := RunLegacyPaceBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []PaceBenchResult{unified, legacy} {
+		if r.Advances == 0 {
+			t.Fatalf("%s: no simulation steps executed", r.Name)
+		}
+		if r.Goroutines <= 0 || r.WallSeconds <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	// The legacy design spends one goroutine per flow; the scheduler must
+	// stay well under that even at this toy scale.
+	if unified.Goroutines >= legacy.Goroutines {
+		t.Logf("goroutines: sched %d vs legacy %d (flows %d) — expected sched < legacy",
+			unified.Goroutines, legacy.Goroutines, cfg.Flows)
+	}
+	if unified.Goroutines > cfg.Flows {
+		t.Fatalf("scheduler path used %d goroutines for %d flows: O(flows) again?",
+			unified.Goroutines, cfg.Flows)
+	}
+}

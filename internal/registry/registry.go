@@ -1,10 +1,16 @@
 // Package registry is the multi-flow heart of the v1 control plane: a
 // concurrency-safe collection of named, independently-managed flows. Where
 // the original HTTP server wrapped exactly one core.Manager behind one
-// server-wide mutex, the registry gives every flow its own lock and its own
-// optional wall-clock pacer, so one daemon can create, advance, pace and
-// delete many flows concurrently — the prerequisite for the ROADMAP's
-// many-tenants north star.
+// server-wide mutex, the registry gives every flow its own lock, so one
+// daemon can create, advance, pace and delete many flows concurrently —
+// the prerequisite for the ROADMAP's many-tenants north star.
+//
+// Pacing runs on the shared execution plane (internal/sched): StartPacing
+// registers a periodic schedulable on the registry's scheduler instead of
+// spawning a goroutine, so ten thousand paced flows cost ten thousand
+// timer-wheel entries — not ten thousand goroutines — and flow advances
+// are co-scheduled (and weighted-fairness-arbitrated) with the Scenario
+// Lab's experiment trials when both share one scheduler.
 package registry
 
 import (
@@ -17,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eventbus"
 	"repro/internal/flow"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -26,6 +33,7 @@ var (
 	ErrExists   = errors.New("flow already exists")
 	ErrNotFound = errors.New("flow not found")
 	ErrBadID    = errors.New("invalid flow id")
+	ErrDeleted  = errors.New("flow deleted")
 )
 
 // MaxIDLength bounds flow identifiers so they stay usable as URL path
@@ -58,21 +66,25 @@ func ValidateID(id string) error {
 type Flow struct {
 	id      string
 	created time.Time
-	bus     *eventbus.Bus // the owning registry's event bus (nil in tests that build flows directly)
+	bus     *eventbus.Bus    // the owning registry's event bus (nil in tests that build flows directly)
+	sched   *sched.Scheduler // the owning registry's execution plane (nil likewise)
 
 	// mu serialises every touch of mgr (the simulation harness is
-	// single-threaded by design).
-	mu  sync.Mutex
-	mgr *core.Manager
+	// single-threaded by design). deleting rides under it so Delete can
+	// fence event publication: once set, Advance stops publishing and
+	// StartPacing refuses, which is what lets Delete guarantee that no
+	// flow event follows flow.deleted on the bus.
+	mu       sync.Mutex
+	mgr      *core.Manager
+	deleting bool
 
 	// pacerMu guards the pacer fields below. It is separate from mu so
-	// stopping a pacer can wait for the pacer goroutine, which itself
-	// acquires mu through Advance.
-	pacerMu   sync.Mutex
-	pacerStop chan struct{}
-	pacerDone chan struct{}
-	pace      float64
-	wallTick  time.Duration
+	// pacer lifecycle calls can wait on the scheduler ticket, whose tick
+	// function itself acquires mu through Advance.
+	pacerMu  sync.Mutex
+	ticket   *sched.Ticket
+	pace     float64
+	wallTick time.Duration
 	// pacerErr records why the last pacer died on its own (an Advance
 	// failure); cleared when a new pacer starts.
 	pacerErr error
@@ -101,7 +113,9 @@ func (f *Flow) View(fn func(m *core.Manager)) {
 // publish in the same order they mutated the simulation, and watch
 // consumers never see the tick counter move backwards. Publish never
 // blocks (bounded subscriber buffers), so the flow lock is not held
-// hostage to slow consumers.
+// hostage to slow consumers. On a flow being deleted the simulation still
+// runs (an advance in flight when Delete lands finishes harmlessly), but
+// nothing is published: flow.deleted is final on the stream.
 func (f *Flow) Advance(d time.Duration) (sim.Result, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -110,21 +124,29 @@ func (f *Flow) Advance(d time.Duration) (sim.Result, error) {
 	if err != nil {
 		return res, err
 	}
-	f.publishAdvance(d, res, f.mgr.Harness().Clock.Now(), newDecisions(f.mgr, marks))
+	if !f.deleting {
+		f.publishAdvance(d, res, f.mgr.Harness().Clock.Now(), newDecisions(f.mgr, marks))
+	}
 	return res, nil
 }
 
 // StartPacing advances the flow continuously: every wallTick of wall time,
-// the flow moves pace simulated seconds per wall second. A pacer already
-// running is replaced. Safe to call concurrently with StopPacing — the
-// pacer state has its own lock, fixing the double-close race of the old
-// single-flow server.
+// the flow moves pace simulated seconds per wall second. The pacer is a
+// periodic job on the registry's scheduler — no goroutine or timer is
+// owned by the flow — with the scheduler's bounded catch-up policy: a flow
+// that cannot keep up (slow simulation, saturated workers) drops ticks and
+// lags wall time instead of accumulating an unbounded advance backlog. A
+// pacer already running is replaced. Safe to call concurrently with
+// StopPacing.
 func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 	if pace <= 0 {
 		return fmt.Errorf("pace %v must be positive", pace)
 	}
 	if wallTick <= 0 {
 		return fmt.Errorf("wall tick %v must be positive", wallTick)
+	}
+	if f.sched == nil {
+		return fmt.Errorf("flow %q has no scheduler (not registered through a registry)", f.id)
 	}
 	f.mu.Lock()
 	simStep := f.mgr.Harness().Scheduler.Step()
@@ -133,95 +155,103 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
 	f.stopPacerLocked()
+	// Re-read the delete fence now that pacerMu is held: Delete sets it
+	// (under f.mu) strictly before draining the pacer under pacerMu, so a
+	// fence observed false here guarantees a racing Delete has not passed
+	// its StopPacing yet and will stop — and un-publish-order — whatever
+	// is registered below. Checking before taking pacerMu would leave a
+	// window for a whole Delete to slip through and an orphan pacer to
+	// outlive its flow. (Taking f.mu under pacerMu is safe: no path holds
+	// f.mu while acquiring pacerMu.)
+	f.mu.Lock()
+	deleting := f.deleting
+	f.mu.Unlock()
+	if deleting {
+		return fmt.Errorf("%w: %q", ErrDeleted, f.id)
+	}
 
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	f.pacerStop, f.pacerDone = stop, done
-	f.pace, f.wallTick = pace, wallTick
-	f.pacerErr = nil
 	perWallTick := time.Duration(pace * float64(wallTick))
-	go func() {
-		var failure error
-		// On an Advance failure the pacer dies on its own: close done
-		// FIRST (a concurrent StopPacing may be waiting on it while
-		// holding pacerMu), then clear the pacer state if nobody has
-		// replaced it yet, so the flow doesn't report a dead pacer as
-		// running.
-		defer func() {
-			close(done)
-			f.pacerMu.Lock()
-			if f.pacerDone == done {
-				f.pacerStop, f.pacerDone = nil, nil
-				f.pace, f.wallTick = 0, 0
-				f.pacerErr = failure
-				// A pacer that died on its own (an Advance failure) must
-				// tell watch consumers pacing stopped — StopPacing never
-				// ran, so nobody else will. Published under pacerMu so it
-				// cannot interleave with a concurrent StartPacing's event.
-				if failure != nil && f.bus != nil {
-					f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false, Error: failure.Error()})
-				}
-			}
-			f.pacerMu.Unlock()
-		}()
-		t := time.NewTicker(wallTick)
-		defer t.Stop()
-		var debt time.Duration // simulated time owed but not yet advanced
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				// The scheduler advances in whole simulation steps, so
-				// carry sub-step remainders forward instead of losing them.
-				debt += perWallTick
-				if due := debt / simStep * simStep; due > 0 {
-					debt -= due
-					if _, err := f.Advance(due); err != nil {
-						failure = err
-						return
-					}
-				}
+	var debt time.Duration // simulated time owed but not yet advanced
+	var ticket *sched.Ticket
+	tick := func(n int) error {
+		// The scheduler advances in whole simulation steps, so carry
+		// sub-step remainders forward instead of losing them. n > 1 means
+		// the scheduler is catching this flow up after falling behind.
+		debt += time.Duration(n) * perWallTick
+		if due := debt / simStep * simStep; due > 0 {
+			debt -= due
+			if _, err := f.Advance(due); err != nil {
+				return err
 			}
 		}
-	}()
+		return nil
+	}
+	onStop := func(err error) {
+		// The pacer died on its own (an Advance failure). Clear the pacer
+		// state if nobody has replaced it yet, and tell watch consumers
+		// pacing stopped — StopPacing never ran, so nobody else will.
+		// Published under pacerMu so it cannot interleave with a
+		// concurrent StartPacing's event.
+		f.pacerMu.Lock()
+		defer f.pacerMu.Unlock()
+		if f.ticket != ticket {
+			return
+		}
+		f.ticket = nil
+		f.pace, f.wallTick = 0, 0
+		f.pacerErr = err
+		if f.bus != nil {
+			f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false, Error: err.Error()})
+		}
+	}
+	t, err := f.sched.Periodic("flow/"+f.id, sched.ClassFlow, wallTick, tick, onStop)
+	if err != nil {
+		return fmt.Errorf("pace flow %q: %w", f.id, err)
+	}
+	// onStop reads `ticket` under pacerMu, which this call still holds, so
+	// the assignment is visible before any callback can observe it.
+	ticket = t
+	f.ticket = t
+	f.pace, f.wallTick = pace, wallTick
+	f.pacerErr = nil
 	if f.bus != nil {
 		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: true, Pace: pace})
 	}
 	return nil
 }
 
-// StopPacing halts the flow's pacer, if any, and waits for it to exit.
-// The pace event is published under pacerMu, like StartPacing's, so the
-// stream's pace events appear in the order the transitions happened.
+// StopPacing halts the flow's pacer, if any, and waits for any in-flight
+// pacer tick to finish: after it returns, the pacer will never advance the
+// flow or publish again. The pace event is published under pacerMu, like
+// StartPacing's, so the stream's pace events appear in the order the
+// transitions happened.
 func (f *Flow) StopPacing() {
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
-	had := f.pacerStop != nil
+	had := f.ticket != nil
 	f.stopPacerLocked()
 	if had && f.bus != nil {
 		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false})
 	}
 }
 
-// stopPacerLocked swaps the pacer channels out under pacerMu, so exactly
-// one caller ever closes a given stop channel.
+// stopPacerLocked clears the pacer state and stops the scheduler job,
+// waiting for an in-flight tick; pacerMu must be held. The ticket-swap
+// under pacerMu guarantees exactly one caller retires a given pacer.
 func (f *Flow) stopPacerLocked() {
-	stop, done := f.pacerStop, f.pacerDone
-	f.pacerStop, f.pacerDone = nil, nil
+	t := f.ticket
+	f.ticket = nil
 	f.pace, f.wallTick = 0, 0
-	if stop == nil {
-		return
+	if t != nil {
+		t.Stop()
 	}
-	close(stop)
-	<-done
 }
 
 // Pacing reports whether a pacer is running and at what pace.
 func (f *Flow) Pacing() (pace float64, wallTick time.Duration, running bool) {
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
-	return f.pace, f.wallTick, f.pacerStop != nil
+	return f.pace, f.wallTick, f.ticket != nil
 }
 
 // PaceError returns why the last pacer died on its own (an Advance
@@ -232,17 +262,43 @@ func (f *Flow) PaceError() error {
 	return f.pacerErr
 }
 
-// Registry is a concurrency-safe collection of named flows.
+// Registry is a concurrency-safe collection of named flows sharing one
+// execution plane.
 type Registry struct {
-	mu    sync.RWMutex
-	flows map[string]*Flow
-	bus   *eventbus.Bus
+	mu       sync.RWMutex
+	flows    map[string]*Flow
+	bus      *eventbus.Bus
+	sched    *sched.Scheduler
+	ownSched bool // New created the scheduler, so Close releases it
 }
 
-// New returns an empty registry.
-func New() *Registry {
-	return &Registry{flows: make(map[string]*Flow), bus: eventbus.New(0)}
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithScheduler runs the registry's pacers on s instead of a private
+// scheduler — the unified-execution-plane wiring: hand the same scheduler
+// to the registry and the lab engine and one capacity knob governs both.
+// The caller owns s's lifecycle (the registry never closes it).
+func WithScheduler(s *sched.Scheduler) Option {
+	return func(r *Registry) { r.sched = s }
 }
+
+// New returns an empty registry. Without WithScheduler it creates a
+// private default-sized scheduler for its pacers.
+func New(opts ...Option) *Registry {
+	r := &Registry{flows: make(map[string]*Flow), bus: eventbus.New(0)}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.sched == nil {
+		r.sched = sched.New(sched.Config{})
+		r.ownSched = true
+	}
+	return r
+}
+
+// Scheduler returns the execution plane the registry's pacers run on.
+func (r *Registry) Scheduler() *sched.Scheduler { return r.sched }
 
 // Create materialises spec under opts and registers it as id. It fails with
 // ErrBadID for unusable ids, ErrExists for duplicates, and passes through
@@ -257,7 +313,7 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 	if err != nil {
 		return nil, err
 	}
-	f := &Flow{id: id, created: time.Now(), bus: r.bus, mgr: mgr}
+	f := &Flow{id: id, created: time.Now(), bus: r.bus, sched: r.sched, mgr: mgr}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -298,29 +354,54 @@ func (r *Registry) Len() int {
 	return len(r.flows)
 }
 
-// Delete stops the flow's pacer and removes it from the registry. An
-// Advance already in flight finishes on the detached flow harmlessly.
+// Delete stops the flow's pacer and removes it from the registry, in an
+// order that makes flow.deleted final on the event stream: first the flow
+// is fenced (advances stop publishing, new pacers are refused), then the
+// pacer is stopped and drained, and only then is flow.deleted published —
+// so no flow.pace or flow.advanced can trail it. An Advance already in
+// flight when the fence lands finishes on the detached flow harmlessly,
+// publishing nothing.
 func (r *Registry) Delete(id string) error {
-	r.mu.Lock()
+	r.mu.RLock()
 	f, ok := r.flows[id]
-	delete(r.flows, id)
-	if ok {
-		// Under r.mu so the event order matches the map's: created before
-		// deleted, always. (The pacer below may still emit one trailing
-		// flow.pace while winding down; lifecycle order is what matters.)
-		r.bus.Publish(EventFlowDeleted, id, FlowLifecycle{ID: id})
-	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	f.StopPacing()
+
+	// Fence under f.mu: any Advance that already holds the flow lock
+	// publishes before this acquires it; every later one sees the flag.
+	f.mu.Lock()
+	f.deleting = true
+	f.mu.Unlock()
+
+	f.StopPacing() // waits for an in-flight pacer tick; publishes the stop
+
+	r.mu.Lock()
+	if _, still := r.flows[id]; !still {
+		// A concurrent Delete got here first and already published.
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(r.flows, id)
+	// Under r.mu, so the lifecycle order matches the map's: created before
+	// deleted, always.
+	r.bus.Publish(EventFlowDeleted, id, FlowLifecycle{ID: id})
+	r.mu.Unlock()
 	return nil
 }
 
-// Close stops every flow's pacer. The registry remains usable.
+// Close stops every flow's pacer and, when the registry created its own
+// scheduler (no WithScheduler), drains and releases it — so a registry
+// built with plain New leaks nothing. A shared scheduler is left running
+// for its owner to close after every producer is quiet. Flows remain
+// readable after Close; pacing a privately-scheduled registry again
+// fails with the scheduler's ErrClosed.
 func (r *Registry) Close() {
 	for _, f := range r.List() {
 		f.StopPacing()
+	}
+	if r.ownSched {
+		r.sched.Close()
 	}
 }

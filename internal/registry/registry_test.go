@@ -3,12 +3,14 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -290,6 +292,251 @@ func TestCloseStopsAllPacers(t *testing.T) {
 	for _, f := range r.List() {
 		if _, _, running := f.Pacing(); running {
 			t.Errorf("%s: pacer running after Close", f.ID())
+		}
+	}
+}
+
+// lightSpec is a minimal three-layer flow for scale tests: constant
+// workload, small windows, no dashboard — the cheapest spec that still
+// exercises the full advance path.
+func lightSpec(t testing.TB, name string) flow.Spec {
+	t.Helper()
+	spec, err := flow.NewBuilder(name).
+		WithWorkload(flow.WorkloadSpec{Pattern: "constant", Base: 1000}).
+		WithIngestion(2, 1, 50, flow.DefaultAdaptive(60, 2*time.Minute, 4)).
+		WithAnalytics(2, 1, 50, flow.DefaultAdaptive(60, 2*time.Minute, 4)).
+		WithStorage(200, 50, 20000, flow.DefaultAdaptive(60, 2*time.Minute, 400)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestDeleteMidPacePublishesNothingAfterDeleted deletes an actively pacing
+// flow and asserts flow.deleted is the final event for that flow on the
+// bus: the pacer is fenced and drained before the lifecycle event goes
+// out, so no flow.pace or flow.advanced can trail it. Run with -race.
+func TestDeleteMidPacePublishesNothingAfterDeleted(t *testing.T) {
+	r := New()
+	sub := r.Events().Subscribe(8192, 0, nil)
+	defer sub.Close()
+
+	f, err := r.Create("doomed", testSpec(t, "doomed"), sim.Options{Step: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.StartPacing(2400, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Let the pacer publish advances, then delete mid-pace.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var ticks int
+		f.View(func(m *core.Manager) { ticks = m.Harness().Result().Ticks })
+		if ticks > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pacer never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	// Any straggling publication would land within a tick or two.
+	time.Sleep(50 * time.Millisecond)
+
+	var types []string
+	for {
+		select {
+		case ev := <-sub.Events():
+			types = append(types, ev.Type)
+			continue
+		default:
+		}
+		break
+	}
+	if n := sub.Dropped(); n > 0 {
+		t.Fatalf("subscriber dropped %d events; buffer too small for the test", n)
+	}
+	deletedAt := -1
+	for i, typ := range types {
+		if typ == EventFlowDeleted {
+			deletedAt = i
+		}
+	}
+	if deletedAt < 0 {
+		t.Fatalf("no flow.deleted on the stream: %v", types)
+	}
+	if rest := types[deletedAt+1:]; len(rest) > 0 {
+		t.Fatalf("events published after flow.deleted: %v", rest)
+	}
+	// And the deletion must have stopped the clock.
+	var before int
+	f.View(func(m *core.Manager) { before = m.Harness().Result().Ticks })
+	time.Sleep(30 * time.Millisecond)
+	var after int
+	f.View(func(m *core.Manager) { after = m.Harness().Result().Ticks })
+	if after != before {
+		t.Fatalf("detached flow still pacing: %d -> %d ticks", before, after)
+	}
+}
+
+// TestDeleteRacesPacerHammer repeats delete-mid-pace with a fast tick many
+// times; -race proves the fence/drain/publish order holds under load.
+func TestDeleteRacesPacerHammer(t *testing.T) {
+	r := New()
+	sub := r.Events().Subscribe(16384, 0, nil)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("flow-%d", i)
+		f, err := r.Create(id, lightSpec(t, id), sim.Options{Step: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StartPacing(6000, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = r.Delete(id) }()
+	}
+	deadline := time.Now().Add(time.Minute)
+	for r.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deletes never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond)
+	lastOfFlow := map[string]string{}
+	for {
+		select {
+		case ev := <-sub.Events():
+			lastOfFlow[ev.Topic] = ev.Type
+			continue
+		default:
+		}
+		break
+	}
+	for id, typ := range lastOfFlow {
+		if typ != EventFlowDeleted {
+			t.Errorf("flow %s: final event %q, want %q", id, typ, EventFlowDeleted)
+		}
+	}
+}
+
+// TestThousandFlowsPacedGoroutineBound paces 1000 flows concurrently on
+// the shared scheduler and asserts the goroutine count stays O(shards),
+// not O(flows) — the defining property of the unified execution plane.
+// Run with -race (the acceptance bar of the scheduler refactor).
+func TestThousandFlowsPacedGoroutineBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-flow scale test")
+	}
+	base := runtime.NumGoroutine()
+	s := sched.New(sched.Config{Shards: 8, Workers: 1})
+	defer s.Close()
+	r := New(WithScheduler(s))
+
+	spec := lightSpec(t, "scale")
+	const flows = 1000
+	for i := 0; i < flows; i++ {
+		id := fmt.Sprintf("f-%04d", i)
+		sp := spec
+		sp.Name = id
+		f, err := r.Create(id, sp, sim.Options{Step: 10 * time.Second, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 240 sim-seconds per wall second at a 50ms tick: 12s owed per
+		// tick, one-plus sim steps each — heavily oversubscribed on
+		// purpose; the bounded catch-up policy absorbs the overload.
+		if err := f.StartPacing(240, 50*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// O(shards) not O(flows): 8 shards contribute ~16 scheduler
+	// goroutines. Anything near the flow count means pacers spawned
+	// goroutines again.
+	if g := runtime.NumGoroutine(); g > base+flows/4 {
+		t.Fatalf("goroutine count O(flows): %d for %d paced flows (base %d)", g, flows, base)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		total := 0
+		for _, f := range r.List() {
+			f.View(func(m *core.Manager) { total += m.Harness().Result().Ticks })
+			if total > 50 {
+				break
+			}
+		}
+		if total > 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("1000 paced flows made no progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base+flows/4 {
+		t.Fatalf("goroutine count grew towards O(flows) while pacing: %d (base %d)", g, base)
+	}
+	st := s.Stats()
+	if st.ExecutedFlow == 0 {
+		t.Fatal("scheduler executed no flow ticks")
+	}
+	r.Close()
+}
+
+// TestStartPacingRacingDeleteNeverOrphansPacer races StartPacing against
+// Delete: whatever the interleaving, once both return the flow must not
+// be pacing (an orphan pacer would advance an unreachable flow forever),
+// and the final event for the flow must still be flow.deleted. Run with
+// -race.
+func TestStartPacingRacingDeleteNeverOrphansPacer(t *testing.T) {
+	r := New()
+	sub := r.Events().Subscribe(16384, 0, nil)
+	defer sub.Close()
+	for i := 0; i < 25; i++ {
+		id := fmt.Sprintf("race-%d", i)
+		f, err := r.Create(id, lightSpec(t, id), sim.Options{Step: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = r.Delete(id)
+		}()
+		go func() {
+			defer wg.Done()
+			// Either outcome is legal; an orphan pacer is not.
+			_ = f.StartPacing(600, 5*time.Millisecond)
+		}()
+		wg.Wait()
+		// Delete has returned: it either fenced before the pacer
+		// registered (StartPacing failed) or stopped the one that won.
+		if _, _, running := f.Pacing(); running {
+			t.Fatalf("iteration %d: pacer running after Delete returned", i)
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	lastOfFlow := map[string]string{}
+	for {
+		select {
+		case ev := <-sub.Events():
+			lastOfFlow[ev.Topic] = ev.Type
+			continue
+		default:
+		}
+		break
+	}
+	for id, typ := range lastOfFlow {
+		if typ != EventFlowDeleted {
+			t.Errorf("flow %s: final event %q, want %q", id, typ, EventFlowDeleted)
 		}
 	}
 }

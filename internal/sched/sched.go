@@ -1,0 +1,350 @@
+// Package sched is the control plane's unified execution plane: a sharded
+// tick scheduler that runs every kind of recurring or queued work — flow
+// pacer ticks, experiment trial chunks — on one bounded, observable pool.
+//
+// Before this package, execution capacity was fragmented: every paced flow
+// owned a goroutine plus a timer, and the Scenario Lab kept a completely
+// separate bounded worker pool, so the process's concurrency was neither
+// shared, bounded, nor visible anywhere. The scheduler consolidates both
+// onto N shards. Each shard owns
+//
+//   - a hashed timer wheel — periodic jobs hash to a shard by id and wait
+//     in coarse-grained slots, so arming, firing and re-arming are O(1)
+//     regardless of how many timers are pending;
+//   - a per-shard run queue, segregated by Class, drained by the shard's
+//     workers under a weighted-fairness policy (FlowWeight flow-class jobs
+//     per batch-class job, work-conserving in both directions), so a big
+//     experiment grid cannot starve live flow pacing and pacers cannot
+//     starve the lab;
+//   - per-shard statistics: queue depths, armed timers, executed jobs,
+//     late and skipped ticks, and a run-latency histogram.
+//
+// The total goroutine count is O(shards): one timer loop plus Workers
+// workers per shard, independent of how many flows are paced or trials
+// queued — the property that lets one daemon pace thousands of flows.
+//
+// Periodic jobs fire on a fixed-rate schedule with a bounded catch-up
+// policy: a job that falls behind wall time (slow callback, saturated
+// workers) is delivered the elapsed intervals in one batched call — capped
+// at MaxCatchUp, with the excess counted in SkippedTicks and permanently
+// dropped — so an overloaded scheduler degrades into a slower tick rate
+// instead of an unbounded backlog.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class labels the kind of work a job does. Run queues are segregated by
+// class so the drain policy can keep latency-sensitive work ahead of
+// throughput work without starving either.
+type Class int
+
+const (
+	// ClassFlow is latency-sensitive periodic work: flow pacer ticks.
+	ClassFlow Class = iota
+	// ClassBatch is throughput work: experiment trial chunks.
+	ClassBatch
+
+	numClasses = 2
+)
+
+// String names the class for stats and logs.
+func (c Class) String() string {
+	switch c {
+	case ClassFlow:
+		return "flow"
+	case ClassBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Defaults used by Config.withDefaults.
+const (
+	// DefaultWheelTick is the timer-wheel granularity: periodic intervals
+	// round up to the next multiple of it.
+	DefaultWheelTick = 2 * time.Millisecond
+	// DefaultWheelSlots is the number of wheel slots per shard.
+	DefaultWheelSlots = 512
+	// DefaultMaxCatchUp bounds how many owed intervals a late periodic job
+	// is delivered in one call; intervals beyond it are dropped and counted.
+	DefaultMaxCatchUp = 4
+	// DefaultFlowWeight is how many flow-class jobs a shard drains per
+	// batch-class job when both queues are non-empty.
+	DefaultFlowWeight = 4
+	// maxShards caps the shard count even on very wide machines; beyond
+	// this the per-shard structures stop paying for themselves.
+	maxShards = 64
+)
+
+// Config sizes a Scheduler. The zero value selects sensible defaults
+// (GOMAXPROCS shards, one worker per shard).
+type Config struct {
+	// Shards is the number of timer wheels / run queues (default
+	// GOMAXPROCS, capped at 64).
+	Shards int
+	// Workers is the number of worker goroutines per shard (default 1).
+	// Shards × Workers is the process's whole execution capacity: the
+	// maximum number of advances and trial chunks running at any instant.
+	Workers int
+	// WheelTick is the timer-wheel granularity (default DefaultWheelTick).
+	WheelTick time.Duration
+	// WheelSlots is the wheel size per shard (default DefaultWheelSlots).
+	WheelSlots int
+	// MaxCatchUp bounds periodic catch-up (default DefaultMaxCatchUp).
+	MaxCatchUp int
+	// FlowWeight tunes the weighted-fairness drain (default
+	// DefaultFlowWeight).
+	FlowWeight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.WheelTick <= 0 {
+		c.WheelTick = DefaultWheelTick
+	}
+	if c.WheelSlots <= 0 {
+		c.WheelSlots = DefaultWheelSlots
+	}
+	if c.MaxCatchUp <= 0 {
+		c.MaxCatchUp = DefaultMaxCatchUp
+	}
+	if c.FlowWeight <= 0 {
+		c.FlowWeight = DefaultFlowWeight
+	}
+	return c
+}
+
+// ErrClosed is returned by Periodic and Submit after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// TickFunc runs one periodic firing. n >= 1 is the number of intervals
+// being delivered: 1 when the job is on schedule, more when it fell behind
+// and the scheduler is catching it up (bounded by Config.MaxCatchUp).
+// Returning an error stops the job permanently; the registration's onStop
+// callback is then invoked exactly once with that error.
+type TickFunc func(n int) error
+
+// ChunkFunc runs one chunk of a queued job. Returning true finishes the
+// job; returning false re-queues it (on the least-loaded shard), which is
+// what interleaves long jobs fairly.
+type ChunkFunc func() (done bool)
+
+// Scheduler is a sharded tick scheduler; construct with New.
+type Scheduler struct {
+	cfg       Config
+	shards    []*shard
+	seed      maphash.Seed
+	rr        atomic.Uint64 // rotates the least-loaded scan's start shard
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New starts a scheduler: Shards timer loops plus Shards × Workers worker
+// goroutines, all idle until work arrives. Close releases them.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{cfg: cfg, seed: maphash.MakeSeed()}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(s, i)
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1 + cfg.Workers)
+		go sh.timerLoop()
+		for w := 0; w < cfg.Workers; w++ {
+			go sh.workerLoop()
+		}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Scheduler) Shards() int { return s.cfg.Shards }
+
+// Workers returns the worker count per shard.
+func (s *Scheduler) Workers() int { return s.cfg.Workers }
+
+// Capacity returns Shards × Workers: the maximum number of jobs executing
+// at any instant — the one capacity knob of the whole process.
+func (s *Scheduler) Capacity() int { return s.cfg.Shards * s.cfg.Workers }
+
+// Periodic registers tick to run every interval, starting one interval
+// from now. The job is pinned to the shard its id hashes to. onStop, when
+// non-nil, is called exactly once if the job stops itself by returning an
+// error — never on Ticket.Stop. It runs on a worker goroutine after the
+// failing tick has fully returned, so it may take the same locks the
+// caller of Stop holds.
+func (s *Scheduler) Periodic(id string, class Class, interval time.Duration, tick TickFunc, onStop func(error)) (*Ticket, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("sched: interval %v must be positive", interval)
+	}
+	if tick == nil {
+		return nil, errors.New("sched: nil tick function")
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	j := &job{id: id, class: class, periodic: true, interval: interval, tick: tick, onStop: onStop}
+	j.nextAt = time.Now().Add(interval)
+	if !s.shardFor(id).insertTimer(j) {
+		// The shard closed between the closed check above and the arm: a
+		// nil-error return here would hand the caller a ticket for a job
+		// that will never fire.
+		return nil, ErrClosed
+	}
+	return &Ticket{j: j}, nil
+}
+
+// Submit queues run for execution. The job goes to the least-loaded shard
+// and, while it keeps returning false, is re-queued there after every
+// chunk — long jobs therefore migrate toward idle shards on their own.
+// onStop, when non-nil, is called exactly once if the scheduler abandons
+// the job before run ever returned true (a Close landing between chunks),
+// with ErrClosed — never after normal completion or Ticket.Stop — so the
+// submitter can settle whatever the job was driving.
+func (s *Scheduler) Submit(id string, class Class, run ChunkFunc, onStop func(error)) (*Ticket, error) {
+	if run == nil {
+		return nil, errors.New("sched: nil chunk function")
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	j := &job{id: id, class: class, run: run, onStop: onStop}
+	if !s.enqueueBatch(j) {
+		return nil, ErrClosed
+	}
+	return &Ticket{j: j}, nil
+}
+
+// shardFor hashes a job id onto a shard.
+func (s *Scheduler) shardFor(id string) *shard {
+	return s.shards[maphash.String(s.seed, id)%uint64(len(s.shards))]
+}
+
+// enqueueBatch places a queued job on the least-loaded shard (queue length
+// plus chunks executing right now), scanning from a rotating start so ties
+// spread instead of piling onto shard 0.
+func (s *Scheduler) enqueueBatch(j *job) bool {
+	start := int(s.rr.Add(1)) % len(s.shards)
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for i := range s.shards {
+		sh := s.shards[(start+i)%len(s.shards)]
+		sh.mu.Lock()
+		load := sh.queues[j.class].len() + sh.execBatch
+		closed := sh.closed
+		sh.mu.Unlock()
+		if closed {
+			continue
+		}
+		if load < bestLoad {
+			best, bestLoad = (start+i)%len(s.shards), load
+			if load == 0 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	return s.shards[best].enqueue(j)
+}
+
+// Close stops the scheduler: no new work is accepted, every worker
+// finishes the job it is executing and exits, and queued-but-unstarted
+// work is abandoned — each abandoned chunked job's onStop is invoked with
+// ErrClosed so its submitter can settle. Drain producers first (stop
+// pacers, settle experiments) — Close is the last step of a shutdown, and
+// it blocks until every scheduler goroutine has exited. Idempotent.
+func (s *Scheduler) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.closed = true
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			select {
+			case sh.timerWake <- struct{}{}:
+			default:
+			}
+		}
+		s.wg.Wait()
+		// All workers have exited; whatever is still queued will never
+		// run. Tell chunked jobs so (periodic jobs are lifecycle-managed
+		// through Ticket.Stop and are simply discarded).
+		for _, sh := range s.shards {
+			var abandoned []*job
+			sh.mu.Lock()
+			for c := 0; c < numClasses; c++ {
+				for {
+					j := sh.queues[c].pop()
+					if j == nil {
+						break
+					}
+					if !j.periodic {
+						abandoned = append(abandoned, j)
+					}
+				}
+			}
+			sh.mu.Unlock()
+			for _, j := range abandoned {
+				j.mu.Lock()
+				already := j.stopped
+				j.stopped = true
+				j.mu.Unlock()
+				if !already && j.onStop != nil {
+					j.onStop(ErrClosed)
+				}
+			}
+		}
+	})
+}
+
+// Ticket is a handle on one registered job.
+type Ticket struct {
+	j *job
+}
+
+// ID returns the id the job was registered under.
+func (t *Ticket) ID() string { return t.j.id }
+
+// Stop permanently deactivates the job and waits for any in-flight
+// execution to return: after Stop, the job's function will never be
+// running. Safe to call repeatedly and concurrently. Must not be called
+// from inside the job's own function (it would wait for itself).
+func (t *Ticket) Stop() {
+	j := t.j
+	j.mu.Lock()
+	j.stopped = true
+	if !j.running {
+		j.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	j.waiters = append(j.waiters, ch)
+	j.mu.Unlock()
+	<-ch
+}
+
+// Stopped reports whether the job has been stopped (by Stop, by finishing,
+// or by a tick error).
+func (t *Ticket) Stopped() bool {
+	t.j.mu.Lock()
+	defer t.j.mu.Unlock()
+	return t.j.stopped
+}

@@ -1,0 +1,376 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// job is one schedulable unit: a periodic timer job (pacer tick) or a
+// queued chunked job (experiment trial). Its lifecycle invariant is that a
+// periodic job is in exactly one place at a time — armed in the wheel,
+// waiting in a run queue, or executing — so one job can never fire twice
+// concurrently; catch-up after delays is handled by delivering batched
+// intervals, not parallel runs.
+type job struct {
+	id       string
+	class    Class
+	periodic bool
+	interval time.Duration
+	tick     TickFunc
+	run      ChunkFunc
+	onStop   func(error)
+
+	mu      sync.Mutex
+	stopped bool
+	running bool
+	waiters []chan struct{} // Stop callers awaiting the in-flight run
+	// nextAt is the periodic job's scheduled fire time. It is written by
+	// the worker that just ran the job (under j.mu) and read by the wheel
+	// insert that re-arms it — a strict hand-off, never concurrent.
+	nextAt time.Time
+}
+
+// wheelEntry is one armed timer: rounds counts full wheel revolutions
+// still to wait before the entry is due.
+type wheelEntry struct {
+	j      *job
+	rounds int
+}
+
+// fifo is a slice-backed queue of jobs with an amortised-O(1) pop.
+type fifo struct {
+	head  int
+	items []*job
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+func (q *fifo) push(j *job) { q.items = append(q.items, j) }
+
+func (q *fifo) pop() *job {
+	if q.head == len(q.items) {
+		return nil
+	}
+	j := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	// Compact once the dead prefix dominates, so the backing array does
+	// not grow without bound under sustained traffic.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return j
+}
+
+// shard is one slice of the execution plane: a hashed timer wheel, class
+// run queues, and the stats its workers accumulate.
+type shard struct {
+	idx int
+	sc  *Scheduler
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     [numClasses]fifo
+	flowCredit int // weighted-fairness credit left for the flow class
+	execBatch  int // batch chunks executing right now (load metric)
+	closed     bool
+
+	// Timer wheel, also guarded by mu. cur/curAt track the cursor slot and
+	// the wall time of its boundary; timers counts armed entries.
+	slots     [][]wheelEntry
+	cur       int
+	curAt     time.Time
+	timers    int
+	timerWake chan struct{} // pokes the timer loop after an insert / on close
+
+	// Stats, guarded by mu.
+	executed     [numClasses]uint64
+	lateRuns     uint64
+	skippedTicks uint64
+	latCounts    [numLatencyBuckets]uint64
+	latSum       time.Duration
+	latMax       time.Duration
+}
+
+func newShard(sc *Scheduler, idx int) *shard {
+	sh := &shard{
+		idx:        idx,
+		sc:         sc,
+		flowCredit: sc.cfg.FlowWeight,
+		slots:      make([][]wheelEntry, sc.cfg.WheelSlots),
+		curAt:      time.Now(),
+		timerWake:  make(chan struct{}, 1),
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// insertTimer arms a periodic job at j.nextAt, reporting false on a
+// closed shard. Due and past times land in the next slot: the wheel
+// never fires early, and a behind-schedule job fires on the next
+// advance.
+func (sh *shard) insertTimer(j *job) bool {
+	tick := sh.sc.cfg.WheelTick
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	if sh.timers == 0 {
+		// The wheel was idle, so the cursor stopped tracking wall time;
+		// re-anchor it at now before placing the first entry.
+		sh.curAt = time.Now()
+	}
+	offset := int((j.nextAt.Sub(sh.curAt) + tick - 1) / tick)
+	if offset < 1 {
+		offset = 1
+	}
+	slot := (sh.cur + offset) % len(sh.slots)
+	sh.slots[slot] = append(sh.slots[slot], wheelEntry{j: j, rounds: (offset - 1) / len(sh.slots)})
+	sh.timers++
+	sh.mu.Unlock()
+	select {
+	case sh.timerWake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// timerLoop advances the wheel: it sleeps to the next slot boundary while
+// timers are armed (and parks on timerWake when none are), moving due
+// entries onto the run queues.
+func (sh *shard) timerLoop() {
+	defer sh.sc.wg.Done()
+	tick := sh.sc.cfg.WheelTick
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	for {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		fired := 0
+		for sh.timers > 0 && !sh.curAt.Add(tick).After(now) {
+			sh.cur = (sh.cur + 1) % len(sh.slots)
+			sh.curAt = sh.curAt.Add(tick)
+			slot := sh.slots[sh.cur]
+			keep := slot[:0]
+			for _, e := range slot {
+				if e.rounds > 0 {
+					e.rounds--
+					keep = append(keep, e)
+					continue
+				}
+				sh.timers--
+				sh.queues[e.j.class].push(e.j)
+				fired++
+			}
+			for i := len(keep); i < len(slot); i++ {
+				slot[i] = wheelEntry{}
+			}
+			sh.slots[sh.cur] = keep
+		}
+		if fired == 1 {
+			sh.cond.Signal()
+		} else if fired > 1 {
+			sh.cond.Broadcast()
+		}
+		armed := sh.timers > 0
+		var wait time.Duration
+		if armed {
+			wait = time.Until(sh.curAt.Add(tick))
+		}
+		sh.mu.Unlock()
+
+		if !armed {
+			<-sh.timerWake
+			continue
+		}
+		if wait < 100*time.Microsecond {
+			wait = 100 * time.Microsecond
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-sh.timerWake:
+			timer.Stop()
+		}
+	}
+}
+
+// enqueue appends a job to the shard's run queue and wakes one worker.
+func (sh *shard) enqueue(j *job) bool {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.queues[j.class].push(j)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+	return true
+}
+
+// popLocked applies the weighted-fairness drain: with both queues
+// non-empty, FlowWeight flow jobs run per batch job; with one queue empty,
+// the other drains freely (work-conserving).
+func (sh *shard) popLocked() *job {
+	nf, nb := sh.queues[ClassFlow].len(), sh.queues[ClassBatch].len()
+	var c Class
+	switch {
+	case nf == 0 && nb == 0:
+		return nil
+	case nb == 0:
+		c = ClassFlow
+	case nf == 0:
+		c = ClassBatch
+	case sh.flowCredit > 0:
+		c = ClassFlow
+		sh.flowCredit--
+	default:
+		c = ClassBatch
+		sh.flowCredit = sh.sc.cfg.FlowWeight
+	}
+	return sh.queues[c].pop()
+}
+
+// workerLoop drains the shard's run queues.
+func (sh *shard) workerLoop() {
+	defer sh.sc.wg.Done()
+	sh.mu.Lock()
+	for {
+		if sh.closed {
+			sh.mu.Unlock()
+			return
+		}
+		j := sh.popLocked()
+		if j == nil {
+			sh.cond.Wait()
+			continue
+		}
+		if j.class == ClassBatch {
+			sh.execBatch++
+		}
+		sh.mu.Unlock()
+
+		requeue := sh.runJob(j)
+
+		sh.mu.Lock()
+		if j.class == ClassBatch {
+			sh.execBatch--
+		}
+		if requeue {
+			sh.mu.Unlock()
+			// Chunked jobs re-queue through the least-loaded scan so long
+			// jobs drift toward idle shards instead of pinning where they
+			// started. A false return means the scheduler is closing: the
+			// job is abandoned, and its onStop (if any) is told so the
+			// submitter can settle whatever the job was driving instead
+			// of waiting forever.
+			if !sh.sc.enqueueBatch(j) {
+				j.mu.Lock()
+				j.stopped = true
+				j.mu.Unlock()
+				if j.onStop != nil {
+					j.onStop(ErrClosed)
+				}
+			}
+			sh.mu.Lock()
+		}
+	}
+}
+
+// runJob executes one dequeued job and reports whether a chunked job wants
+// re-queueing. Periodic jobs re-arm themselves into the wheel here.
+func (sh *shard) runJob(j *job) (requeue bool) {
+	j.mu.Lock()
+	if j.stopped {
+		j.mu.Unlock()
+		return false
+	}
+	j.running = true
+	n := 0
+	if j.periodic {
+		// Fixed-rate catch-up, bounded: deliver every interval owed since
+		// nextAt in this one call, but never more than MaxCatchUp — the
+		// excess is dropped (and counted), so overload degrades the tick
+		// rate instead of growing a backlog.
+		owed := 1
+		if behind := time.Since(j.nextAt); behind > 0 {
+			owed += int(behind / j.interval)
+		}
+		n = owed
+		skipped := 0
+		if m := sh.sc.cfg.MaxCatchUp; n > m {
+			skipped = n - m
+			n = m
+		}
+		j.nextAt = j.nextAt.Add(time.Duration(owed) * j.interval)
+		j.mu.Unlock()
+		if owed > 1 || skipped > 0 {
+			sh.mu.Lock()
+			if owed > 1 {
+				sh.lateRuns++
+			}
+			sh.skippedTicks += uint64(skipped)
+			sh.mu.Unlock()
+		}
+	} else {
+		j.mu.Unlock()
+	}
+
+	start := time.Now()
+	var err error
+	done := false
+	if j.periodic {
+		err = j.tick(n)
+	} else {
+		done = j.run()
+	}
+	sh.observe(j.class, time.Since(start))
+
+	j.mu.Lock()
+	j.running = false
+	ws := j.waiters
+	j.waiters = nil
+	errExit := false
+	if !j.stopped && (err != nil || (!j.periodic && done)) {
+		j.stopped = true
+		errExit = err != nil
+	}
+	alive := !j.stopped
+	j.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+	if errExit && j.onStop != nil {
+		// After the waiters are released: a Stop racing the failing tick
+		// has already returned, so onStop can take the locks Stop's caller
+		// held without deadlocking.
+		j.onStop(err)
+	}
+	if !alive {
+		return false
+	}
+	if j.periodic {
+		sh.insertTimer(j)
+		return false
+	}
+	return true
+}
+
+// observe records one execution into the shard's latency stats.
+func (sh *shard) observe(c Class, d time.Duration) {
+	sh.mu.Lock()
+	sh.executed[c]++
+	sh.latSum += d
+	if d > sh.latMax {
+		sh.latMax = d
+	}
+	sh.latCounts[latencyBucket(d)]++
+	sh.mu.Unlock()
+}

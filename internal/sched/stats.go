@@ -1,0 +1,146 @@
+package sched
+
+import "time"
+
+// latencyBounds are the histogram bucket upper bounds; executions slower
+// than the last bound land in the overflow bucket. The range spans "pacer
+// tick that did nothing" (tens of microseconds) to "trial chunk simulating
+// many steps" (hundreds of milliseconds).
+var latencyBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+}
+
+const numLatencyBuckets = len(latencyBounds) + 1 // + overflow
+
+func latencyBucket(d time.Duration) int {
+	for i, b := range latencyBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return len(latencyBounds)
+}
+
+// Histogram is a frozen run-latency distribution: Counts[i] executions
+// took at most Bounds[i] (the last bucket is unbounded).
+type Histogram struct {
+	Bounds []time.Duration
+	Counts []uint64
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Mean returns the average execution duration (0 with no samples).
+func (h Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// ShardStats is one shard's view at a point in time.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// Timers is the number of armed periodic jobs (wheel entries).
+	Timers int
+	// FlowQueue / BatchQueue are the run-queue depths per class;
+	// QueueDepth is their sum.
+	FlowQueue  int
+	BatchQueue int
+	QueueDepth int
+	// ExecutedFlow / ExecutedBatch count completed executions per class.
+	ExecutedFlow  uint64
+	ExecutedBatch uint64
+	// LateRuns counts periodic executions that started at least one full
+	// interval behind schedule; SkippedTicks counts the intervals the
+	// bounded catch-up policy dropped.
+	LateRuns     uint64
+	SkippedTicks uint64
+	// Latency is the shard's run-latency histogram (for pacer jobs, the
+	// duration of the flow advance each tick performed).
+	Latency Histogram
+}
+
+// Stats is a point-in-time snapshot of the whole execution plane.
+type Stats struct {
+	// Shards / WorkersPerShard / Capacity restate the scheduler's size
+	// (Capacity = Shards × WorkersPerShard).
+	Shards          int
+	WorkersPerShard int
+	Capacity        int
+	// FlowWeight, MaxCatchUp and WheelTick restate the policy knobs.
+	FlowWeight int
+	MaxCatchUp int
+	WheelTick  time.Duration
+	// Totals over all shards.
+	Timers        int
+	QueueDepth    int
+	ExecutedFlow  uint64
+	ExecutedBatch uint64
+	LateRuns      uint64
+	SkippedTicks  uint64
+	// PerShard holds each shard's row.
+	PerShard []ShardStats
+}
+
+// Stats snapshots every shard. Shards are locked one at a time, so the
+// snapshot is per-shard consistent, not globally atomic — fine for
+// observability, which is its only purpose.
+func (s *Scheduler) Stats() Stats {
+	out := Stats{
+		Shards:          s.cfg.Shards,
+		WorkersPerShard: s.cfg.Workers,
+		Capacity:        s.Capacity(),
+		FlowWeight:      s.cfg.FlowWeight,
+		MaxCatchUp:      s.cfg.MaxCatchUp,
+		WheelTick:       s.cfg.WheelTick,
+		PerShard:        make([]ShardStats, 0, len(s.shards)),
+	}
+	bounds := append([]time.Duration(nil), latencyBounds[:]...)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		row := ShardStats{
+			Shard:         sh.idx,
+			Timers:        sh.timers,
+			FlowQueue:     sh.queues[ClassFlow].len(),
+			BatchQueue:    sh.queues[ClassBatch].len(),
+			ExecutedFlow:  sh.executed[ClassFlow],
+			ExecutedBatch: sh.executed[ClassBatch],
+			LateRuns:      sh.lateRuns,
+			SkippedTicks:  sh.skippedTicks,
+			Latency: Histogram{
+				Bounds: bounds,
+				Counts: append([]uint64(nil), sh.latCounts[:]...),
+				Sum:    sh.latSum,
+				Max:    sh.latMax,
+			},
+		}
+		sh.mu.Unlock()
+		row.QueueDepth = row.FlowQueue + row.BatchQueue
+		for _, c := range row.Latency.Counts {
+			row.Latency.Count += c
+		}
+		out.Timers += row.Timers
+		out.QueueDepth += row.QueueDepth
+		out.ExecutedFlow += row.ExecutedFlow
+		out.ExecutedBatch += row.ExecutedBatch
+		out.LateRuns += row.LateRuns
+		out.SkippedTicks += row.SkippedTicks
+		out.PerShard = append(out.PerShard, row)
+	}
+	return out
+}
