@@ -583,7 +583,7 @@ func (c *Client) waitExperimentPoll(ctx context.Context, id string, poll time.Du
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
+	t := time.NewTicker(poll) //flowervet:allow wallclock(client-side polling of a remote server runs in real time)
 	defer t.Stop()
 	for {
 		exps, err := c.ListExperiments(ctx)

@@ -268,7 +268,7 @@ func (w *Watch) sleepBackoff(ctx context.Context) bool {
 	} else if w.backoff *= 2; w.backoff > watchBackoffMax {
 		w.backoff = watchBackoffMax
 	}
-	t := time.NewTimer(w.backoff)
+	t := time.NewTimer(w.backoff) //flowervet:allow wallclock(reconnect backoff against a remote server is wall time by definition)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

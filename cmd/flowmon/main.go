@@ -38,6 +38,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/persist"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 
 	flower "repro"
 )
@@ -128,13 +129,11 @@ func main() {
 		}
 		// Anchor the dashboard at the journal's last observation.
 		var last time.Time
-		for _, ns := range store.Namespaces() {
-			for _, id := range store.ListMetrics(ns) {
-				if p, ok := store.Latest(id.Namespace, id.Name, id.Dimensions); ok && p.T.After(last) {
-					last = p.T
-				}
+		store.Each(func(id metricstore.MetricID, v timeseries.View) {
+			if p, ok := v.Last(); ok && p.T.After(last) {
+				last = p.T
 			}
-		}
+		})
 		fmt.Printf("replayed %d datapoints from %s\n\n", n, *replayPath)
 		snap := monitor.Collect(store, last, *window)
 		if err := monitor.Render(os.Stdout, snap); err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/sim"
+	"repro/internal/timeseries"
 
 	flower "repro"
 )
@@ -58,7 +59,10 @@ func main() {
 			log.Fatal(err)
 		}
 		h := mgr.Harness()
-		rate, _ := h.Store.Latest("Workload/Generator", "TargetRate", map[string]string{"Generator": "clickstream"})
+		var rate timeseries.Point
+		if mh, ok := h.Store.Lookup("Workload/Generator", "TargetRate", map[string]string{"Generator": "clickstream"}); ok {
+			rate, _ = mh.Latest()
+		}
 		fmt.Printf("%4d  %9.0f  %6d  %3d  %6.0f  %5.1f  %5.1f  %5.1f  %5d  %7.4f\n",
 			hour, rate.V,
 			res.FinalAllocation.Shards, res.FinalAllocation.VMs, res.FinalAllocation.WCU,

@@ -64,8 +64,11 @@ func main() {
 	}
 
 	// A chart of the controlled CPU signal (cf. the demo's Fig. 6).
-	cpu := store.Raw(compute.Namespace, compute.MetricCPUUtilization,
-		map[string]string{"Topology": spec.Name})
+	var cpu *timeseries.Series
+	if mh, ok := store.Lookup(compute.Namespace, compute.MetricCPUUtilization,
+		map[string]string{"Topology": spec.Name}); ok {
+		cpu = mh.Window(metricstore.WindowQuery{})
+	}
 	fmt.Println()
 	if err := monitor.Chart(os.Stdout, "analytics CPU under adaptive control (%)", cpu, 72, 12); err != nil {
 		log.Fatal(err)

@@ -124,6 +124,28 @@
 // steady-state polls (falling back to polling on pre-watch servers), and
 // `flowctl watch` / `flowmon -follow` bring the streams to the terminal.
 // See API.md ("Read plane").
+//
+// # Static analysis
+//
+// The invariants above are machine-checked. internal/analysis is a
+// stdlib-only static-analysis suite (a `go list -json -deps -export`
+// driver plus go/parser and go/types — no dependencies) with five
+// analyzers: lockorder (the whole-program acquired-while-held lock
+// graph must stay acyclic and respect the documented orders), hotpath
+// (per-tick packages must use build-time metric handles — no map-keyed
+// store wrappers, no handle resolution or MetricID construction in
+// loops), wallclock (time.Now/Sleep/timers are banned outside simtime,
+// perfbench, commands, examples and tests — the simulation is
+// single-clocked), stopleak (every created Scheduler, Ticket,
+// Subscription, lab Engine or Registry must reach Stop/Close or escape
+// to a new owner), and wirejson (exported fields of wire structs must
+// carry json tags; interface-typed fields are rejected). Run it with
+// `go run ./cmd/flowervet ./...` (exit non-zero on findings,
+// -list enumerates analyzers); `go test ./internal/analysis` runs the
+// same suite over the repo's own source plus a golden-package corpus,
+// and CI runs the binary on every push. Deliberate exceptions carry
+// `//flowervet:allow <analyzer>(<reason>)` pragmas. See API.md
+// ("Static analysis").
 package flower
 
 import (

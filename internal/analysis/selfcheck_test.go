@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestRepositoryIsClean runs the whole flowervet suite over the
+// repository's own source. The repo must stay flowervet-clean at HEAD:
+// every wall-clock read carries a reasoned pragma, the per-tick packages
+// stay on the metric handle tier, the lock graph is acyclic and respects
+// the documented orders, no goroutine-owning resource is silently
+// dropped, and the wire surface is fully tagged. A failure here is a
+// regression of one of those contracts, not a flaky test.
+func TestRepositoryIsClean(t *testing.T) {
+	requireGoTool(t)
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	findings := Run(pkgs, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// requireGoTool skips driver-backed tests when the go command is not on
+// PATH (the driver shells out to `go list`).
+func requireGoTool(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available:", err)
+	}
+}

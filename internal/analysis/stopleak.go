@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// stopLeak checks that every created goroutine-owning resource reaches
+// its terminal call. PR 5's review caught two instances of this exact
+// class by hand — a pacer ticket orphaned by a racing Delete and a
+// privately-created scheduler never drained by Close — so the rule is
+// now mechanical: a Scheduler, periodic Ticket, event-bus Subscription,
+// lab Engine or flow Registry constructed into a local variable must
+// either have Stop/Close called somewhere in the function (directly,
+// deferred, or inside a closure it is captured by) or visibly escape —
+// returned, stored into a field/global/container, or passed to another
+// function that takes over ownership. Discarding one with `_`, or a bare
+// constructor call whose result nobody keeps, is always a leak.
+//
+// The check is intentionally flow-insensitive about *which* paths reach
+// the cleanup: its target is the resource nobody ever stops, not the
+// early-return that skips a defer (the race detector and leak tests own
+// that half).
+type stopLeak struct{}
+
+func newStopLeak() *stopLeak { return &stopLeak{} }
+
+func (*stopLeak) Name() string { return "stopleak" }
+
+func (*stopLeak) Doc() string {
+	return "a created Scheduler/Ticket/Subscription/Engine/Registry must reach Stop/Close or escape (returned, stored, handed off) — never be silently dropped"
+}
+
+// tracked maps constructor → the terminal method its result must reach.
+// Keys are the constructor's types.Func full name.
+var tracked = map[string]trackedResource{
+	"repro/internal/sched.New":                   {kind: "sched.Scheduler", cleanup: "Close"},
+	"(*repro/internal/sched.Scheduler).Periodic": {kind: "periodic sched.Ticket", cleanup: "Stop"},
+	"(*repro/internal/eventbus.Bus).Subscribe":   {kind: "eventbus.Subscription", cleanup: "Close"},
+	"repro/internal/lab.NewEngine":               {kind: "lab.Engine", cleanup: "Close"},
+	"repro/internal/lab.NewEngineOn":             {kind: "lab.Engine", cleanup: "Close"},
+	"repro/internal/registry.New":                {kind: "registry.Registry", cleanup: "Close"},
+}
+
+type trackedResource struct {
+	kind    string
+	cleanup string
+}
+
+func (a *stopLeak) Run(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			a.checkFunc(p, fd)
+			return true
+		})
+	}
+}
+
+// trackedCall resolves a call expression to a tracked constructor.
+func (a *stopLeak) trackedCall(p *Pass, call *ast.CallExpr) (trackedResource, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	default:
+		return trackedResource{}, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return trackedResource{}, false
+	}
+	r, ok := tracked[fn.FullName()]
+	if !ok || r.cleanup == "" {
+		return trackedResource{}, false
+	}
+	return r, true
+}
+
+func (a *stopLeak) checkFunc(p *Pass, fd *ast.FuncDecl) {
+	// Pass 1: find creations bound to local identifiers (or discarded).
+	type binding struct {
+		obj types.Object
+		res trackedResource
+		pos ast.Node
+	}
+	var bindings []binding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A bare constructor call: the result is dropped on the floor.
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if r, ok := a.trackedCall(p, call); ok {
+					p.Reportf(call.Pos(), "result of %s constructor discarded — it owns goroutines/bus state; call %s, or keep the handle", r.kind, r.cleanup)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				r, ok := a.trackedCall(p, call)
+				if !ok {
+					continue
+				}
+				// With a multi-value RHS (t, err := ...), the resource is
+				// the first LHS; with parallel assignment, position i.
+				idx := i
+				if len(n.Rhs) == 1 {
+					idx = 0
+				}
+				if idx >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[idx].(*ast.Ident)
+				if !ok {
+					continue // field/index destination: stored, escapes
+				}
+				if id.Name == "_" {
+					p.Reportf(call.Pos(), "%s assigned to _ — it owns goroutines/bus state and can now never be stopped; keep the handle and call %s", r.kind, r.cleanup)
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				bindings = append(bindings, binding{obj: obj, res: r, pos: call})
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				r, ok := a.trackedCall(p, call)
+				if !ok || i >= len(n.Names) {
+					continue
+				}
+				id := n.Names[i]
+				if id.Name == "_" {
+					p.Reportf(call.Pos(), "%s assigned to _ — it owns goroutines/bus state and can now never be stopped; keep the handle and call %s", r.kind, r.cleanup)
+					continue
+				}
+				if obj := p.Info.Defs[id]; obj != nil {
+					bindings = append(bindings, binding{obj: obj, res: r, pos: call})
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: for each binding, scan the whole function for a cleanup
+	// call or an escape of the variable.
+	for _, b := range bindings {
+		if !a.cleanedOrEscapes(p, fd.Body, b.obj, b.res) {
+			p.Reportf(b.pos.Pos(), "%s is created here but %s is never reached and it never escapes this function — stop it on every path or hand it off", b.res.kind, b.res.cleanup)
+		}
+	}
+}
+
+// cleanedOrEscapes reports whether obj's resource reaches cleanup or
+// escapes the function.
+func (a *stopLeak) cleanedOrEscapes(p *Pass, body *ast.BlockStmt, obj types.Object, res trackedResource) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Cleanup(...) — directly, deferred, or in a goroutine or
+			// captured closure (ast.Inspect reaches all of them).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == res.cleanup {
+				if id, ok := sel.X.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					found = true
+					return false
+				}
+			}
+			// v passed as an argument: ownership handed off.
+			for _, arg := range n.Args {
+				if a.mentions(p, arg, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if a.mentions(p, r, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// v on the RHS of any assignment: stored into a field, global,
+			// or container that outlives the function, or rebound to
+			// another name (aliasing — conservatively an escape).
+			for _, rhs := range n.Rhs {
+				if _, isCall := rhs.(*ast.CallExpr); isCall {
+					continue // the creating assignment itself
+				}
+				if a.mentions(p, rhs, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if a.mentions(p, elt, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if a.mentions(p, n.Value, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether expr references obj.
+func (a *stopLeak) mentions(p *Pass, expr ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			hit = true
+			return false
+		}
+		return !hit
+	})
+	return hit
+}

@@ -1,0 +1,34 @@
+// Package hotpathok is flowervet testdata: a per-tick package doing it
+// right — the handle is resolved once at build time and the loop appends
+// through it.
+//
+//flowervet:hotpath
+package hotpathok
+
+import (
+	"time"
+
+	"repro/internal/metricstore"
+)
+
+// Publisher owns its handle; the identity was interned at build time.
+type Publisher struct {
+	h *metricstore.Handle
+}
+
+// NewPublisher resolves the handle once, outside any loop.
+func NewPublisher(s *metricstore.Store) (*Publisher, error) {
+	h, err := s.Handle("Ingestion/Stream", "IncomingRecords", nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{h: h}, nil
+}
+
+// Tick appends per tick through the prebuilt handle — no keys, no maps.
+func (p *Publisher) Tick(at time.Time, vs []float64) {
+	for _, v := range vs {
+		p.h.MustAppend(at, v)
+		at = at.Add(time.Second)
+	}
+}

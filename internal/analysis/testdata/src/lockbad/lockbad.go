@@ -1,0 +1,41 @@
+// Package lockbad is flowervet testdata: the same two locks taken in
+// opposite orders — once directly and once through a call — the canonical
+// deadlock the lockorder analyzer exists to catch.
+package lockbad
+
+import "sync"
+
+// Pair holds two locks with no consistent order.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB nests b directly under a.
+func (p *Pair) AB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// HoldALockB creates the same a→b edge through a static call, exercising
+// the cross-function held-set propagation.
+func (p *Pair) HoldALockB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockB()
+}
+
+func (p *Pair) lockB() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+// BA nests a under b: with AB above, the order graph now has a cycle.
+func (p *Pair) BA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want "lock-order cycle"
+	defer p.a.Unlock()
+}

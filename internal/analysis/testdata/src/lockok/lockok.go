@@ -1,0 +1,29 @@
+// Package lockok is flowervet testdata: two locks always nested in the
+// same order, including through a call — acyclic, so no findings.
+package lockok
+
+import "sync"
+
+// Tree holds a parent lock that is always taken before the child lock.
+type Tree struct {
+	parent sync.Mutex
+	child  sync.Mutex
+}
+
+// Both takes parent, then child through a call.
+func (t *Tree) Both() {
+	t.parent.Lock()
+	defer t.parent.Unlock()
+	t.touch()
+}
+
+func (t *Tree) touch() {
+	t.child.Lock()
+	defer t.child.Unlock()
+}
+
+// ChildOnly takes the child lock alone, which imposes no order.
+func (t *Tree) ChildOnly() {
+	t.child.Lock()
+	t.child.Unlock()
+}

@@ -1,0 +1,31 @@
+// Package stopleakbad is flowervet testdata: goroutine-owning resources
+// created and never stopped — discarded outright, dropped into _, or
+// bound but never cleaned up and never handed off.
+package stopleakbad
+
+import (
+	"time"
+
+	"repro/internal/eventbus"
+	"repro/internal/sched"
+)
+
+// Discard drops a subscription on the floor.
+func Discard(b *eventbus.Bus) {
+	b.Subscribe(16, 0, nil) // want "discarded"
+}
+
+// Underscore can never stop what it created.
+func Underscore(b *eventbus.Bus) {
+	_ = b.Subscribe(16, 0, nil) // want "assigned to _"
+}
+
+// NeverStopped keeps the ticket, polls it, and never stops it.
+func NeverStopped(s *sched.Scheduler) bool {
+	tk, err := s.Periodic("job", sched.ClassFlow, time.Second, func(int) error { return nil }, nil) // want "Stop is never reached"
+	if err != nil {
+		return false
+	}
+	tk.Stopped()
+	return true
+}

@@ -1,0 +1,36 @@
+// Package stopleakok is flowervet testdata: every created resource either
+// reaches its terminal call or visibly escapes to a new owner.
+package stopleakok
+
+import (
+	"time"
+
+	"repro/internal/eventbus"
+	"repro/internal/sched"
+)
+
+// DeferStop stops the ticket on scope exit.
+func DeferStop(s *sched.Scheduler) error {
+	tk, err := s.Periodic("job", sched.ClassFlow, time.Second, func(int) error { return nil }, nil)
+	if err != nil {
+		return err
+	}
+	defer tk.Stop()
+	return nil
+}
+
+// Handoff returns the subscription: the caller owns it now.
+func Handoff(b *eventbus.Bus) *eventbus.Subscription {
+	return b.Subscribe(16, 0, nil)
+}
+
+// Keep stores the scheduler into a struct that outlives the call.
+type Keep struct {
+	s *sched.Scheduler
+}
+
+// NewKeep escapes the scheduler into the returned struct.
+func NewKeep() *Keep {
+	s := sched.New(sched.Config{})
+	return &Keep{s: s}
+}

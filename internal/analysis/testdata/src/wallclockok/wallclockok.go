@@ -1,0 +1,15 @@
+// Package wallclockok is flowervet testdata: pure time arithmetic is
+// fine anywhere, and a wall-clock read with a stated reason is allowed.
+package wallclockok
+
+import "time"
+
+// Epoch is constructed, not read — allowed anywhere.
+func Epoch() time.Time {
+	return time.Date(2017, 8, 28, 0, 0, 0, 0, time.UTC).Add(time.Minute)
+}
+
+// Stamp documents why it wants wall time.
+func Stamp() time.Time {
+	return time.Now() //flowervet:allow wallclock(testdata: journal timestamps are wall time by design)
+}

@@ -1,0 +1,12 @@
+// Package wirejsonbad is flowervet testdata: a wire-marked file with an
+// untagged exported field and an interface-typed field.
+//
+//flowervet:wire
+package wirejsonbad
+
+// Event crosses the wire.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Kind string // want "has no json tag"
+	Data any    `json:"data"` // want "interface-typed"
+}

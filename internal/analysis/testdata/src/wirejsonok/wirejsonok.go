@@ -1,0 +1,20 @@
+// Package wirejsonok is flowervet testdata: a fully pinned wire struct —
+// every exported field tagged, payload as json.RawMessage, unexported and
+// opted-out fields fine.
+//
+//flowervet:wire
+package wirejsonok
+
+import "encoding/json"
+
+// Event crosses the wire with its names pinned.
+type Event struct {
+	Seq     uint64          `json:"seq"`
+	Kind    string          `json:"kind,omitempty"`
+	Payload json.RawMessage `json:"payload"`
+	Hidden  bool            `json:"-"`
+	local   int
+}
+
+// keep the unexported field from tripping unused-vet heuristics.
+func (e *Event) bump() { e.local++ }

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// testdataPackages are the golden packages under testdata/src: one
+// violating and one clean package per analyzer. `go list ./...` skips
+// testdata directories, so these compile only here and never pollute the
+// repo-wide suite run.
+var testdataPackages = []string{
+	"lockbad", "lockok",
+	"hotpathbad", "hotpathok",
+	"wallclockbad", "wallclockok",
+	"stopleakbad", "stopleakok",
+	"wirejsonbad", "wirejsonok",
+}
+
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// TestAnalyzersOnTestdata loads every golden package in one Load call,
+// runs the full suite, and reconciles the findings against the `// want
+// "substring"` comments in the sources — both directions: every want must
+// be produced, every finding must be wanted.
+func TestAnalyzersOnTestdata(t *testing.T) {
+	requireGoTool(t)
+	patterns := make([]string, len(testdataPackages))
+	for i, name := range testdataPackages {
+		patterns[i] = "./testdata/src/" + name
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != len(testdataPackages) {
+		t.Fatalf("loaded %d packages, want %d", len(pkgs), len(testdataPackages))
+	}
+	findings := Run(pkgs, Analyzers())
+
+	// Index wants: file base + line → expected message substrings.
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			base := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					k := key{base, pkg.Fset.Position(c.Pos()).Line}
+					for _, m := range quoted.FindAllStringSubmatch(rest, -1) {
+						wants[k] = append(wants[k], m[1])
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want comments found in testdata — harness is broken")
+	}
+
+	unmatched := map[key][]string{}
+	for k, subs := range wants {
+		unmatched[k] = append([]string(nil), subs...)
+	}
+	for _, f := range findings {
+		k := key{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		text := f.Analyzer + ": " + f.Message
+		matched := false
+		rest := unmatched[k][:0]
+		for _, sub := range unmatched[k] {
+			if !matched && strings.Contains(text, sub) {
+				matched = true
+				continue
+			}
+			rest = append(rest, sub)
+		}
+		unmatched[k] = rest
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, subs := range unmatched {
+		for _, sub := range subs {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", k.file, k.line, sub)
+		}
+	}
+}
+
+// TestWantCommentsOnlyInBadPackages pins the corpus shape: every ok
+// package is finding-free by construction, so a want comment there is a
+// corpus bug.
+func TestWantCommentsOnlyInBadPackages(t *testing.T) {
+	requireGoTool(t)
+	for _, name := range testdataPackages {
+		if !strings.HasSuffix(name, "ok") {
+			continue
+		}
+		pkgs, err := Load(".", "./testdata/src/"+name)
+		if err != nil {
+			t.Fatalf("Load %s: %v", name, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, cg := range file.Comments {
+					for _, c := range cg.List {
+						if strings.HasPrefix(c.Text, "// want ") {
+							t.Errorf("%s: want comment in an ok package: %s",
+								pkg.Fset.Position(c.Pos()), c.Text)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMalformedPragmaIsReported checks the engine reports broken allow
+// pragmas instead of silently honouring or ignoring them.
+func TestMalformedPragmaIsReported(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go",
+		"package x\n\n//flowervet:allow wallclock\n//flowervet:bogus\n", parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{file}}
+	pkg.scanPragmas(file)
+	if len(pkg.badPragmas) != 2 {
+		t.Fatalf("got %d bad-pragma findings, want 2: %v", len(pkg.badPragmas), pkg.badPragmas)
+	}
+	if !strings.Contains(pkg.badPragmas[0].Message, "malformed allow pragma") {
+		t.Errorf("first finding = %q, want malformed-allow report", pkg.badPragmas[0].Message)
+	}
+	if !strings.Contains(pkg.badPragmas[1].Message, "unknown flowervet pragma") {
+		t.Errorf("second finding = %q, want unknown-pragma report", pkg.badPragmas[1].Message)
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// wireJSON pins the wire surface: every exported field of an api/v1
+// struct (and of structs in files marked //flowervet:wire — the event
+// payload structs that travel through the watch stream live next to
+// their emitters in internal/registry and internal/lab) must carry an
+// explicit json tag, and no field may be interface-typed. An untagged
+// field silently renames the wire format when someone renames the Go
+// field; an interface field marshals as whatever happens to be inside it
+// and cannot round-trip.
+type wireJSON struct{}
+
+func newWireJSON() *wireJSON { return &wireJSON{} }
+
+func (*wireJSON) Name() string { return "wirejson" }
+
+func (*wireJSON) Doc() string {
+	return "every exported field of api/v1 wire structs (and //flowervet:wire files) carries a json tag and no field is interface-typed"
+}
+
+func (a *wireJSON) Run(p *Pass) {
+	wholePkg := p.Path == "repro/api/v1"
+	if !wholePkg && len(p.wireFiles) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		if !wholePkg && !p.wireFiles[p.Fset.Position(file.Pos()).Filename] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				a.checkField(p, ts.Name.Name, field)
+			}
+			return true
+		})
+	}
+}
+
+func (a *wireJSON) checkField(p *Pass, typeName string, field *ast.Field) {
+	ftype := p.Info.Types[field.Type].Type
+	ifaceTyped := ftype != nil && types.IsInterface(ftype)
+
+	if len(field.Names) == 0 {
+		// Embedded field: its own struct's fields are checked where that
+		// struct is declared; here only the interface ban applies.
+		if ifaceTyped {
+			p.Reportf(field.Pos(), "wire struct %s embeds interface type %s — wire structs must be concrete", typeName, ftype)
+		}
+		return
+	}
+	for _, name := range field.Names {
+		if !name.IsExported() {
+			continue
+		}
+		if ifaceTyped {
+			p.Reportf(name.Pos(), "wire field %s.%s is interface-typed (%s) — it cannot round-trip through JSON; use a concrete type or json.RawMessage", typeName, name.Name, ftype)
+			continue
+		}
+		if !hasJSONTag(field) {
+			p.Reportf(name.Pos(), "exported wire field %s.%s has no json tag — the wire name must be explicit, not derived from the Go identifier", typeName, name.Name)
+		}
+	}
+}
+
+// hasJSONTag reports whether the field's tag names its JSON key (or
+// explicitly opts out with json:"-").
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	v, ok := tag.Lookup("json")
+	return ok && v != ""
+}

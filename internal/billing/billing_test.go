@@ -76,10 +76,10 @@ func TestMeterPublishesMetrics(t *testing.T) {
 	}
 	m.Tick(t0, time.Minute)
 	d := map[string]string{"Meter": "flow"}
-	if _, ok := ms.Latest(Namespace, MetricTickCost, d); !ok {
+	if _, ok := storeLatest(ms, Namespace, MetricTickCost, d); !ok {
 		t.Fatal("TickCost not published")
 	}
-	rr, ok := ms.Latest(Namespace, MetricRunRate, d)
+	rr, ok := storeLatest(ms, Namespace, MetricRunRate, d)
 	want := DefaultPriceBook().HourlyCost(Allocation{Shards: 2, VMs: 2, WCU: 10, RCU: 10})
 	if !ok || math.Abs(rr.V-want) > 1e-12 {
 		t.Fatalf("RunRate = %v, want %v", rr.V, want)

@@ -226,19 +226,19 @@ func TestMetricsPublished(t *testing.T) {
 	cl.InjectTuples(1000)
 	cl.Tick(t0, time.Second)
 	d := map[string]string{"Topology": "clickstream"}
-	cpu, ok := ms.Latest(Namespace, MetricCPUUtilization, d)
+	cpu, ok := storeLatest(ms, Namespace, MetricCPUUtilization, d)
 	if !ok || math.Abs(cpu.V-50) > 1e-9 {
 		t.Fatalf("CPU metric = %+v ok=%v, want 50", cpu, ok)
 	}
-	proc, _ := ms.Latest(Namespace, MetricProcessedTuples, d)
+	proc, _ := storeLatest(ms, Namespace, MetricProcessedTuples, d)
 	if proc.V != 1000 {
 		t.Fatalf("ProcessedTuples = %v, want 1000", proc.V)
 	}
-	vm, _ := ms.Latest(Namespace, MetricVMCount, d)
+	vm, _ := storeLatest(ms, Namespace, MetricVMCount, d)
 	if vm.V != 2 {
 		t.Fatalf("VMCount metric = %v, want 2", vm.V)
 	}
-	lat, _ := ms.Latest(Namespace, MetricLatencyMs, d)
+	lat, _ := storeLatest(ms, Namespace, MetricLatencyMs, d)
 	if lat.V <= 0 {
 		t.Fatalf("latency = %v, want positive", lat.V)
 	}
@@ -255,7 +255,7 @@ func TestCPUNoiseIsBoundedAndDeterministic(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			cl.InjectTuples(1000)
 			cl.Tick(t0.Add(time.Duration(i)*time.Second), time.Second)
-			p, _ := ms.Latest(Namespace, MetricCPUUtilization, map[string]string{"Topology": "clickstream"})
+			p, _ := storeLatest(ms, Namespace, MetricCPUUtilization, map[string]string{"Topology": "clickstream"})
 			out = append(out, p.V)
 		}
 		return out
@@ -286,7 +286,7 @@ func TestLatencyGrowsWithLoad(t *testing.T) {
 		cl = mustCluster(t, cfg(), nil, nil, ms)
 		cl.InjectTuples(load)
 		cl.Tick(t0, time.Second)
-		p, _ := ms.Latest(Namespace, MetricLatencyMs, map[string]string{"Topology": "clickstream"})
+		p, _ := storeLatest(ms, Namespace, MetricLatencyMs, map[string]string{"Topology": "clickstream"})
 		return p.V
 	}
 	low := getLatency(200)

@@ -104,6 +104,16 @@ func (a *Analyzer) defaults() Analyzer {
 	return d
 }
 
+// rawSeries reads the full stored series of a measure through the handle
+// tier, or nil when the metric has never been published.
+func rawSeries(s *metricstore.Store, ref MetricRef) *timeseries.Series {
+	h, ok := s.Lookup(ref.Namespace, ref.Name, ref.Dimensions)
+	if !ok {
+		return nil
+	}
+	return h.Window(metricstore.WindowQuery{})
+}
+
 // Analyze fits the Eq. 1 model of `to` on `from`. It aligns both series on
 // the analyzer period, finds the best non-negative lag (From leading To),
 // and regresses the lag-shifted values.
@@ -112,11 +122,11 @@ func (a *Analyzer) Analyze(from, to MetricRef) (Dependency, error) {
 	if cfg.Store == nil {
 		return Dependency{}, fmt.Errorf("deps: analyzer store is required")
 	}
-	fromSeries := cfg.Store.Raw(from.Namespace, from.Name, from.Dimensions)
+	fromSeries := rawSeries(cfg.Store, from)
 	if fromSeries == nil {
 		return Dependency{}, fmt.Errorf("deps: metric %s not found", from)
 	}
-	toSeries := cfg.Store.Raw(to.Namespace, to.Name, to.Dimensions)
+	toSeries := rawSeries(cfg.Store, to)
 	if toSeries == nil {
 		return Dependency{}, fmt.Errorf("deps: metric %s not found", to)
 	}
@@ -232,7 +242,7 @@ func (a *Analyzer) AnalyzeMultiple(from []MetricRef, to MetricRef) (MultiDepende
 	if len(from) == 0 {
 		return MultiDependency{}, fmt.Errorf("deps: at least one predictor is required")
 	}
-	toSeries := cfg.Store.Raw(to.Namespace, to.Name, to.Dimensions)
+	toSeries := rawSeries(cfg.Store, to)
 	if toSeries == nil {
 		return MultiDependency{}, fmt.Errorf("deps: metric %s not found", to)
 	}
@@ -240,7 +250,7 @@ func (a *Analyzer) AnalyzeMultiple(from []MetricRef, to MetricRef) (MultiDepende
 	var y []float64
 	n := -1
 	for j, f := range from {
-		fs := cfg.Store.Raw(f.Namespace, f.Name, f.Dimensions)
+		fs := rawSeries(cfg.Store, f)
 		if fs == nil {
 			return MultiDependency{}, fmt.Errorf("deps: metric %s not found", f)
 		}

@@ -70,6 +70,7 @@ func New(ringSize int) *Bus {
 func (b *Bus) Publish(typ, topic string, data any) uint64 {
 	b.mu.Lock()
 	b.seq++
+	//flowervet:allow wallclock(event timestamps are observability metadata for operators, not simulation state)
 	ev := Event{Seq: b.seq, Type: typ, Topic: topic, At: time.Now(), Data: data}
 	b.ring[b.next] = ev
 	b.next = (b.next + 1) % cap(b.ring)

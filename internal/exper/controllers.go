@@ -165,7 +165,7 @@ func Controllers(seed int64) (ControllersResult, error) {
 			return ControllersResult{}, err
 		}
 
-		cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+		cpu := rawSeries(h.Store, compute.Namespace, compute.MetricCPUUtilization,
 			map[string]string{"Topology": spec.Name})
 		perMin := cpu.Resample(time.Minute, timeseries.AggMean)
 		stepMin := int(warmup / time.Minute)

@@ -16,11 +16,24 @@ import (
 
 	"repro/internal/compute"
 	"repro/internal/flow"
+	"repro/internal/metricstore"
 	"repro/internal/regress"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/timeseries"
 )
+
+// rawSeries reads the full stored series of one metric through the handle
+// tier, or nil when the metric has never been published — the experiment
+// harness reads results after a run, so the lookup happens once per
+// experiment, not per tick.
+func rawSeries(s *metricstore.Store, ns, name string, dims map[string]string) *timeseries.Series {
+	h, ok := s.Lookup(ns, name, dims)
+	if !ok {
+		return nil
+	}
+	return h.Window(metricstore.WindowQuery{})
+}
 
 // fig2Spec is the Fig. 2 measurement setup: a statically (amply)
 // provisioned flow under a varying click-stream so that neither layer
@@ -85,9 +98,9 @@ func Fig2(seed int64) (Fig2Result, error) {
 	if _, err := h.Run(minutes * time.Minute); err != nil {
 		return Fig2Result{}, err
 	}
-	in := h.Store.Raw(stream.Namespace, stream.MetricIncomingRecords,
+	in := rawSeries(h.Store, stream.Namespace, stream.MetricIncomingRecords,
 		map[string]string{"StreamName": spec.Name})
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+	cpu := rawSeries(h.Store, compute.Namespace, compute.MetricCPUUtilization,
 		map[string]string{"Topology": spec.Name})
 	xs, ys := timeseries.AlignedValues(in, cpu, time.Minute)
 	model, err := regress.Fit(xs, ys)
@@ -136,9 +149,9 @@ func Eq2(seed int64) (Eq2Result, error) {
 	if _, err := h.Run(550 * time.Minute); err != nil {
 		return Eq2Result{}, err
 	}
-	in := h.Store.Raw(stream.Namespace, stream.MetricIncomingRecords,
+	in := rawSeries(h.Store, stream.Namespace, stream.MetricIncomingRecords,
 		map[string]string{"StreamName": spec.Name})
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+	cpu := rawSeries(h.Store, compute.Namespace, compute.MetricCPUUtilization,
 		map[string]string{"Topology": spec.Name})
 	xs, ys := timeseries.AlignedValues(in, cpu, time.Minute)
 	// xs is records per 10s tick, averaged per minute: convert to

@@ -99,7 +99,7 @@ func GainMemory(seed int64) (GainMemoryResult, error) {
 			return GainMemoryRow{}, err
 		}
 
-		cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+		cpu := rawSeries(h.Store, compute.Namespace, compute.MetricCPUUtilization,
 			map[string]string{"Topology": spec.Name})
 		perMin := cpu.Resample(time.Minute, timeseries.AggMean)
 		vals := perMin.Values()

@@ -78,7 +78,7 @@ func sweepScenario(seed int64, setting string, ctrl func(scale float64) flow.Con
 		return SweepRow{}, err
 	}
 
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization,
+	cpu := rawSeries(h.Store, compute.Namespace, compute.MetricCPUUtilization,
 		map[string]string{"Topology": spec.Name})
 	perMin := cpu.Resample(time.Minute, timeseries.AggMean)
 	var absErr float64

@@ -254,8 +254,10 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 			}
 			spark := -1
 			if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
-				if p, ok := h.Store.Latest(ns, metric, dims); ok {
-					dl.Utilization = p.V
+				if mh, ok := h.Store.Lookup(ns, metric, dims); ok {
+					if p, ok := mh.Latest(); ok {
+						dl.Utilization = p.V
+					}
 				}
 				spark = len(sels)
 				sels = append(sels, sparkSelector(ns, metric, dims, window))
@@ -276,8 +278,10 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request, f *regi
 				Violations: res.Violations[flow.StorageReads],
 			}
 			ns, metric, dims := layerMetric(flow.StorageReads, spec.Name)
-			if p, ok := h.Store.Latest(ns, metric, dims); ok {
-				dl.Utilization = p.V
+			if mh, ok := h.Store.Lookup(ns, metric, dims); ok {
+				if p, ok := mh.Latest(); ok {
+					dl.Utilization = p.V
+				}
 			}
 			data.Layers = append(data.Layers, dl)
 			layerSpark = append(layerSpark, len(sels))

@@ -212,8 +212,10 @@ func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request, f *registr
 				lr.Allocation = h.Table.WCU()
 			}
 			if ns, metric, dims := layerMetric(l.Kind, spec.Name); ns != "" {
-				if p, ok := h.Store.Latest(ns, metric, dims); ok {
-					lr.Utilization = p.V
+				if mh, ok := h.Store.Lookup(ns, metric, dims); ok {
+					if p, ok := mh.Latest(); ok {
+						lr.Utilization = p.V
+					}
 				}
 			}
 			if loop, ok := h.Loops[l.Kind]; ok {
@@ -233,9 +235,11 @@ func (s *Server) handleLayers(w http.ResponseWriter, r *http.Request, f *registr
 				MeanUtil:   res.MeanUtil[flow.StorageReads],
 				Violations: res.Violations[flow.StorageReads],
 			}
-			if p, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
+			if mh, ok := h.Store.Lookup(kvstore.Namespace, kvstore.MetricReadUtilization,
 				map[string]string{"TableName": spec.Name}); ok {
-				lr.Utilization = p.V
+				if p, ok := mh.Latest(); ok {
+					lr.Utilization = p.V
+				}
 			}
 			if loop, ok := h.Loops[flow.StorageReads]; ok {
 				lr.Controller = controllerJSON(loop)

@@ -267,7 +267,7 @@ func (r *statusRecorder) Flush() {
 func (s *Server) withMiddleware(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
-		start := time.Now()
+		start := time.Now() //flowervet:allow wallclock(request latency logging measures real HTTP handling time)
 		defer func() {
 			if p := recover(); p != nil {
 				if s.logger != nil {
@@ -278,6 +278,7 @@ func (s *Server) withMiddleware(h http.Handler) http.Handler {
 				}
 			}
 			if s.logger != nil {
+				//flowervet:allow wallclock(request latency logging measures real HTTP handling time)
 				s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
 			}
 		}()

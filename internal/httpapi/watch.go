@@ -306,6 +306,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sources []
 			return nil
 		}
 		data, _ := json.Marshal(apiv1.DroppedEvent{Count: n})
+		//flowervet:allow wallclock(drop markers on a live HTTP stream are stamped in the client's time frame)
 		return writeEvent(apiv1.Event{Type: apiv1.EventDropped, At: time.Now(), Data: data})
 	}
 
@@ -353,7 +354,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sources []
 	if heartbeatEvery <= 0 {
 		heartbeatEvery = defaultHeartbeat
 	}
-	heartbeat := time.NewTicker(heartbeatEvery)
+	heartbeat := time.NewTicker(heartbeatEvery) //flowervet:allow wallclock(heartbeats keep a real TCP connection alive)
 	defer heartbeat.Stop()
 
 	// The select below is written for the stream's two possible sources; a

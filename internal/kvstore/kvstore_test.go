@@ -192,19 +192,19 @@ func TestMetricsPublished(t *testing.T) {
 	}
 	tb.Tick(t0, time.Second)
 	d := map[string]string{"TableName": "agg"}
-	consumed, ok := ms.Latest(Namespace, MetricConsumedWCU, d)
+	consumed, ok := storeLatest(ms, Namespace, MetricConsumedWCU, d)
 	if !ok || consumed.V != 10 {
 		t.Fatalf("ConsumedWCU = %+v ok=%v, want 10", consumed, ok)
 	}
-	prov, _ := ms.Latest(Namespace, MetricProvisionedWCU, d)
+	prov, _ := storeLatest(ms, Namespace, MetricProvisionedWCU, d)
 	if prov.V != 20 {
 		t.Fatalf("ProvisionedWCU = %v, want 20", prov.V)
 	}
-	util, _ := ms.Latest(Namespace, MetricWriteUtilization, d)
+	util, _ := storeLatest(ms, Namespace, MetricWriteUtilization, d)
 	if math.Abs(util.V-50) > 1e-9 {
 		t.Fatalf("WriteUtilization = %v, want 50", util.V)
 	}
-	items, _ := ms.Latest(Namespace, MetricItemCount, d)
+	items, _ := storeLatest(ms, Namespace, MetricItemCount, d)
 	if items.V != 10 {
 		t.Fatalf("ItemCount = %v, want 10", items.V)
 	}
@@ -217,12 +217,12 @@ func TestThrottleCountersResetEachTick(t *testing.T) {
 	tb.PutItem("b", []byte("x")) // throttled
 	tb.Tick(t0, time.Second)
 	d := map[string]string{"TableName": "t"}
-	th, _ := ms.Latest(Namespace, MetricThrottledWrites, d)
+	th, _ := storeLatest(ms, Namespace, MetricThrottledWrites, d)
 	if th.V != 1 {
 		t.Fatalf("throttles = %v, want 1", th.V)
 	}
 	tb.Tick(t0.Add(time.Second), time.Second)
-	th, _ = ms.Latest(Namespace, MetricThrottledWrites, d)
+	th, _ = storeLatest(ms, Namespace, MetricThrottledWrites, d)
 	if th.V != 0 {
 		t.Fatalf("throttles after quiet tick = %v, want 0", th.V)
 	}

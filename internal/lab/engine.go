@@ -99,7 +99,7 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 	x := &Experiment{
 		id:      id,
 		spec:    spec,
-		created: time.Now(),
+		created: time.Now(), //flowervet:allow wallclock(experiment creation timestamps are operator metadata)
 		trials:  trials,
 		bus:     e.bus,
 		cancel:  cancel,
@@ -365,7 +365,7 @@ func (x *Experiment) trialJob(ctx context.Context, i int, wg *sync.WaitGroup) sc
 		}
 		if !started {
 			started = true
-			start = time.Now()
+			start = time.Now() //flowervet:allow wallclock(trial wall-clock cost reporting is the point of WallSeconds)
 			x.markRunning(i, start)
 			t := x.trials[i]
 			var err error
@@ -401,7 +401,7 @@ func (x *Experiment) trialJob(ctx context.Context, i int, wg *sync.WaitGroup) sc
 
 		sum := summarize(x.trials[i], h, res)
 		sum.StartedAt = start
-		sum.WallSeconds = time.Since(start).Seconds()
+		sum.WallSeconds = time.Since(start).Seconds() //flowervet:allow wallclock(trial wall-clock cost reporting is the point of WallSeconds)
 
 		x.mu.Lock()
 		sum.Trial = x.results[i].Trial
@@ -433,6 +433,7 @@ func (x *Experiment) setStatus(i int, st TrialStatus, err error) {
 	if x.results[i].Status == TrialRunning {
 		x.running--
 		if !x.results[i].StartedAt.IsZero() {
+			//flowervet:allow wallclock(trial wall-clock cost reporting is the point of WallSeconds)
 			x.results[i].WallSeconds = time.Since(x.results[i].StartedAt).Seconds()
 		}
 	}

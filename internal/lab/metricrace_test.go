@@ -68,7 +68,7 @@ func TestConcurrentMetricPipelineUnderLabLoad(t *testing.T) {
 						Namespace: "Ingestion/Stream", Name: "IncomingRecords", Dimensions: dims,
 						Period: time.Minute, Stat: timeseries.AggP90,
 					})
-					store.Latest("Ingestion/Stream", "WriteUtilization", dims)
+					storeLatest(store, "Ingestion/Stream", "WriteUtilization", dims)
 				case 1:
 					if h, ok := store.Lookup("Ingestion/Stream", "ThrottleEvents", dims); ok {
 						h.Stat(time.Time{}, time.Time{}, timeseries.AggMean)

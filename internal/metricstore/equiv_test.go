@@ -184,7 +184,7 @@ func TestColumnarStoreMatchesLegacyRandomised(t *testing.T) {
 			// Latest agrees for every metric.
 			for _, m := range metrics {
 				want, wok := legacy.Latest(m.ns, m.name, m.dims)
-				got, gok := st.Latest(m.ns, m.name, m.dims)
+				got, gok := storeLatest(st, m.ns, m.name, m.dims)
 				if wok != gok {
 					t.Fatalf("latest %s/%s: ok %v vs legacy %v", m.ns, m.name, gok, wok)
 				}
@@ -216,7 +216,7 @@ func TestHandleAndPutShareSeries(t *testing.T) {
 	if h.Len() != 2 {
 		t.Fatalf("handle sees %d points, want 2", h.Len())
 	}
-	raw := st.Raw("Ingestion/Stream", "IncomingRecords", dims)
+	raw := storeRaw(st, "Ingestion/Stream", "IncomingRecords", dims)
 	if raw.Len() != 2 {
 		t.Fatalf("raw sees %d points, want 2", raw.Len())
 	}
@@ -255,7 +255,7 @@ func TestInternedUnpublishedMetricIsInvisible(t *testing.T) {
 	}); err == nil {
 		t.Fatal("GetStatistics answered for unpublished metric")
 	}
-	if raw := st.Raw("Ingestion/Stream", "IncomingRecords", dims); raw != nil {
+	if raw := storeRaw(st, "Ingestion/Stream", "IncomingRecords", dims); raw != nil {
 		t.Fatalf("Raw returned %v for unpublished metric", raw)
 	}
 	visited := 0

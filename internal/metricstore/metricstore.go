@@ -14,10 +14,13 @@
 // Latest, Stat and Window operate under that metric's own lock with no
 // per-call key construction — per-tick publishers and sensors resolve their
 // handles at build time and stay allocation-free afterwards. The map-keyed
-// Put/GetStatistics/Latest/Raw calls remain as compatibility wrappers that
-// rebuild the key per call (into a pooled scratch buffer) and then take the
-// same per-entry path; the store-level lock is only ever held to create or
-// look up entries, never while touching series data.
+// Put/GetStatistics calls remain as compatibility wrappers that rebuild the
+// key per call (into a pooled scratch buffer) and then take the same
+// per-entry path (the Latest/Raw wrappers are gone: readers go through
+// Lookup); the store-level lock is only ever held to create or look up
+// entries, never while touching series data. The hotpath analyzer in
+// internal/analysis machine-checks that per-tick packages stay on the
+// handle tier.
 package metricstore
 
 import (
@@ -293,32 +296,6 @@ func (s *Store) GetStatistics(q Query) (*timeseries.Series, error) {
 		return nil, fmt.Errorf("metricstore: no such metric %s", id)
 	}
 	return s.window(e, q.From, q.To, q.Period, q.Stat), nil
-}
-
-// Latest returns the most recent datapoint of the metric.
-func (s *Store) Latest(namespace, name string, dims map[string]string) (timeseries.Point, bool) {
-	e := s.lookup(namespace, name, dims)
-	if e == nil {
-		return timeseries.Point{}, false
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ts.Last()
-}
-
-// Raw returns a copy of the full stored series for the metric, or nil if
-// the metric does not exist.
-func (s *Store) Raw(namespace, name string, dims map[string]string) *timeseries.Series {
-	e := s.lookup(namespace, name, dims)
-	if e == nil {
-		return nil
-	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.ts.Len() == 0 {
-		return nil // interned but never published: absent to readers
-	}
-	return e.ts.ViewAll().Materialize()
 }
 
 // sortedEntries snapshots the published entry set sorted by canonical key.

@@ -35,11 +35,11 @@ func TestPutAndLatest(t *testing.T) {
 	d := dims("StreamName", "clicks")
 	s.MustPut("Ingestion", "IncomingRecords", d, t0, 100)
 	s.MustPut("Ingestion", "IncomingRecords", d, t0.Add(time.Minute), 200)
-	p, ok := s.Latest("Ingestion", "IncomingRecords", d)
+	p, ok := storeLatest(s, "Ingestion", "IncomingRecords", d)
 	if !ok || p.V != 200 {
 		t.Fatalf("Latest = %+v ok=%v, want 200", p, ok)
 	}
-	if _, ok := s.Latest("Ingestion", "IncomingRecords", dims("StreamName", "other")); ok {
+	if _, ok := storeLatest(s, "Ingestion", "IncomingRecords", dims("StreamName", "other")); ok {
 		t.Fatal("Latest found metric under wrong dimensions")
 	}
 }
@@ -65,7 +65,7 @@ func TestPutCopiesDimensions(t *testing.T) {
 	d := dims("k", "v")
 	s.MustPut("ns", "m", d, t0, 1)
 	d["k"] = "mutated"
-	if _, ok := s.Latest("ns", "m", dims("k", "v")); !ok {
+	if _, ok := storeLatest(s, "ns", "m", dims("k", "v")); !ok {
 		t.Fatal("store was affected by caller mutating the dimension map")
 	}
 }
@@ -113,7 +113,7 @@ func TestRetention(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		s.MustPut("ns", "m", nil, t0.Add(time.Duration(i)*time.Minute), float64(i))
 	}
-	raw := s.Raw("ns", "m", nil)
+	raw := storeRaw(s, "ns", "m", nil)
 	if raw.Len() != 3 { // minutes 7, 8, 9 (cutoff is inclusive of t-2m)
 		t.Fatalf("retained %d points, want 3", raw.Len())
 	}
@@ -144,12 +144,12 @@ func TestListMetricsAndNamespaces(t *testing.T) {
 func TestRawIsACopy(t *testing.T) {
 	s := NewStore()
 	s.MustPut("ns", "m", nil, t0, 1)
-	raw := s.Raw("ns", "m", nil)
+	raw := storeRaw(s, "ns", "m", nil)
 	raw.MustAppend(t0.Add(time.Hour), 99)
-	if got := s.Raw("ns", "m", nil).Len(); got != 1 {
+	if got := storeRaw(s, "ns", "m", nil).Len(); got != 1 {
 		t.Fatalf("store series length changed to %d after mutating Raw copy", got)
 	}
-	if s.Raw("ns", "absent", nil) != nil {
+	if storeRaw(s, "ns", "absent", nil) != nil {
 		t.Fatal("Raw for absent metric should be nil")
 	}
 }

@@ -1,0 +1,24 @@
+package metricstore
+
+import "repro/internal/timeseries"
+
+// storeLatest reads a metric's newest datapoint through the handle tier
+// (the map-keyed Latest wrapper was removed once callers moved to
+// handles).
+func storeLatest(s *Store, ns, name string, dims map[string]string) (timeseries.Point, bool) {
+	h, ok := s.Lookup(ns, name, dims)
+	if !ok {
+		return timeseries.Point{}, false
+	}
+	return h.Latest()
+}
+
+// storeRaw reads a copy of a metric's full stored series through the
+// handle tier, or nil when the metric has never been published.
+func storeRaw(s *Store, ns, name string, dims map[string]string) *timeseries.Series {
+	h, ok := s.Lookup(ns, name, dims)
+	if !ok {
+		return nil
+	}
+	return h.Window(WindowQuery{})
+}

@@ -175,15 +175,15 @@ func WriteCSV(w io.Writer, store *metricstore.Store, period time.Duration) error
 	if _, err := fmt.Fprintln(w, "time,namespace,metric,dimensions,value"); err != nil {
 		return err
 	}
-	for _, id := range store.ListMetrics("") {
-		raw := store.Raw(id.Namespace, id.Name, id.Dimensions)
-		if raw == nil {
-			continue
+	var werr error
+	store.Each(func(id metricstore.MetricID, v timeseries.View) {
+		if werr != nil || v.Len() == 0 {
+			return
 		}
-		resampled := raw.Resample(period, timeseries.AggMean)
+		resampled := v.Resample(period, timeseries.AggMean)
 		var dims []string
-		for k, v := range id.Dimensions {
-			dims = append(dims, k+"="+v)
+		for k, val := range id.Dimensions {
+			dims = append(dims, k+"="+val)
 		}
 		sort.Strings(dims)
 		dimStr := strings.Join(dims, ";")
@@ -191,9 +191,10 @@ func WriteCSV(w io.Writer, store *metricstore.Store, period time.Duration) error
 			p := resampled.At(i)
 			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%g\n",
 				p.T.Format(time.RFC3339), id.Namespace, id.Name, dimStr, p.V); err != nil {
-				return err
+				werr = err
+				return
 			}
 		}
-	}
-	return nil
+	})
+	return werr
 }

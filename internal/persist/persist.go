@@ -174,6 +174,10 @@ func Replay(r io.Reader, store *metricstore.Store) (int, error) {
 	applied := 0
 	line := 0
 	var pending error // parse failure awaiting the torn-tail / corruption verdict
+	// Journals repeat a small set of metric identities record after
+	// record; interning each identity once and appending through the
+	// handle skips the per-record key rebuild the map-keyed Put would do.
+	handles := map[string]*metricstore.Handle{}
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -193,7 +197,17 @@ func Replay(r io.Reader, store *metricstore.Store) (int, error) {
 		if rec.V != journalVersion {
 			return applied, fmt.Errorf("persist: journal line %d: unsupported version %d", line, rec.V)
 		}
-		if err := store.Put(rec.NS, rec.Name, rec.Dims, time.Unix(0, rec.T), rec.Val); err != nil {
+		id := metricstore.MetricID{Namespace: rec.NS, Name: rec.Name, Dimensions: rec.Dims}
+		h, ok := handles[id.Key()]
+		if !ok {
+			var err error
+			h, err = store.Handle(rec.NS, rec.Name, rec.Dims)
+			if err != nil {
+				return applied, fmt.Errorf("persist: journal line %d: %w", line, err)
+			}
+			handles[id.Key()] = h
+		}
+		if err := h.Append(time.Unix(0, rec.T), rec.Val); err != nil {
 			return applied, fmt.Errorf("persist: journal line %d: %w", line, err)
 		}
 		applied++

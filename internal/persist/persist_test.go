@@ -48,8 +48,8 @@ func storesEqual(t *testing.T, a, b *metricstore.Store) {
 			t.Fatalf("%s: metric counts differ", ns)
 		}
 		for _, id := range idsA {
-			sa := a.Raw(id.Namespace, id.Name, id.Dimensions)
-			sb := b.Raw(id.Namespace, id.Name, id.Dimensions)
+			sa := storeRaw(a, id.Namespace, id.Name, id.Dimensions)
+			sb := storeRaw(b, id.Namespace, id.Name, id.Dimensions)
 			if sa.Len() != sb.Len() {
 				t.Fatalf("%s: %d vs %d points", id, sa.Len(), sb.Len())
 			}
@@ -148,7 +148,7 @@ func TestFileJournalAppendAndReplay(t *testing.T) {
 	if n != 5 {
 		t.Fatalf("replayed %d, want 5", n)
 	}
-	series := store.Raw("NS", "M", nil)
+	series := storeRaw(store, "NS", "M", nil)
 	want := []float64{1, 2, 3, 4, 5}
 	got := series.Values()
 	if len(got) != len(want) {
@@ -299,7 +299,7 @@ func TestJournalQuickRoundTrip(t *testing.T) {
 		if len(vals) == 0 {
 			return true // nothing journaled, nothing to compare
 		}
-		got := dst.Raw("NS", "M", dims)
+		got := storeRaw(dst, "NS", "M", dims)
 		if got.Len() != len(vals) {
 			return false
 		}
@@ -352,7 +352,7 @@ func TestReplayIntoStoreWithRetention(t *testing.T) {
 		t.Fatalf("replayed %d records, want 100", n)
 	}
 
-	series := dst.Raw("Ingestion/Stream", "IncomingRecords", dims)
+	series := storeRaw(dst, "Ingestion/Stream", "IncomingRecords", dims)
 	if series.Len() == 0 {
 		t.Fatal("retention pruned the whole series")
 	}

@@ -1,0 +1,16 @@
+package persist
+
+import (
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// storeRaw reads a copy of a metric's full stored series through the
+// handle tier, or nil when the metric has never been published.
+func storeRaw(s *metricstore.Store, ns, name string, dims map[string]string) *timeseries.Series {
+	h, ok := s.Lookup(ns, name, dims)
+	if !ok {
+		return nil
+	}
+	return h.Window(metricstore.WindowQuery{})
+}

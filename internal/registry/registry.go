@@ -313,6 +313,7 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 	if err != nil {
 		return nil, err
 	}
+	//flowervet:allow wallclock(flow creation timestamps are operator metadata, not simulation state)
 	f := &Flow{id: id, created: time.Now(), bus: r.bus, sched: r.sched, mgr: mgr}
 
 	r.mu.Lock()

@@ -200,7 +200,7 @@ func (s *Scheduler) Periodic(id string, class Class, interval time.Duration, tic
 		return nil, ErrClosed
 	}
 	j := &job{id: id, class: class, periodic: true, interval: interval, tick: tick, onStop: onStop}
-	j.nextAt = time.Now().Add(interval)
+	j.nextAt = time.Now().Add(interval) //flowervet:allow wallclock(the scheduler is the wall-time executor that paces virtual ticks against real time)
 	if !s.shardFor(id).insertTimer(j) {
 		// The shard closed between the closed check above and the arm: a
 		// nil-error return here would hand the caller a ticket for a job

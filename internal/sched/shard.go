@@ -100,7 +100,7 @@ func newShard(sc *Scheduler, idx int) *shard {
 		sc:         sc,
 		flowCredit: sc.cfg.FlowWeight,
 		slots:      make([][]wheelEntry, sc.cfg.WheelSlots),
-		curAt:      time.Now(),
+		curAt:      time.Now(), //flowervet:allow wallclock(the timing wheel cursor tracks real time; sched is the wall-time executor)
 		timerWake:  make(chan struct{}, 1),
 	}
 	sh.cond = sync.NewCond(&sh.mu)
@@ -121,7 +121,7 @@ func (sh *shard) insertTimer(j *job) bool {
 	if sh.timers == 0 {
 		// The wheel was idle, so the cursor stopped tracking wall time;
 		// re-anchor it at now before placing the first entry.
-		sh.curAt = time.Now()
+		sh.curAt = time.Now() //flowervet:allow wallclock(re-anchoring the wheel cursor is real-time pacing)
 	}
 	offset := int((j.nextAt.Sub(sh.curAt) + tick - 1) / tick)
 	if offset < 1 {
@@ -144,7 +144,7 @@ func (sh *shard) insertTimer(j *job) bool {
 func (sh *shard) timerLoop() {
 	defer sh.sc.wg.Done()
 	tick := sh.sc.cfg.WheelTick
-	timer := time.NewTimer(time.Hour)
+	timer := time.NewTimer(time.Hour) //flowervet:allow wallclock(the timer loop is the wall-time heart of the scheduler)
 	timer.Stop()
 	for {
 		sh.mu.Lock()
@@ -152,7 +152,7 @@ func (sh *shard) timerLoop() {
 			sh.mu.Unlock()
 			return
 		}
-		now := time.Now()
+		now := time.Now() //flowervet:allow wallclock(wheel advancement measures real elapsed time)
 		fired := 0
 		for sh.timers > 0 && !sh.curAt.Add(tick).After(now) {
 			sh.cur = (sh.cur + 1) % len(sh.slots)
@@ -182,7 +182,7 @@ func (sh *shard) timerLoop() {
 		armed := sh.timers > 0
 		var wait time.Duration
 		if armed {
-			wait = time.Until(sh.curAt.Add(tick))
+			wait = time.Until(sh.curAt.Add(tick)) //flowervet:allow wallclock(timer arming against the next real-time wheel edge)
 		}
 		sh.mu.Unlock()
 
@@ -300,7 +300,7 @@ func (sh *shard) runJob(j *job) (requeue bool) {
 		// excess is dropped (and counted), so overload degrades the tick
 		// rate instead of growing a backlog.
 		owed := 1
-		if behind := time.Since(j.nextAt); behind > 0 {
+		if behind := time.Since(j.nextAt); behind > 0 { //flowervet:allow wallclock(catch-up accounting measures real schedule slip)
 			owed += int(behind / j.interval)
 		}
 		n = owed
@@ -323,7 +323,7 @@ func (sh *shard) runJob(j *job) (requeue bool) {
 		j.mu.Unlock()
 	}
 
-	start := time.Now()
+	start := time.Now() //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
 	var err error
 	done := false
 	if j.periodic {
@@ -331,7 +331,7 @@ func (sh *shard) runJob(j *job) (requeue bool) {
 	} else {
 		done = j.run()
 	}
-	sh.observe(j.class, time.Since(start))
+	sh.observe(j.class, time.Since(start)) //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
 
 	j.mu.Lock()
 	j.running = false

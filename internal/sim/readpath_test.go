@@ -46,11 +46,11 @@ func TestDashboardQueriesConsumeReadCapacity(t *testing.T) {
 	if h.Queries.Offered() == 0 {
 		t.Fatal("no queries issued")
 	}
-	if _, ok := h.Store.Latest(kvstore.Namespace, kvstore.MetricReadUtilization,
+	if _, ok := storeLatest(h.Store, kvstore.Namespace, kvstore.MetricReadUtilization,
 		map[string]string{"TableName": spec.Name}); !ok {
 		t.Fatal("no read-utilisation metric published")
 	}
-	if _, ok := h.Store.Latest(workload.QueryNamespace, workload.MetricOfferedQueries,
+	if _, ok := storeLatest(h.Store, workload.QueryNamespace, workload.MetricOfferedQueries,
 		map[string]string{"Generator": "dashboard"}); !ok {
 		t.Fatal("no dashboard workload metrics published")
 	}

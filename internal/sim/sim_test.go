@@ -93,7 +93,7 @@ func TestControllersDriveUtilizationTowardRef(t *testing.T) {
 	}
 	// Judge by the steady-state tail, not the whole run.
 	tail := func(ns, metric, dimKey string) float64 {
-		s := h.Store.Raw(ns, metric, map[string]string{dimKey: "clicks"})
+		s := storeRaw(h.Store, ns, metric, map[string]string{dimKey: "clicks"})
 		if s == nil {
 			t.Fatalf("metric %s/%s missing", ns, metric)
 		}
@@ -237,8 +237,8 @@ func TestFig2ShapeEmergesFromTheSimulation(t *testing.T) {
 	if _, err := h.Run(9 * time.Hour); err != nil { // ≈550 minutes, as Fig. 2
 		t.Fatal(err)
 	}
-	in := h.Store.Raw(stream.Namespace, stream.MetricIncomingRecords, map[string]string{"StreamName": "clicks"})
-	cpu := h.Store.Raw(compute.Namespace, compute.MetricCPUUtilization, map[string]string{"Topology": "clicks"})
+	in := storeRaw(h.Store, stream.Namespace, stream.MetricIncomingRecords, map[string]string{"StreamName": "clicks"})
+	cpu := storeRaw(h.Store, compute.Namespace, compute.MetricCPUUtilization, map[string]string{"Topology": "clicks"})
 	xs, ys := timeseries.AlignedValues(in, cpu, time.Minute)
 	r := regress.Pearson(xs, ys)
 	if r < 0.9 {

@@ -1,0 +1,17 @@
+package stream
+
+import (
+	"repro/internal/metricstore"
+	"repro/internal/timeseries"
+)
+
+// storeLatest reads a metric's newest datapoint through the handle tier
+// (the map-keyed Store.Latest wrapper was removed once callers moved to
+// handles).
+func storeLatest(s *metricstore.Store, ns, name string, dims map[string]string) (timeseries.Point, bool) {
+	h, ok := s.Lookup(ns, name, dims)
+	if !ok {
+		return timeseries.Point{}, false
+	}
+	return h.Latest()
+}

@@ -224,27 +224,27 @@ func TestMetricsPublishedOnTick(t *testing.T) {
 	s.Tick(t0, time.Second)
 
 	d := map[string]string{"StreamName": "clicks"}
-	in, ok := ms.Latest(Namespace, MetricIncomingRecords, d)
+	in, ok := storeLatest(ms, Namespace, MetricIncomingRecords, d)
 	if !ok || in.V != 2500 {
 		t.Fatalf("IncomingRecords = %+v ok=%v, want 2500", in, ok)
 	}
-	th, _ := ms.Latest(Namespace, MetricThrottledWrites, d)
-	util, _ := ms.Latest(Namespace, MetricWriteUtilization, d)
-	offered, _ := ms.Latest(Namespace, MetricOfferedUtilization, d)
+	th, _ := storeLatest(ms, Namespace, MetricThrottledWrites, d)
+	util, _ := storeLatest(ms, Namespace, MetricWriteUtilization, d)
+	offered, _ := storeLatest(ms, Namespace, MetricOfferedUtilization, d)
 	if offered.V != 125 {
 		t.Fatalf("OfferedLoadUtilization = %v, want 125", offered.V)
 	}
 	if want := (2500 - th.V) / 2000 * 100; math.Abs(util.V-want) > 1e-9 {
 		t.Fatalf("WriteUtilization = %v, want %v", util.V, want)
 	}
-	sc, _ := ms.Latest(Namespace, MetricShardCount, d)
+	sc, _ := storeLatest(ms, Namespace, MetricShardCount, d)
 	if sc.V != 2 {
 		t.Fatalf("ShardCount metric = %v, want 2", sc.V)
 	}
 
 	// Second tick with no traffic publishes zeros.
 	s.Tick(t0.Add(time.Second), time.Second)
-	in2, _ := ms.Latest(Namespace, MetricIncomingRecords, d)
+	in2, _ := storeLatest(ms, Namespace, MetricIncomingRecords, d)
 	if in2.V != 0 {
 		t.Fatalf("IncomingRecords after quiet tick = %v, want 0", in2.V)
 	}
@@ -318,11 +318,11 @@ func TestMaxShardUtilizationDetectsHotShard(t *testing.T) {
 	}
 	s.Tick(t0, time.Second)
 	d := map[string]string{"StreamName": "clicks"}
-	maxUtil, ok := ms.Latest(Namespace, MetricMaxShardUtilization, d)
+	maxUtil, ok := storeLatest(ms, Namespace, MetricMaxShardUtilization, d)
 	if !ok || math.Abs(maxUtil.V-50) > 1e-9 {
 		t.Fatalf("MaxShardUtilization = %v ok=%v, want 50 (hot shard at half its limit)", maxUtil.V, ok)
 	}
-	agg, _ := ms.Latest(Namespace, MetricWriteUtilization, d)
+	agg, _ := storeLatest(ms, Namespace, MetricWriteUtilization, d)
 	if agg.V >= maxUtil.V {
 		t.Fatalf("aggregate util %v should be far below hot-shard util %v", agg.V, maxUtil.V)
 	}

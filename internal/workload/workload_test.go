@@ -230,7 +230,7 @@ func TestGeneratorFeedsStreamAndRecordsMetrics(t *testing.T) {
 	if g.Offered() != 200 {
 		t.Fatalf("Offered = %d, want 200", g.Offered())
 	}
-	rate, ok := ms.Latest(Namespace, MetricTargetRate, map[string]string{"Generator": "clickstream"})
+	rate, ok := storeLatest(ms, Namespace, MetricTargetRate, map[string]string{"Generator": "clickstream"})
 	if !ok || rate.V != 200 {
 		t.Fatalf("TargetRate metric = %+v ok=%v", rate, ok)
 	}
