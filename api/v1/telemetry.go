@@ -1,0 +1,79 @@
+package apiv1
+
+import "time"
+
+// Telemetry is the GET /v1/telemetry JSON response: a point-in-time
+// snapshot of the plane's self-metrics registry. The same endpoint serves
+// the Prometheus text exposition of the same snapshot when the client
+// sends Accept: text/plain (or ?format=prom).
+type Telemetry struct {
+	// At is when the snapshot was taken.
+	At time.Time `json:"at"`
+	// Families are the metric families, sorted by name.
+	Families []MetricFamily `json:"families"`
+}
+
+// MetricFamily is one named metric family: all series sharing a name,
+// kind and label schema.
+type MetricFamily struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Labels are the family's label names, in the order each metric's
+	// label_values aligns to. Absent for unlabeled families.
+	Labels  []string `json:"labels,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one series of a family. Counters and gauges carry Value;
+// histograms carry Histogram instead.
+type Metric struct {
+	LabelValues []string          `json:"label_values,omitempty"`
+	Value       float64           `json:"value"`
+	Histogram   *LatencyHistogram `json:"histogram,omitempty"`
+}
+
+// TraceLog is the GET /v1/telemetry/trace response: the most recent
+// sampled tick traces, newest first.
+type TraceLog struct {
+	// SampleEvery is the sampling rate: one flow advance in every
+	// sample_every is traced.
+	SampleEvery int         `json:"sample_every"`
+	Traces      []TickTrace `json:"traces"`
+}
+
+// TickTrace follows one sampled flow advance through the plane:
+// scheduler fire → controller decision → metric append → event publish →
+// SSE delivery, with per-stage durations.
+type TickTrace struct {
+	// ID is the advance's sample number (monotonic per process).
+	ID uint64 `json:"id"`
+	// FlowID is the advanced flow.
+	FlowID string `json:"flow_id"`
+	// At is when the scheduler fired the advance.
+	At time.Time `json:"at"`
+	// EventSeq is the bus sequence of the flow.advanced event the advance
+	// published (0 when it never published).
+	EventSeq uint64 `json:"event_seq,omitempty"`
+	// Stages are the timed segments. sched_fire, controller_decision,
+	// event_publish and sse_delivery partition the timeline in order;
+	// metric_append overlaps controller_decision (appends happen inside
+	// the advance) and is reported as accumulated time, not a segment.
+	Stages []TraceStage `json:"stages"`
+	// AppendCount is how many metric-store appends landed while the trace
+	// was active.
+	AppendCount int64 `json:"append_count"`
+	// TotalNanos sums the segment stages (metric_append excluded).
+	TotalNanos int64 `json:"total_nanos"`
+	// Delivered reports whether the sse_delivery stage was observed: false
+	// means no watch consumer was connected to the flow bus (or the trace
+	// was evicted before delivery).
+	Delivered bool `json:"delivered"`
+}
+
+// TraceStage is one timed segment of a tick trace.
+type TraceStage struct {
+	Name  string `json:"name"`
+	Nanos int64  `json:"nanos"`
+}

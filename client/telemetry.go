@@ -1,0 +1,30 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	apiv1 "repro/api/v1"
+)
+
+// Telemetry fetches the control plane's self-metrics snapshot: every
+// instrumented layer's counters, gauges and latency histograms (HTTP,
+// scheduler, event bus, metric store, registry, lab, persistence,
+// process), point-in-time and sorted by family name. The same endpoint
+// serves the Prometheus text exposition to scrapers that ask for
+// text/plain; the SDK always takes the JSON form.
+func (c *Client) Telemetry(ctx context.Context) (apiv1.Telemetry, error) {
+	var out apiv1.Telemetry
+	err := c.do(ctx, http.MethodGet, "/v1/telemetry", nil, &out)
+	return out, err
+}
+
+// TelemetryTrace fetches the sampled tick traces: one flow advance in
+// every TraceLog.SampleEvery is followed from scheduler fire through
+// controller decision, metric appends and event publish to SSE delivery,
+// with per-stage durations. Traces are newest first.
+func (c *Client) TelemetryTrace(ctx context.Context) (apiv1.TraceLog, error) {
+	var out apiv1.TraceLog
+	err := c.do(ctx, http.MethodGet, "/v1/telemetry/trace", nil, &out)
+	return out, err
+}

@@ -1,0 +1,44 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	mustCreate(t, c, "tel", 5*time.Minute)
+	ctx := context.Background()
+
+	tel, err := c.Telemetry(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.At.IsZero() {
+		t.Error("snapshot At is zero")
+	}
+	if len(tel.Families) == 0 {
+		t.Fatal("no metric families")
+	}
+	var sawHTTP, sawStore bool
+	for _, f := range tel.Families {
+		switch f.Name {
+		case "flower_http_requests_total":
+			sawHTTP = true
+		case "flower_store_appends_total":
+			sawStore = true
+		}
+	}
+	if !sawHTTP || !sawStore {
+		t.Errorf("families missing: http=%v store=%v", sawHTTP, sawStore)
+	}
+
+	trace, err := c.TelemetryTrace(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.SampleEvery <= 0 {
+		t.Errorf("sample_every %d", trace.SampleEvery)
+	}
+}

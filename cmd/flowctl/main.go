@@ -21,6 +21,7 @@
 //	flowctl watch -url http://host:8080 [-flow web | -experiment sweep | -flows a,b -experiments x]
 //	              [-types flow.advanced,flow.decision] [-after 0] [-json]
 //	flowctl sched -url http://host:8080 [-json]    execution-plane stats (GET /v1/scheduler)
+//	flowctl top -url http://host:8080 [-interval 2s] [-once]   live self-telemetry view
 //
 // Experiment farm (Scenario Lab, /v1/experiments):
 //
@@ -85,6 +86,8 @@ func main() {
 		cmdWatch(os.Args[2:])
 	case "sched":
 		cmdSched(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	case "experiments":
 		cmdExperiments(os.Args[2:])
 	case "help", "-h", "-help", "--help":
@@ -121,6 +124,7 @@ remote (against flowerd -http; all take -url):
   delete      stop and remove a flow
   watch       stream live events (flows, experiments) to the terminal
   sched       execution-plane stats: shards, capacity, queues, tick latency
+  top         live self-telemetry view: HTTP, scheduler, bus, store, lab
 
 experiment farm (Scenario Lab; all take -url):
   experiments create     submit an experiment grid (-spec exp.json)

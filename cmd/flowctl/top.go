@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	apiv1 "repro/api/v1"
+)
+
+// cmdTop renders a live terminal view of the control plane's self-telemetry
+// (GET /v1/telemetry): per-route HTTP traffic with request rates, the
+// execution plane's tick counters, event-bus throughput and loss, metric
+// store occupancy, registry and lab activity, and process vitals. The
+// screen refreshes every -interval; -once prints a single frame and exits
+// (usable in scripts and pipes).
+func cmdTop(args []string) {
+	fs, url := remoteFlags("top")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit instead of refreshing")
+	fs.Parse(args)
+	if *interval <= 0 {
+		log.Fatal("-interval must be positive")
+	}
+
+	c := dial(*url)
+	ctx := context.Background()
+	var prev *apiv1.Telemetry
+	for {
+		cur, err := c.Telemetry(ctx)
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderTop(os.Stdout, cur, prev)
+		if *once {
+			return
+		}
+		prev = &cur
+		time.Sleep(*interval)
+	}
+}
+
+// topView indexes a telemetry snapshot for rendering.
+type topView struct {
+	fams map[string]*apiv1.MetricFamily
+}
+
+func newTopView(t apiv1.Telemetry) topView {
+	v := topView{fams: make(map[string]*apiv1.MetricFamily, len(t.Families))}
+	for i := range t.Families {
+		v.fams[t.Families[i].Name] = &t.Families[i]
+	}
+	return v
+}
+
+// total sums every series of a family (0 when absent).
+func (v topView) total(name string) float64 {
+	f, ok := v.fams[name]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, m := range f.Metrics {
+		sum += m.Value
+	}
+	return sum
+}
+
+// labeled returns a family's series keyed by one chosen label value.
+func (v topView) labeled(name string, label int) map[string]float64 {
+	out := map[string]float64{}
+	f, ok := v.fams[name]
+	if !ok {
+		return out
+	}
+	for _, m := range f.Metrics {
+		if label < len(m.LabelValues) {
+			out[m.LabelValues[label]] += m.Value
+		}
+	}
+	return out
+}
+
+// histMean returns a histogram family's overall mean in microseconds.
+func (v topView) histMean(name string) (mean float64, count uint64) {
+	f, ok := v.fams[name]
+	if !ok {
+		return 0, 0
+	}
+	var weighted float64
+	for _, m := range f.Metrics {
+		if m.Histogram == nil {
+			continue
+		}
+		weighted += m.Histogram.MeanUS * float64(m.Histogram.Count)
+		count += m.Histogram.Count
+	}
+	if count > 0 {
+		mean = weighted / float64(count)
+	}
+	return mean, count
+}
+
+// renderTop writes one frame. prev (the previous frame's snapshot) enables
+// per-interval rates; nil renders totals only.
+func renderTop(w io.Writer, t apiv1.Telemetry, prev *apiv1.Telemetry) {
+	cur := newTopView(t)
+	var old topView
+	elapsed := 0.0
+	if prev != nil {
+		old = newTopView(*prev)
+		elapsed = t.At.Sub(prev.At).Seconds()
+	}
+	// rate renders a counter's per-second rate over the refresh interval,
+	// or "-" on the first frame.
+	rate := func(name string) string {
+		if prev == nil || elapsed <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f/s", (cur.total(name)-old.total(name))/elapsed)
+	}
+
+	fmt.Fprintf(w, "flower top — %s\n\n", t.At.Format("15:04:05"))
+
+	upt := cur.total("flower_process_uptime_seconds")
+	fmt.Fprintf(w, "process    goroutines %-6.0f uptime %s\n",
+		cur.total("flower_process_goroutines"), (time.Duration(upt) * time.Second).String())
+
+	fmt.Fprintf(w, "registry   flows %-5.0f pacing %-5.0f advances %-10.0f (%s)\n",
+		cur.total("flower_registry_flows"), cur.total("flower_registry_flows_pacing"),
+		cur.total("flower_registry_advances_total"), rate("flower_registry_advances_total"))
+
+	schedMean, _ := cur.histMean("flower_sched_run_seconds")
+	fmt.Fprintf(w, "scheduler  executed %-10.0f (%s) late %-6.0f skipped %-6.0f timers %-6.0f queue %-5.0f mean %.0fus\n",
+		cur.total("flower_sched_executed_total"), rate("flower_sched_executed_total"),
+		cur.total("flower_sched_late_runs_total"), cur.total("flower_sched_skipped_ticks_total"),
+		cur.total("flower_sched_timers"), cur.total("flower_sched_queue_depth"), schedMean)
+
+	fmt.Fprintf(w, "eventbus   published %-10.0f (%s) dropped %-8.0f subscribers %-4.0f ring %-6.0f\n",
+		cur.total("flower_eventbus_publishes_total"), rate("flower_eventbus_publishes_total"),
+		cur.total("flower_eventbus_dropped_total"), cur.total("flower_eventbus_subscribers"),
+		cur.total("flower_eventbus_ring_entries"))
+
+	fmt.Fprintf(w, "store      appends %-12.0f (%s) entries %-8.0f retention-dropped %-10.0f\n",
+		cur.total("flower_store_appends_total"), rate("flower_store_appends_total"),
+		cur.total("flower_store_entries"), cur.total("flower_store_retention_dropped_total"))
+
+	fmt.Fprintf(w, "lab        experiments %-5.0f trials running %-5.0f settled %-8.0f\n",
+		cur.total("flower_lab_experiments_total"), cur.total("flower_lab_trials_running"),
+		cur.total("flower_lab_trials_total"))
+
+	gin, gout := cur.total("flower_http_gzip_uncompressed_bytes_total"), cur.total("flower_http_gzip_compressed_bytes_total")
+	saved := "-"
+	if gin > 0 {
+		saved = fmt.Sprintf("%.0f%%", 100*(1-gout/gin))
+	}
+	httpMean, _ := cur.histMean("flower_http_request_seconds")
+	fmt.Fprintf(w, "http       requests %-10.0f (%s) in-flight %-4.0f mean %.0fus gzip-saved %s\n\n",
+		cur.total("flower_http_requests_total"), rate("flower_http_requests_total"),
+		cur.total("flower_http_in_flight"), httpMean, saved)
+
+	// Per-route table, busiest first.
+	routes := cur.labeled("flower_http_requests_total", 0)
+	bytes := cur.labeled("flower_http_response_bytes_total", 0)
+	names := make([]string, 0, len(routes))
+	for r := range routes {
+		names = append(names, r)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if routes[names[i]] != routes[names[j]] {
+			return routes[names[i]] > routes[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 0 {
+		fmt.Fprintf(w, "%-44s %10s %12s\n", "ROUTE", "REQUESTS", "BYTES")
+		for _, r := range names {
+			fmt.Fprintf(w, "%-44s %10.0f %12.0f\n", truncRoute(r), routes[r], bytes[r])
+		}
+	}
+}
+
+// truncRoute bounds a route label to the table column.
+func truncRoute(r string) string {
+	const max = 44
+	if len(r) <= max {
+		return r
+	}
+	return r[:max-1] + "…"
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+)
+
+func topSnapshot(at time.Time, requests float64) apiv1.Telemetry {
+	return apiv1.Telemetry{
+		At: at,
+		Families: []apiv1.MetricFamily{
+			{
+				Name: "flower_http_requests_total", Kind: "counter",
+				Labels: []string{"route", "method", "code"},
+				Metrics: []apiv1.Metric{
+					{LabelValues: []string{"/v1/flows", "GET", "200"}, Value: requests},
+					{LabelValues: []string{"/v1/telemetry", "GET", "200"}, Value: 2},
+				},
+			},
+			{
+				Name: "flower_http_request_seconds", Kind: "histogram",
+				Labels: []string{"route"},
+				Metrics: []apiv1.Metric{{
+					LabelValues: []string{"/v1/flows"},
+					Histogram:   &apiv1.LatencyHistogram{Count: 10, MeanUS: 250},
+				}},
+			},
+			{Name: "flower_registry_flows", Kind: "gauge", Metrics: []apiv1.Metric{{Value: 3}}},
+			{Name: "flower_process_goroutines", Kind: "gauge", Metrics: []apiv1.Metric{{Value: 12}}},
+			{Name: "flower_sched_executed_total", Kind: "counter",
+				Labels:  []string{"class"},
+				Metrics: []apiv1.Metric{{LabelValues: []string{"flow"}, Value: 100}}},
+		},
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	at := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	first := topSnapshot(at, 40)
+	var out strings.Builder
+	renderTop(&out, first, nil)
+	got := out.String()
+	for _, want := range []string{"flower top", "goroutines", "/v1/flows", "ROUTE"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("first frame missing %q in:\n%s", want, got)
+		}
+	}
+	// First frame has no rates.
+	if !strings.Contains(got, "(-)") {
+		t.Errorf("first frame should render '-' rates:\n%s", got)
+	}
+
+	// Second frame: 60 more requests over 2s → 30.0/s.
+	second := topSnapshot(at.Add(2*time.Second), 100)
+	out.Reset()
+	renderTop(&out, second, &first)
+	if !strings.Contains(out.String(), "30.0/s") {
+		t.Errorf("rate not computed:\n%s", out.String())
+	}
+}
+
+func TestTruncRoute(t *testing.T) {
+	long := strings.Repeat("x", 60)
+	if got := truncRoute(long); len([]rune(got)) != 44 {
+		t.Errorf("truncRoute length %d", len([]rune(got)))
+	}
+	if got := truncRoute("/v1/flows"); got != "/v1/flows" {
+		t.Errorf("short route altered: %q", got)
+	}
+}

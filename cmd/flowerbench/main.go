@@ -11,12 +11,16 @@
 // Usage:
 //
 //	flowerbench                          run every suite, write BENCH_REPORT.json
-//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf|sched
+//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf|sched|obs
 //	flowerbench -suite perf,sched        comma-separated selection
 //	flowerbench -suite perf              metric-pipeline micro-benchmarks only (ns/op, B/op,
 //	                                     allocs/op + speedups vs the pre-rebuild implementations)
 //	flowerbench -suite sched             execution-plane throughput: 1000 flows paced on the
 //	                                     sharded scheduler vs the goroutine-per-flow baseline
+//	flowerbench -suite obs               self-telemetry plane cost: scrape ns/op plus hot-path
+//	                                     allocation budgets (counter update/read: 0 and <=1
+//	                                     allocs/op, asserted — over-budget exits non-zero);
+//	                                     writes the final telemetry snapshot to -telemetry-o
 //	flowerbench -workers 8 -seed 7       pool width and experiment seed
 //	flowerbench -o report.json           report path ('-' for stdout, '' to skip)
 //
@@ -30,6 +34,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +48,7 @@ import (
 	"repro/internal/exper"
 	"repro/internal/lab"
 	"repro/internal/perfbench"
+	"repro/internal/telemetry"
 )
 
 // report is the machine-readable output.
@@ -61,6 +67,68 @@ type report struct {
 	// flows-paced-per-second and goroutine counts on the sharded scheduler
 	// versus the retired goroutine-per-flow baseline.
 	Sched *schedReport `json:"sched,omitempty"`
+	// Obs holds the self-telemetry plane's cost suite (suite "obs"):
+	// scrape cost and the allocation budgets of the hot-path instruments
+	// (counter updates and reads must stay allocation-free).
+	Obs *obsReport `json:"obs,omitempty"`
+}
+
+// obsReport is the obs suite's section of the report.
+type obsReport struct {
+	WallSeconds float64          `json:"wall_seconds"`
+	Benchmarks  []obsBenchResult `json:"benchmarks"`
+	// BudgetsMet is false when any budgeted benchmark exceeded its
+	// allocs/op budget; flowerbench also exits non-zero in that case, so
+	// CI fails loudly instead of shipping a hot-path regression.
+	BudgetsMet bool `json:"budgets_met"`
+}
+
+// obsBenchResult is one observability benchmark measurement.
+type obsBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MaxAllocs is the asserted allocs/op budget (-1: unbudgeted).
+	MaxAllocs int64 `json:"max_allocs"`
+	// WithinBudget reports AllocsPerOp <= MaxAllocs (true when unbudgeted).
+	WithinBudget bool `json:"within_budget"`
+}
+
+// runObsSuite executes the observability benchmarks and asserts the
+// allocation budgets.
+func runObsSuite() *obsReport {
+	start := time.Now()
+	fmt.Println("=== suite obs: self-telemetry plane cost ===")
+	rep := &obsReport{BudgetsMet: true}
+	for _, bench := range perfbench.ObsSuite() {
+		r := testing.Benchmark(bench.F)
+		br := obsBenchResult{
+			Name:         bench.Name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			MaxAllocs:    bench.MaxAllocs,
+			WithinBudget: bench.MaxAllocs < 0 || r.AllocsPerOp() <= bench.MaxAllocs,
+		}
+		if !br.WithinBudget {
+			rep.BudgetsMet = false
+		}
+		line := fmt.Sprintf("  %-26s %12.1f ns/op %8d B/op %6d allocs/op",
+			br.Name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+		if bench.MaxAllocs >= 0 {
+			verdict := "ok"
+			if !br.WithinBudget {
+				verdict = "OVER BUDGET"
+			}
+			line += fmt.Sprintf("   budget <=%d (%s)", bench.MaxAllocs, verdict)
+		}
+		fmt.Println(line)
+		rep.Benchmarks = append(rep.Benchmarks, br)
+	}
+	rep.WallSeconds = time.Since(start).Seconds()
+	fmt.Printf("  obs suite completed in %.1fs\n\n", rep.WallSeconds)
+	return rep
 }
 
 // schedReport is the sched suite's section of the report.
@@ -208,7 +276,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowerbench: ")
 
-	suite := flag.String("suite", "all", "comma-separated suites: all|controllers|windows|gamma|workloads|pareto|perf|sched")
+	suite := flag.String("suite", "all", "comma-separated suites: all|controllers|windows|gamma|workloads|pareto|perf|sched|obs")
+	telemetryOut := flag.String("telemetry-o", "TELEMETRY_SNAPSHOT.prom", "with the obs suite: write the process's final telemetry snapshot (Prometheus text) to this path ('' to skip)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool width (0: GOMAXPROCS)")
 	out := flag.String("o", "BENCH_REPORT.json", "JSON report path ('-' for stdout, '' to skip)")
@@ -233,21 +302,23 @@ func main() {
 
 	// Parse the comma-separated selection; "all" is every lab suite plus
 	// the perf and sched measurement suites.
-	runPerf, runSched := false, false
+	runPerf, runSched, runObs := false, false, false
 	var selected []string
 	for _, name := range strings.Split(*suite, ",") {
 		switch name = strings.TrimSpace(name); name {
 		case "":
 		case "all":
 			selected = append(selected, order...)
-			runPerf, runSched = true, true
+			runPerf, runSched, runObs = true, true, true
 		case "perf":
 			runPerf = true
 		case "sched":
 			runSched = true
+		case "obs":
+			runObs = true
 		default:
 			if _, ok := suites[name]; !ok {
-				fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", name, "controllers|windows|gamma|workloads|pareto|perf|sched")
+				fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", name, "controllers|windows|gamma|workloads|pareto|perf|sched|obs")
 				os.Exit(2)
 			}
 			selected = append(selected, name)
@@ -321,25 +392,45 @@ func main() {
 	if runSched {
 		rep.Sched = runSchedSuite()
 	}
+	if runObs {
+		rep.Obs = runObsSuite()
+	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	fmt.Printf("farm completed in %v\n", time.Since(start).Round(time.Millisecond))
 
-	if *out == "" {
-		return
+	if runObs && *telemetryOut != "" {
+		// The artifact is the process's own telemetry after the whole run —
+		// every instrumented package's counters as exercised by the suites —
+		// in Prometheus text, uploadable next to the JSON report.
+		var buf bytes.Buffer
+		if err := telemetry.Default().Snapshot().WriteProm(&buf); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*telemetryOut, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telemetryOut)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report written to %s\n", *out)
+		}
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+
+	if rep.Obs != nil && !rep.Obs.BudgetsMet {
+		log.Fatal("obs suite: allocation budget exceeded (see report)")
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("report written to %s\n", *out)
 }
 
 // printSuite renders one suite's table and aggregates.

@@ -81,6 +81,8 @@ func main() {
 	schedWorkers := flag.Int("sched-workers", 0, "with -http: workers per scheduler shard (0: 1); shards x workers is the whole server's execution capacity")
 	labWorkers := flag.Int("lab-workers", 0, "deprecated: experiments now share the execution plane; use -sched-shards/-sched-workers")
 	journalPath := flag.String("journal", "", "append the default flow's metric datapoints to this journal file (replayable with flowmon -replay)")
+	pprofOn := flag.Bool("pprof", false, "with -http: expose net/http/pprof under /debug/pprof/ on the same listener")
+	selfScrape := flag.Duration("selfscrape", 0, "with -http: ingest flowerd's own telemetry into the reserved "+httpapi.SelfScrapeFlow+" flow every interval (0 = off)")
 	flag.Parse()
 
 	loadSpec := func(path string) flower.Spec {
@@ -103,7 +105,7 @@ func main() {
 			specPaths: specPaths, loadSpec: loadSpec,
 			peak: *peak, step: *step, seed: *seed, pace: *pace,
 			replicas: *replicas, schedShards: *schedShards, schedWorkers: *schedWorkers,
-			journalPath: *journalPath,
+			journalPath: *journalPath, pprof: *pprofOn, selfScrape: *selfScrape,
 		})
 		return
 	}
@@ -195,6 +197,8 @@ type serveConfig struct {
 	schedShards  int
 	schedWorkers int
 	journalPath  string
+	pprof        bool
+	selfScrape   time.Duration
 }
 
 // serveHTTP registers the initial flows and serves the v1 control plane
@@ -259,17 +263,31 @@ func serveHTTP(addr string, cfg serveConfig) {
 	}
 
 	engine := lab.NewEngineOn(plane)
-	srv := httpapi.NewServer(reg,
+	srvOpts := []httpapi.Option{
 		httpapi.WithDefaultFlow(defaultID),
 		httpapi.WithLab(engine),
-		httpapi.WithLogger(log.New(os.Stderr, "flowerd: http: ", 0)))
+		httpapi.WithLogger(log.New(os.Stderr, "flowerd: http: ", 0)),
+	}
+	if cfg.pprof {
+		srvOpts = append(srvOpts, httpapi.WithPprof())
+	}
+	if cfg.selfScrape > 0 {
+		srvOpts = append(srvOpts, httpapi.WithSelfScrape(cfg.selfScrape))
+	}
+	srv := httpapi.NewServer(reg, srvOpts...)
 
 	fmt.Printf("flower: serving %d flows on %s (pace %.0f sim-s per wall-s)\n", reg.Len(), addr, cfg.pace)
 	for _, f := range reg.List() {
 		fmt.Printf("  flow %-24s dashboard http://%s/v1/flows/%s/dashboard\n", f.ID(), addr, f.ID())
 	}
-	fmt.Printf("  api:         http://%s/v1/flows\n  experiments: http://%s/v1/experiments\n  scheduler:   http://%s/v1/scheduler (%d shards x %d workers)\n  dashboard:   http://%s/\n",
-		addr, addr, addr, plane.Shards(), plane.Workers(), addr)
+	fmt.Printf("  api:         http://%s/v1/flows\n  experiments: http://%s/v1/experiments\n  scheduler:   http://%s/v1/scheduler (%d shards x %d workers)\n  telemetry:   http://%s/v1/telemetry\n  dashboard:   http://%s/\n",
+		addr, addr, addr, plane.Shards(), plane.Workers(), addr, addr)
+	if cfg.pprof {
+		fmt.Printf("  pprof:       http://%s/debug/pprof/\n", addr)
+	}
+	if cfg.selfScrape > 0 {
+		fmt.Printf("  self-scrape: every %v into flow %q\n", cfg.selfScrape, httpapi.SelfScrapeFlow)
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -295,6 +313,10 @@ func serveHTTP(addr string, cfg serveConfig) {
 		httpSrv.Close() // long-lived watch streams: cut them
 	}
 	fmt.Println("flower: http drained")
+	// The final self-scrape runs after the drain so its snapshot counts
+	// every served request, and before the registry closes so the reserved
+	// flow's store is still writable.
+	srv.StopSelfScrape()
 	engine.Close()
 	fmt.Println("flower: experiments settled")
 	reg.Close()

@@ -125,6 +125,26 @@
 // `flowctl watch` / `flowmon -follow` bring the streams to the terminal.
 // See API.md ("Read plane").
 //
+// # Self-telemetry
+//
+// The plane watches itself with a zero-dependency metrics registry
+// (internal/telemetry): atomic counters, gauges and fixed-bucket latency
+// histograms, labeled families, allocation-free on the write path — the
+// budgets are asserted by `flowerbench -suite obs` in CI. Every layer is
+// instrumented (HTTP middleware, scheduler, event bus, metric store,
+// registry, lab, persistence), and GET /v1/telemetry serves the snapshot
+// as JSON or, via Accept/?format negotiation, as the Prometheus text
+// exposition. One flow advance in every N is traced end to end —
+// scheduler fire → controller decision → metric append → event publish →
+// SSE delivery, with per-stage durations — at GET /v1/telemetry/trace.
+// Every response carries an X-Request-ID; SSE heartbeats carry bus-wide
+// publish/drop totals. flowerd's -pprof flag mounts net/http/pprof, and
+// -selfscrape feeds the daemon's own snapshots into its metric store as
+// the reserved flow "plane.self" (namespace Flower/Telemetry), so
+// forecasting and the batch query plane can watch the plane itself. The
+// SDK exposes client.Telemetry and client.TelemetryTrace; `flowctl top`
+// renders the live terminal view. See API.md ("Telemetry").
+//
 // # Static analysis
 //
 // The invariants above are machine-checked. internal/analysis is a
@@ -135,8 +155,9 @@
 // (per-tick packages must use build-time metric handles — no map-keyed
 // store wrappers, no handle resolution or MetricID construction in
 // loops), wallclock (time.Now/Sleep/timers are banned outside simtime,
-// perfbench, commands, examples and tests — the simulation is
-// single-clocked), stopleak (every created Scheduler, Ticket,
+// perfbench, telemetry, commands, examples and tests — the simulation is
+// single-clocked and wall time belongs to the packages that measure it),
+// stopleak (every created Scheduler, Ticket,
 // Subscription, lab Engine or Registry must reach Stop/Close or escape
 // to a new owner), and wirejson (exported fields of wire structs must
 // carry json tags; interface-typed fields are rejected). Run it with

@@ -1,0 +1,20 @@
+// Telemetry-shaped wire structs done wrong: an exposition type with an
+// untagged field leaks Go identifier casing onto the wire, and an
+// interface-typed stage value makes the schema unknowable.
+//
+//flowervet:wire
+package wirejsonbad
+
+// TickTrace mirrors the trace exposition shape.
+type TickTrace struct {
+	ID         uint64       `json:"id"`
+	FlowID     string       // want "has no json tag"
+	TotalNanos int64        `json:"total_nanos"`
+	Stages     []TraceStage `json:"stages"`
+}
+
+// TraceStage is one timed segment of a tick trace.
+type TraceStage struct {
+	Name  string `json:"name"`
+	Nanos any    `json:"nanos"` // want "interface-typed"
+}

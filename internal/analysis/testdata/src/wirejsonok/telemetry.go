@@ -1,0 +1,31 @@
+// Telemetry-shaped wire structs: the /v1/telemetry exposition types are
+// wire contracts like any other — every exported field pinned by a json
+// tag, histograms nested by pointer, no interface-typed fields.
+//
+//flowervet:wire
+package wirejsonok
+
+// MetricFamily mirrors the telemetry exposition's family shape.
+type MetricFamily struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Help    string   `json:"help,omitempty"`
+	Labels  []string `json:"labels,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one series: label values plus a value or a histogram.
+type Metric struct {
+	LabelValues []string          `json:"label_values,omitempty"`
+	Value       float64           `json:"value"`
+	Histogram   *LatencyHistogram `json:"histogram,omitempty"`
+}
+
+// LatencyHistogram carries fixed-bucket latency counts in microseconds.
+type LatencyHistogram struct {
+	Count    uint64    `json:"count"`
+	MeanUS   float64   `json:"mean_us"`
+	MaxUS    float64   `json:"max_us"`
+	BoundsUS []float64 `json:"bounds_us"`
+	Buckets  []uint64  `json:"buckets"`
+}

@@ -20,6 +20,10 @@ var testdataPackages = []string{
 	"wallclockbad", "wallclockok",
 	"stopleakbad", "stopleakok",
 	"wirejsonbad", "wirejsonok",
+	// The telemetry mirror exercises the wallclock analyzer's
+	// import-path-suffix exemption: bare time.Now/NewTicker, no pragmas,
+	// zero findings expected.
+	"telemetrywall/internal/telemetry",
 }
 
 var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)

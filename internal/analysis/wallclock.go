@@ -19,7 +19,7 @@ func newWallClock() *wallClock { return &wallClock{} }
 func (*wallClock) Name() string { return "wallclock" }
 
 func (*wallClock) Doc() string {
-	return "bans time.Now/Sleep/After/Since/... outside simtime, perfbench, cmd/* and examples/* — scheduler-driven code takes time from the virtual clock or its tick callback"
+	return "bans time.Now/Sleep/After/Since/... outside simtime, perfbench, telemetry, cmd/* and examples/* — scheduler-driven code takes time from the virtual clock or its tick callback"
 }
 
 // wallClockBanned is the set of time-package functions that read or
@@ -33,10 +33,17 @@ var wallClockBanned = map[string]bool{
 
 // wallClockExempt lists the package paths that legitimately own wall
 // time: the virtual clock itself (whose Epoch doc explains why it is NOT
-// time.Now), the wall-clock benchmark harness, and process entry points.
+// time.Now), the wall-clock benchmark harness, the telemetry plane
+// (which exists to measure real durations and hands them out via
+// telemetry.Now/SinceNanos), and process entry points. The suffix match
+// covers telemetry's golden-testdata mirror, which loads under a
+// testdata-prefixed import path.
 func wallClockExempt(path string) bool {
 	switch path {
-	case "repro/internal/simtime", "repro/internal/perfbench":
+	case "repro/internal/simtime", "repro/internal/perfbench", "repro/internal/telemetry":
+		return true
+	}
+	if strings.HasSuffix(path, "/internal/telemetry") {
 		return true
 	}
 	return strings.HasPrefix(path, "repro/cmd/") || strings.HasPrefix(path, "repro/examples/")

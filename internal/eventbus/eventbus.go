@@ -15,7 +15,24 @@ package eventbus
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Process-wide bus telemetry: every Bus instance aggregates into these, so
+// /v1/telemetry shows total event traffic and total loss across the plane
+// (the registry's bus and the lab's bus both count here).
+var (
+	telPublishes = telemetry.Default().Counter("flower_eventbus_publishes_total",
+		"Events published across all buses.")
+	telDrops = telemetry.Default().Counter("flower_eventbus_dropped_total",
+		"Events not delivered to a subscriber (buffer overflow or resume gap), across all buses.")
+	telSubscribers = telemetry.Default().Gauge("flower_eventbus_subscribers",
+		"Live subscriptions across all buses.")
+	telRingEntries = telemetry.Default().Gauge("flower_eventbus_ring_entries",
+		"Occupied replay-ring slots across all buses.")
 )
 
 // Live is the Subscribe cursor meaning "no replay: start with the next
@@ -50,6 +67,14 @@ type Bus struct {
 	next int     // ring index the next event is written at
 	n    int     // number of live ring entries (<= cap(ring))
 	subs map[*Subscription]struct{}
+
+	// pubs and drops are this bus's lifetime aggregates. Unlike
+	// Subscription.Dropped they never reset, so total loss is observable:
+	// the per-subscriber counter exists to emit in-order gap markers, these
+	// exist for the operator. Atomic so accessors never contend with the
+	// publish path.
+	pubs  atomic.Uint64
+	drops atomic.Uint64
 }
 
 // New returns a bus retaining the last ringSize events for resume
@@ -76,14 +101,26 @@ func (b *Bus) Publish(typ, topic string, data any) uint64 {
 	b.next = (b.next + 1) % cap(b.ring)
 	if b.n < cap(b.ring) {
 		b.n++
+		telRingEntries.Inc()
 	}
 	for sub := range b.subs {
 		sub.offerLocked(ev)
 	}
 	seq := b.seq
 	b.mu.Unlock()
+	b.pubs.Add(1)
+	telPublishes.Inc()
 	return seq
 }
+
+// Published returns the number of events ever published on this bus.
+func (b *Bus) Published() uint64 { return b.pubs.Load() }
+
+// TotalDropped returns the lifetime count of events not delivered to some
+// subscriber of this bus — buffer overflows plus resume gaps. It never
+// resets (contrast Subscription.Dropped, which is per-subscriber and
+// consumed by the transport's gap markers).
+func (b *Bus) TotalDropped() uint64 { return b.drops.Load() }
 
 // Seq returns the sequence number of the most recently published event
 // (0 before the first publish) — the "now" cursor for a live subscriber.
@@ -122,11 +159,15 @@ func (b *Bus) Subscribe(buf int, after uint64, match func(Event) bool) *Subscrip
 			// matters is that the consumer learns there IS one instead of
 			// silently skipping the new epoch's events forever.
 			sub.dropped++
+			b.drops.Add(1)
+			telDrops.Inc()
 			after = 0
 		}
 		oldest := b.seq - uint64(b.n) // seq of the newest expired event
 		if after < oldest {
 			sub.dropped += oldest - after
+			b.drops.Add(oldest - after)
+			telDrops.Add(oldest - after)
 		}
 		// Size the buffer to hold the full matching replay on top of the
 		// requested live headroom: everything the ring still retains MUST
@@ -149,6 +190,7 @@ func (b *Bus) Subscribe(buf int, after uint64, match func(Event) bool) *Subscrip
 		sub.ch = make(chan Event, buf)
 	}
 	b.subs[sub] = struct{}{}
+	telSubscribers.Inc()
 	return sub
 }
 
@@ -173,6 +215,8 @@ func (s *Subscription) offerLocked(ev Event) {
 	case s.ch <- ev:
 	default:
 		s.dropped++
+		s.bus.drops.Add(1)
+		telDrops.Inc()
 	}
 }
 
@@ -201,4 +245,5 @@ func (s *Subscription) Close() {
 	s.closed = true
 	delete(s.bus.subs, s)
 	close(s.ch)
+	telSubscribers.Dec()
 }

@@ -19,13 +19,33 @@ var gzPool = sync.Pool{
 	New: func() any { return gzip.NewWriter(io.Discard) },
 }
 
-// gzipResponseWriter funnels the handler's body through a gzip stream.
+// gzipResponseWriter funnels the handler's body through a gzip stream,
+// counting the uncompressed input; the compressed output is counted by the
+// countWriter the stream drains into. The pair feeds the plane's gzip
+// savings counters.
 type gzipResponseWriter struct {
 	http.ResponseWriter
 	gz *gzip.Writer
+	in int64 // uncompressed bytes the handler wrote
 }
 
-func (g *gzipResponseWriter) Write(b []byte) (int, error) { return g.gz.Write(b) }
+func (g *gzipResponseWriter) Write(b []byte) (int, error) {
+	n, err := g.gz.Write(b)
+	g.in += int64(n)
+	return n, err
+}
+
+// countWriter counts the bytes gzip emits onto the real response writer.
+type countWriter struct {
+	w   http.ResponseWriter
+	out int64
+}
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.out += int64(n)
+	return n, err
+}
 
 // withGzip compresses the wrapped handler's response when the client
 // accepts gzip.
@@ -38,7 +58,9 @@ func withGzip(h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("Content-Encoding", "gzip")
 		w.Header().Add("Vary", "Accept-Encoding")
 		gz := gzPool.Get().(*gzip.Writer)
-		gz.Reset(w)
+		cw := &countWriter{w: w}
+		gz.Reset(cw)
+		grw := &gzipResponseWriter{ResponseWriter: w, gz: gz}
 		defer func() {
 			if p := recover(); p != nil {
 				// Do NOT close (i.e. flush) the gzip stream on a panic: an
@@ -53,7 +75,9 @@ func withGzip(h http.HandlerFunc) http.HandlerFunc {
 			}
 			_ = gz.Close() // flushes; the status line is long gone on error
 			gzPool.Put(gz)
+			telGzipUncompressed.Add(uint64(grw.in))
+			telGzipCompressed.Add(uint64(cw.out))
 		}()
-		h(&gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+		h(grw, r)
 	}
 }

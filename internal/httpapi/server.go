@@ -34,12 +34,16 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	apiv1 "repro/api/v1"
 	"repro/internal/lab"
 	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 // Server exposes a flow registry over HTTP.
@@ -54,6 +58,10 @@ type Server struct {
 
 	watchHeartbeat time.Duration // watch stream keep-alive interval (0: default)
 	legacyOnce     sync.Once     // logs the /api deprecation exactly once
+
+	pprof           bool          // expose net/http/pprof under /debug/pprof/
+	selfScrapeEvery time.Duration // WithSelfScrape interval (0: off)
+	selfScrape      *sched.Ticket // live self-scrape job, nil when off
 }
 
 // Option configures a Server.
@@ -84,6 +92,20 @@ func WithLab(e *lab.Engine) Option {
 	return func(s *Server) { s.lab = e }
 }
 
+// WithPprof exposes the net/http/pprof profiling handlers under
+// /debug/pprof/ on the server's own mux (flowerd -pprof).
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithSelfScrape starts the self-scrape mode: every interval, the plane's
+// own telemetry snapshot is ingested into the reserved SelfScrapeFlow's
+// metric store (flowerd -selfscrape). Failure to start is logged, not
+// fatal — the plane runs without self-scrape rather than not at all.
+func WithSelfScrape(interval time.Duration) Option {
+	return func(s *Server) { s.selfScrapeEvery = interval }
+}
+
 // NewServer wraps a registry.
 func NewServer(reg *registry.Registry, opts ...Option) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
@@ -98,6 +120,11 @@ func NewServer(reg *registry.Registry, opts ...Option) *Server {
 	}
 	s.routes()
 	s.h = s.withMiddleware(s.mux)
+	if s.selfScrapeEvery > 0 {
+		if err := s.StartSelfScrape(s.selfScrapeEvery); err != nil && s.logger != nil {
+			s.logger.Printf("self-scrape disabled: %v", err)
+		}
+	}
 	return s
 }
 
@@ -139,6 +166,21 @@ func (s *Server) routes() {
 
 	// The execution plane: live scheduler shape and counters.
 	s.mux.HandleFunc("GET /v1/scheduler", s.handleSchedulerStats)
+
+	// The self-telemetry plane: process-wide metrics (JSON or Prometheus
+	// text) and the sampled tick traces.
+	s.mux.HandleFunc("GET /v1/telemetry", withGzip(s.handleTelemetry))
+	s.mux.HandleFunc("GET /v1/telemetry/trace", s.handleTelemetryTrace)
+
+	// Profiling, opt-in via WithPprof. The index route must keep its
+	// trailing slash: /debug/pprof/heap etc. dispatch through it.
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	// v1 experiment collection (the Scenario Lab).
 	s.mux.HandleFunc("POST /v1/experiments", s.handleCreateExperiment)
@@ -235,10 +277,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // --- middleware ---
 
-// statusRecorder captures the response status for the request log.
+// statusRecorder captures the response status and the body bytes actually
+// written on the wire. It is the outermost writer, so for gzip-compressed
+// responses bytes counts the compressed payload — the true response size.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -250,7 +295,9 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	if r.status == 0 {
 		r.status = http.StatusOK
 	}
-	return r.ResponseWriter.Write(b)
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying writer so the watch streams can push
@@ -261,25 +308,39 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// withMiddleware wraps h in panic recovery and optional request logging.
-// Recovery is innermost so a panicking handler still yields a JSON 500 and
-// a log line instead of a dropped connection.
+// withMiddleware wraps h in panic recovery, telemetry and optional request
+// logging. Recovery is innermost so a panicking handler still yields a
+// JSON 500, a log line and an accounted metric instead of a dropped
+// connection. Telemetry reads r.Pattern after dispatch: the mux stamps the
+// matched route onto the request, giving bounded-cardinality route labels
+// without a second routing table.
 func (s *Server) withMiddleware(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
-		start := time.Now() //flowervet:allow wallclock(request latency logging measures real HTTP handling time)
+		reqID := requestID(r)
+		rec.Header().Set("X-Request-ID", reqID)
+		telHTTPInFlight.Inc()
+		start := telemetry.Now()
 		defer func() {
 			if p := recover(); p != nil {
 				if s.logger != nil {
-					s.logger.Printf("panic %s %s: %v", r.Method, r.URL.Path, p)
+					s.logger.Printf("panic %s %s [%s]: %v", r.Method, r.URL.Path, reqID, p)
 				}
 				if rec.status == 0 { // headers not out yet: we can still answer
 					writeError(rec, http.StatusInternalServerError, apiv1.CodeInternal, "internal error")
 				}
 			}
+			telHTTPInFlight.Dec()
+			elapsed := time.Duration(telemetry.SinceNanos(start))
+			route := routeLabel(r)
+			if rec.status == 0 { // handler wrote nothing: net/http sends 200
+				rec.status = http.StatusOK
+			}
+			telHTTPRequests.With(route, r.Method, strconv.Itoa(rec.status)).Inc()
+			telHTTPSeconds.With(route).Observe(elapsed)
+			telHTTPBytes.With(route).Add(uint64(rec.bytes))
 			if s.logger != nil {
-				//flowervet:allow wallclock(request latency logging measures real HTTP handling time)
-				s.logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+				s.logger.Printf("%s %s %d %dB %s [%s]", r.Method, r.URL.Path, rec.status, rec.bytes, elapsed.Round(time.Microsecond), reqID)
 			}
 		}()
 		h.ServeHTTP(rec, r)

@@ -1,0 +1,154 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/metricstore"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/timeseries"
+)
+
+// TestTelemetryScrapeUnderLoad scrapes /v1/telemetry and /v1/telemetry/trace
+// concurrently while 200 flows pace on the shared scheduler and a lab grid
+// settles — the configuration the race detector cares about: every
+// instrument is hit from pacer goroutines, lab trial workers, and scrape
+// readers at once. Run with -race; without it the test still asserts that
+// scrapes stay 200 and the pacing counters move.
+func TestTelemetryScrapeUnderLoad(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 200
+	for i := 0; i < flows; i++ {
+		id := fmt.Sprintf("load-%03d", i)
+		spec.Name = id
+		f, err := reg.Create(id, spec, sim.Options{Step: 10 * time.Second, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StartPacing(600, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewServer(reg)
+	t.Cleanup(s.Lab().Close)
+
+	// A small experiment grid runs alongside the pacers.
+	rec := do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "scrape-load", "spec": `+labSpecJSON("scrape-load", 5)+`}`, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create experiment: %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	paths := []string{
+		"/v1/telemetry",
+		"/v1/telemetry?format=prom",
+		"/v1/telemetry/trace",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			path := paths[w%len(paths)]
+			for i := 0; i < 40; i++ {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rr := httptest.NewRecorder()
+				s.ServeHTTP(rr, req)
+				if rr.Code != http.StatusOK {
+					t.Errorf("scrape %s: status %d", path, rr.Code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitExperiment(t, s, "scrape-load")
+
+	snap := telemetry.Default().Snapshot()
+	pacing := snap.Find("flower_registry_flows_pacing")
+	if pacing == nil || pacing.Metrics[0].Value != flows {
+		t.Fatalf("flows_pacing = %+v, want %d", pacing, flows)
+	}
+	if counterValue(t, "flower_sched_executed_total") == 0 {
+		t.Fatal("scheduler executed nothing under load")
+	}
+	if counterValue(t, "flower_lab_trials_total") == 0 {
+		t.Fatal("lab trials not visible in telemetry")
+	}
+}
+
+// TestShutdownFlushOrdering pins the graceful-shutdown contract flowerd
+// relies on: the HTTP listener is drained first, then StopSelfScrape takes
+// the final registry snapshot — so the last self-scrape point counts every
+// request the server ever served. If the final scrape ran before the drain,
+// the stored total could be smaller than the counter observed post-drain.
+func TestShutdownFlushOrdering(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = "clicks"
+	if _, err := reg.Create("clicks", spec, sim.Options{Step: 10 * time.Second, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewServer(reg)
+	if err := s.StartSelfScrape(time.Hour); err != nil { // interval far off: only the final scrape fires
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s)
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(ts.URL + "/v1/flows")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// Shutdown sequence under test: drain HTTP, then final flush.
+	ts.Close()
+	served := counterValue(t, "flower_http_requests_total")
+	s.StopSelfScrape()
+
+	f, ok := reg.Get(SelfScrapeFlow)
+	if !ok {
+		t.Fatalf("reserved flow %q missing", SelfScrapeFlow)
+	}
+	var stored float64
+	var series int
+	f.View(func(m *core.Manager) {
+		m.Store().Each(func(id metricstore.MetricID, v timeseries.View) {
+			if id.Namespace != metricstore.SelfScrapeNamespace || id.Name != "flower_http_requests_total" {
+				return
+			}
+			if p, ok := v.Last(); ok {
+				stored += p.V
+				series++
+			}
+		})
+	})
+	if series == 0 {
+		t.Fatal("final scrape wrote no flower_http_requests_total series")
+	}
+	if stored < served {
+		t.Fatalf("final flush stored %v requests, but %v were already served before drain — snapshot taken too early", stored, served)
+	}
+}

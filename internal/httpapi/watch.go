@@ -12,6 +12,7 @@ import (
 	"repro/internal/eventbus"
 	"repro/internal/lab"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 )
 
 // Watch transport: the server-push half of the v1 read plane. Flow and
@@ -328,13 +329,21 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sources []
 				return err
 			}
 		}
-		return writeEvent(apiv1.Event{
+		if err := writeEvent(apiv1.Event{
 			ID:    cursorID(),
 			Type:  ev.Type,
 			Topic: ev.Topic,
 			At:    ev.At,
 			Data:  data,
-		})
+		}); err != nil {
+			return err
+		}
+		// The event is flushed to the client: close any sampled tick trace
+		// waiting on this flow-bus sequence.
+		if ls.prefix == cursorFlows {
+			telemetry.Traces.MarkDelivered(ev.Seq)
+		}
+		return nil
 	}
 
 	// Open with a cursor-bearing hello so the client latches a resume
@@ -398,7 +407,15 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, sources []
 					return
 				}
 			} else {
-				if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				// The SSE heartbeat comment carries the source buses' lifetime
+				// publish/drop totals, so a consumer watching the raw stream
+				// can spot plane-wide event loss without polling /v1/telemetry.
+				var pub, drop uint64
+				for _, ls := range live {
+					pub += ls.bus.Published()
+					drop += ls.bus.TotalDropped()
+				}
+				if _, err := fmt.Fprintf(w, ": hb pub=%d drop=%d\n\n", pub, drop); err != nil {
 					return
 				}
 				flusher.Flush()

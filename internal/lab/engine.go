@@ -118,6 +118,7 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	e.exps[id] = x
+	telExperiments.Inc()
 	// Under e.mu, like Delete's event, so experiment.deleted can never
 	// precede experiment.created for the same id on the stream.
 	x.publishState(EventExperimentCreated)
@@ -408,6 +409,8 @@ func (x *Experiment) trialJob(ctx context.Context, i int, wg *sync.WaitGroup) sc
 		x.results[i] = sum
 		x.running--
 		x.mu.Unlock()
+		telTrialsRunning.Dec()
+		countTrialSettled(sum.Status)
 		x.publishTrial(EventTrialFinished, i, sum.Status, &sum)
 		wg.Done()
 		return true
@@ -424,6 +427,7 @@ func (x *Experiment) markRunning(i int, start time.Time) {
 		x.maxConc = x.running
 	}
 	x.mu.Unlock()
+	telTrialsRunning.Inc()
 	x.publishTrial(EventTrialStarted, i, TrialRunning, nil)
 }
 
@@ -432,6 +436,7 @@ func (x *Experiment) setStatus(i int, st TrialStatus, err error) {
 	x.mu.Lock()
 	if x.results[i].Status == TrialRunning {
 		x.running--
+		telTrialsRunning.Dec()
 		if !x.results[i].StartedAt.IsZero() {
 			//flowervet:allow wallclock(trial wall-clock cost reporting is the point of WallSeconds)
 			x.results[i].WallSeconds = time.Since(x.results[i].StartedAt).Seconds()
@@ -443,5 +448,6 @@ func (x *Experiment) setStatus(i int, st TrialStatus, err error) {
 	}
 	sum := x.results[i]
 	x.mu.Unlock()
+	countTrialSettled(st)
 	x.publishTrial(EventTrialFinished, i, st, &sum)
 }

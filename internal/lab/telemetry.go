@@ -1,0 +1,34 @@
+package lab
+
+import "repro/internal/telemetry"
+
+// Process-wide Scenario Lab telemetry. Trials count when they settle in a
+// terminal state, labeled with that state, so the families answer "how
+// much experiment work has the plane done and how did it end" without a
+// per-experiment cardinality explosion.
+var (
+	telExperiments = telemetry.Default().Counter("flower_lab_experiments_total",
+		"Experiments ever submitted.")
+	telTrialsRunning = telemetry.Default().Gauge("flower_lab_trials_running",
+		"Trials executing right now.")
+	telTrials = telemetry.Default().CounterVec("flower_lab_trials_total",
+		"Trials settled, by terminal status.", "status")
+
+	telTrialsDone      = telTrials.With(string(TrialDone))
+	telTrialsFailed    = telTrials.With(string(TrialFailed))
+	telTrialsCancelled = telTrials.With(string(TrialCancelled))
+)
+
+// countTrialSettled records one trial reaching a terminal state.
+func countTrialSettled(st TrialStatus) {
+	switch st {
+	case TrialDone:
+		telTrialsDone.Inc()
+	case TrialFailed:
+		telTrialsFailed.Inc()
+	case TrialCancelled:
+		telTrialsCancelled.Inc()
+	default:
+		telTrials.With(string(st)).Inc()
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/timeseries"
 )
 
@@ -209,24 +210,42 @@ func (s *Store) entryFor(ns, name string, dims map[string]string) (*entry, error
 	}
 	e := &entry{id: id, ts: timeseries.New(1024)}
 	s.series[key] = e
+	telEntries.Inc()
 	return e, nil
 }
 
 // append records one observation under the entry's lock: ordered append,
-// amortised retention pruning, and the journal hook.
+// amortised retention pruning, and the journal hook. The telemetry at the
+// bottom is hot-path safe: an atomic counter add, and trace timing only
+// when a sampled tick trace is live (one atomic pointer load otherwise).
 func (s *Store) append(e *entry, t time.Time, v float64) error {
+	var traceStart time.Time
+	tr := telemetry.Traces.Active()
+	if tr != nil {
+		traceStart = telemetry.Now()
+	}
 	e.mu.Lock()
 	if err := e.ts.Append(t, v); err != nil {
 		e.mu.Unlock()
 		return fmt.Errorf("metricstore: put %s: %w", e.id, err)
 	}
 	if ret := s.retention.Load(); ret > 0 {
-		e.ts.DropBefore(t.Add(-time.Duration(ret)))
+		copiedBefore := e.ts.Copied()
+		if dropped := e.ts.DropBefore(t.Add(-time.Duration(ret))); dropped > 0 {
+			telRetentionDropped.Add(uint64(dropped))
+			if d := e.ts.Copied() - copiedBefore; d > 0 {
+				telCompactionCopied.Add(uint64(d))
+			}
+		}
 	}
 	if fn := s.onPut.Load(); fn != nil {
 		(*fn)(e.id, t, v)
 	}
 	e.mu.Unlock()
+	telAppends.Inc()
+	if tr != nil {
+		tr.AddAppend(telemetry.SinceNanos(traceStart))
+	}
 	return nil
 }
 

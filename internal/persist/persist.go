@@ -31,7 +31,23 @@ import (
 	"time"
 
 	"repro/internal/metricstore"
+	"repro/internal/telemetry"
 	"repro/internal/timeseries"
+)
+
+// Process-wide durability telemetry: journal write volume, flush latency,
+// and snapshot count — the signals that tell an operator what persistence
+// costs the plane. Timing goes through the telemetry package's wall-clock
+// helpers (this package is otherwise tick-driven and wall-clock-free).
+var (
+	telJournalRecords = telemetry.Default().Counter("flower_persist_journal_records_total",
+		"Datapoints journaled.")
+	telJournalBytes = telemetry.Default().Counter("flower_persist_journal_bytes_total",
+		"Bytes appended to journals (before OS buffering).")
+	telFlushSeconds = telemetry.Default().Histogram("flower_persist_flush_seconds",
+		"Journal flush latency.", nil)
+	telSnapshots = telemetry.Default().Counter("flower_persist_snapshots_total",
+		"Store snapshots written.")
 )
 
 // journalVersion tags journal records for forward compatibility.
@@ -103,6 +119,8 @@ func (j *Journal) Record(id metricstore.MetricID, t time.Time, v float64) error 
 		return j.err
 	}
 	j.n++
+	telJournalRecords.Inc()
+	telJournalBytes.Add(uint64(len(data)))
 	return nil
 }
 
@@ -127,10 +145,12 @@ func (j *Journal) Flush() error {
 	if j.err != nil {
 		return j.err
 	}
+	start := telemetry.Now()
 	if err := j.w.Flush(); err != nil {
 		j.err = err
 		return err
 	}
+	telFlushSeconds.Observe(time.Duration(telemetry.SinceNanos(start)))
 	return nil
 }
 
@@ -264,6 +284,7 @@ func Snapshot(store *metricstore.Store, now time.Time, w io.Writer) error {
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("persist: snapshot encode: %w", err)
 	}
+	telSnapshots.Inc()
 	return nil
 }
 

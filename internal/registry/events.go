@@ -96,14 +96,16 @@ func newDecisions(m *core.Manager, marks decisionMark) map[flow.LayerKind][]cont
 }
 
 // publishAdvance emits the flow.advanced event plus one flow.decision per
-// control action the advance produced. Advance calls it under f.mu so
-// concurrent advances publish in simulation order; that is safe because
-// Publish never blocks on subscribers.
-func (f *Flow) publishAdvance(d time.Duration, res sim.Result, simTime time.Time, decided map[flow.LayerKind][]control.Decision) {
+// control action the advance produced, returning the flow.advanced event's
+// bus sequence (0 when the flow has no bus) so the tick tracer can match
+// the event's SSE delivery. Advance calls it under f.mu so concurrent
+// advances publish in simulation order; that is safe because Publish never
+// blocks on subscribers.
+func (f *Flow) publishAdvance(d time.Duration, res sim.Result, simTime time.Time, decided map[flow.LayerKind][]control.Decision) uint64 {
 	if f.bus == nil {
-		return
+		return 0
 	}
-	f.bus.Publish(EventFlowAdvanced, f.id, FlowAdvanced{
+	seq := f.bus.Publish(EventFlowAdvanced, f.id, FlowAdvanced{
 		ID:            f.id,
 		Advanced:      d.String(),
 		SimTime:       simTime,
@@ -126,4 +128,5 @@ func (f *Flow) publishAdvance(d time.Duration, res sim.Result, simTime time.Time
 			})
 		}
 	}
+	return seq
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by registry operations; the HTTP layer maps them onto
@@ -117,16 +118,31 @@ func (f *Flow) View(fn func(m *core.Manager)) {
 // runs (an advance in flight when Delete lands finishes harmlessly), but
 // nothing is published: flow.deleted is final on the stream.
 func (f *Flow) Advance(d time.Duration) (sim.Result, error) {
+	return f.advance(d, telemetry.Traces.Begin(f.id))
+}
+
+// advance is Advance plus tick-trace stamping: tr, when non-nil, is the
+// sampled trace the pacer began for this advance, and the stage marks
+// (flow lock acquired, controller step done, event published) land here.
+// All trace calls are nil-safe, so the untraced path pays nothing.
+func (f *Flow) advance(d time.Duration, tr *telemetry.Trace) (sim.Result, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	tr.Mark(telemetry.StageSchedFire)
 	marks := markDecisions(f.mgr)
 	res, err := f.mgr.Run(d)
+	tr.Mark(telemetry.StageController)
 	if err != nil {
+		telemetry.Traces.Abandon(tr)
 		return res, err
 	}
-	if !f.deleting {
-		f.publishAdvance(d, res, f.mgr.Harness().Clock.Now(), newDecisions(f.mgr, marks))
+	if f.deleting {
+		telemetry.Traces.Abandon(tr)
+		return res, nil
 	}
+	seq := f.publishAdvance(d, res, f.mgr.Harness().Clock.Now(), newDecisions(f.mgr, marks))
+	telemetry.Traces.Publish(tr, seq)
+	telAdvances.Inc()
 	return res, nil
 }
 
@@ -177,10 +193,13 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 		// The scheduler advances in whole simulation steps, so carry
 		// sub-step remainders forward instead of losing them. n > 1 means
 		// the scheduler is catching this flow up after falling behind.
+		telPaceTicks.Add(uint64(n))
 		debt += time.Duration(n) * perWallTick
 		if due := debt / simStep * simStep; due > 0 {
 			debt -= due
-			if _, err := f.Advance(due); err != nil {
+			// Begin the (sampled) tick trace before taking the flow lock so
+			// the sched_fire stage measures fire-to-lock latency.
+			if _, err := f.advance(due, telemetry.Traces.Begin(f.id)); err != nil {
 				return err
 			}
 		}
@@ -200,6 +219,7 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 		f.ticket = nil
 		f.pace, f.wallTick = 0, 0
 		f.pacerErr = err
+		telFlowsPacing.Dec()
 		if f.bus != nil {
 			f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false, Error: err.Error()})
 		}
@@ -214,6 +234,7 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 	f.ticket = t
 	f.pace, f.wallTick = pace, wallTick
 	f.pacerErr = nil
+	telFlowsPacing.Inc()
 	if f.bus != nil {
 		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: true, Pace: pace})
 	}
@@ -244,6 +265,7 @@ func (f *Flow) stopPacerLocked() {
 	f.pace, f.wallTick = 0, 0
 	if t != nil {
 		t.Stop()
+		telFlowsPacing.Dec()
 	}
 }
 
@@ -322,6 +344,8 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
 	r.flows[id] = f
+	telFlows.Inc()
+	telFlowsCreated.Inc()
 	// Published under r.mu, like Delete's event: watch consumers must
 	// never see flow.deleted precede flow.created for the same id.
 	r.bus.Publish(EventFlowCreated, id, FlowLifecycle{ID: id, Name: spec.Name})
@@ -385,6 +409,8 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(r.flows, id)
+	telFlows.Dec()
+	telFlowsDeleted.Inc()
 	// Under r.mu, so the lifecycle order matches the map's: created before
 	// deleted, always.
 	r.bus.Publish(EventFlowDeleted, id, FlowLifecycle{ID: id})

@@ -1,0 +1,22 @@
+package registry
+
+import "repro/internal/telemetry"
+
+// Process-wide registry telemetry. The pacing gauge transitions exactly
+// where the pacer state machine does — StartPacing's install, every
+// stopPacerLocked retirement, and the onStop self-death path — so it can
+// never drift from Pacing()'s truth.
+var (
+	telFlows = telemetry.Default().Gauge("flower_registry_flows",
+		"Flows currently registered.")
+	telFlowsPacing = telemetry.Default().Gauge("flower_registry_flows_pacing",
+		"Flows with a live pacer.")
+	telFlowsCreated = telemetry.Default().Counter("flower_registry_flows_created_total",
+		"Flows ever created.")
+	telFlowsDeleted = telemetry.Default().Counter("flower_registry_flows_deleted_total",
+		"Flows ever deleted.")
+	telAdvances = telemetry.Default().Counter("flower_registry_advances_total",
+		"Flow advances completed (manual and pacer-driven).")
+	telPaceTicks = telemetry.Default().Counter("flower_registry_pace_ticks_total",
+		"Pacer intervals delivered by the scheduler (including catch-up intervals).")
+)

@@ -170,6 +170,7 @@ func New(cfg Config) *Scheduler {
 			go sh.workerLoop()
 		}
 	}
+	registerScheduler(s)
 	return s
 }
 
@@ -312,6 +313,7 @@ func (s *Scheduler) Close() {
 				}
 			}
 		}
+		unregisterScheduler(s)
 	})
 }
 

@@ -318,6 +318,10 @@ func (sh *shard) runJob(j *job) (requeue bool) {
 			}
 			sh.skippedTicks += uint64(skipped)
 			sh.mu.Unlock()
+			if owed > 1 {
+				telLateRuns.Inc()
+			}
+			telSkippedTicks.Add(uint64(skipped))
 		}
 	} else {
 		j.mu.Unlock()
@@ -363,7 +367,8 @@ func (sh *shard) runJob(j *job) (requeue bool) {
 	return true
 }
 
-// observe records one execution into the shard's latency stats.
+// observe records one execution into the shard's latency stats and the
+// process-wide telemetry (atomic adds, outside the shard lock).
 func (sh *shard) observe(c Class, d time.Duration) {
 	sh.mu.Lock()
 	sh.executed[c]++
@@ -373,4 +378,6 @@ func (sh *shard) observe(c Class, d time.Duration) {
 	}
 	sh.latCounts[latencyBucket(d)]++
 	sh.mu.Unlock()
+	telExecutedByClass[c].Inc()
+	telRunSecondsByClass[c].Observe(d)
 }

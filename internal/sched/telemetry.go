@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Process-wide scheduler telemetry. Counters are incremented on the hot
+// path (single atomic adds next to the per-shard stats they mirror);
+// occupancy gauges are evaluated lazily at snapshot time over the set of
+// live schedulers, so they can never drift from the authoritative per-shard
+// state and closed schedulers drop out automatically.
+var (
+	telExecuted = telemetry.Default().CounterVec("flower_sched_executed_total",
+		"Job executions completed, by class.", "class")
+	telExecutedByClass [numClasses]*telemetry.Counter
+
+	telLateRuns = telemetry.Default().Counter("flower_sched_late_runs_total",
+		"Periodic executions that started at least one full interval behind schedule.")
+	telSkippedTicks = telemetry.Default().Counter("flower_sched_skipped_ticks_total",
+		"Intervals dropped by the bounded catch-up policy.")
+
+	telRunSeconds = telemetry.Default().HistogramVec("flower_sched_run_seconds",
+		"Run latency of executed jobs, by class.", latencyBounds[:], "class")
+	telRunSecondsByClass [numClasses]*telemetry.Histogram
+)
+
+func init() {
+	for c := Class(0); c < numClasses; c++ {
+		telExecutedByClass[c] = telExecuted.With(c.String())
+		telRunSecondsByClass[c] = telRunSeconds.With(c.String())
+	}
+	telemetry.Default().GaugeFunc("flower_sched_timers",
+		"Armed periodic jobs across all live schedulers.",
+		func() int64 { return sumShards(func(sh *shard) int { return sh.timers }) })
+	telemetry.Default().GaugeFunc("flower_sched_queue_depth",
+		"Queued runnable jobs across all live schedulers.",
+		func() int64 {
+			return sumShards(func(sh *shard) int {
+				return sh.queues[ClassFlow].len() + sh.queues[ClassBatch].len()
+			})
+		})
+}
+
+// liveSchedulers is the set the occupancy gauges range over; New adds,
+// Close removes.
+var (
+	liveMu         sync.Mutex
+	liveSchedulers = map[*Scheduler]struct{}{}
+)
+
+func registerScheduler(s *Scheduler) {
+	liveMu.Lock()
+	liveSchedulers[s] = struct{}{}
+	liveMu.Unlock()
+}
+
+func unregisterScheduler(s *Scheduler) {
+	liveMu.Lock()
+	delete(liveSchedulers, s)
+	liveMu.Unlock()
+}
+
+// sumShards folds fn over every shard of every live scheduler, taking each
+// shard's lock in turn. Snapshot-time only.
+func sumShards(fn func(sh *shard) int) int64 {
+	liveMu.Lock()
+	scs := make([]*Scheduler, 0, len(liveSchedulers))
+	for s := range liveSchedulers {
+		scs = append(scs, s)
+	}
+	liveMu.Unlock()
+	var total int64
+	for _, s := range scs {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			total += int64(fn(sh))
+			sh.mu.Unlock()
+		}
+	}
+	return total
+}

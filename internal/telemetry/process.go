@@ -1,0 +1,15 @@
+package telemetry
+
+import "runtime"
+
+// processStart anchors the uptime gauge.
+var processStart = Now()
+
+func init() {
+	Default().GaugeFunc("flower_process_goroutines",
+		"Goroutines in the process.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	Default().GaugeFunc("flower_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() int64 { return SinceNanos(processStart) / 1e9 })
+}

@@ -213,6 +213,10 @@ func (s *Series) DropBefore(t time.Time) int {
 	return dropped
 }
 
+// Copied returns the lifetime count of points moved by compaction — the
+// observable cost of the amortised-truncation scheme.
+func (s *Series) Copied() int64 { return s.copied }
+
 // Agg identifies an aggregation function for Resample and period statistics.
 type Agg int
 
