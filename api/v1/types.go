@@ -20,6 +20,11 @@ const (
 	CodeNotFound        ErrorCode = "not_found"
 	CodeConflict        ErrorCode = "conflict"
 	CodeInternal        ErrorCode = "internal"
+	// CodeUnavailable (HTTP 503) reports a control plane degraded to
+	// read-only: the write-ahead log can no longer make mutations
+	// durable, so mutations are refused while reads and watch streams
+	// keep serving. See API.md, "Durability & recovery".
+	CodeUnavailable ErrorCode = "unavailable"
 )
 
 // Error is the uniform failure payload of every v1 endpoint.

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -53,10 +54,12 @@ const defaultUserAgent = "flower-client/1 (repro/client)"
 
 // Client talks to one Flower control plane.
 type Client struct {
-	base      string
-	hc        *http.Client
-	timeout   time.Duration // per-request deadline for non-streaming calls; <= 0: none
-	userAgent string
+	base       string
+	hc         *http.Client
+	timeout    time.Duration // per-request deadline for non-streaming calls; <= 0: none
+	userAgent  string
+	maxRetries int           // extra attempts for idempotent requests; 0: fail on first error
+	retryBase  time.Duration // first backoff ceiling (doubles per retry, capped)
 }
 
 // Option configures a Client.
@@ -81,6 +84,32 @@ func WithTimeout(d time.Duration) Option {
 func WithUserAgent(ua string) Option {
 	return func(c *Client) { c.userAgent = ua }
 }
+
+// WithRetry enables bounded retries for idempotent requests: a GET that
+// fails with a connection error or a 5xx response is retried up to
+// maxRetries extra times, with exponential backoff and full jitter
+// between attempts (ceiling retryBaseDelay, doubling per retry, capped
+// at retryMaxDelay). Non-GET requests are never retried — the SDK
+// cannot know whether a POST took effect before the connection died —
+// and 4xx responses fail immediately on any method: the server answered
+// and the answer is no. Watch streams reconnect on their own and are
+// unaffected. The caller's context (and WithTimeout's deadline) still
+// bound the whole call, backoff included.
+func WithRetry(maxRetries int) Option {
+	return func(c *Client) {
+		if maxRetries < 0 {
+			maxRetries = 0
+		}
+		c.maxRetries = maxRetries
+	}
+}
+
+// retryBaseDelay is the first retry's backoff ceiling; retryMaxDelay
+// caps the exponential growth.
+const (
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
 
 // New returns a client for the control plane at baseURL
 // (e.g. "http://127.0.0.1:8080").
@@ -122,46 +151,99 @@ func IsConflict(err error) bool {
 }
 
 // do issues one request; a non-2xx status is decoded into *APIError, a 2xx
-// body into out (when non-nil).
+// body into out (when non-nil). With WithRetry set, GETs that die on a
+// connection error or come back 5xx are reissued with jittered backoff;
+// everything else fails on the first answer.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 	}
-	var body io.Reader
+	var payload []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		payload, err = json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("flower api: encode request: %w", err)
 		}
-		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.maxRetries
 	}
-	req.Header.Set("User-Agent", c.userAgent)
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		data, _ := io.ReadAll(resp.Body)
-		return decodeError(resp, data)
-	}
-	if out == nil {
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleepBackoff(ctx, attempt); err != nil {
+				return lastErr
+			}
+		}
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("User-Agent", c.userAgent)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err // the caller gave up; retrying would only delay the news
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			apiErr := decodeError(resp, data)
+			if resp.StatusCode >= 500 {
+				lastErr = apiErr
+				continue
+			}
+			return apiErr
+		}
+		if out == nil {
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("flower api: decode %s %s: %w", method, path, err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("flower api: decode %s %s: %w", method, path, err)
+	return lastErr
+}
+
+// sleepBackoff waits out one retry's backoff: full jitter over an
+// exponentially growing ceiling (retryBaseDelay doubling per attempt,
+// capped at retryMaxDelay), interruptible by ctx.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	base := c.retryBase
+	if base <= 0 {
+		base = retryBaseDelay
 	}
-	return nil
+	ceil := retryMaxDelay
+	if shifted := base << (attempt - 1); attempt-1 < 16 && shifted < retryMaxDelay {
+		ceil = shifted
+	}
+	d := time.Duration(rand.Int64N(int64(ceil))) + 1
+	t := time.NewTimer(d) //flowervet:allow wallclock(retry backoff paces real network attempts)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // decodeError turns a non-2xx response into an *APIError, decoding the

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingServer returns a test server whose handler delegates to fn and a
+// counter of requests seen.
+func countingServer(t *testing.T, fn http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		fn(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &n
+}
+
+// fastRetry returns a client with retries enabled and the backoff ceiling
+// collapsed so tests don't sleep for real.
+func fastRetry(url string, maxRetries int) *Client {
+	c := New(url, WithRetry(maxRetries))
+	c.retryBase = time.Microsecond
+	return c
+}
+
+func TestRetryGETRecoversFrom5xx(t *testing.T) {
+	var seen atomic.Int64
+	ts, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) < 3 {
+			http.Error(w, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"flows":[],"count":0}`))
+	})
+	c := fastRetry(ts.URL, 3)
+	if _, err := c.ListFlows(context.Background()); err != nil {
+		t.Fatalf("ListFlows after two 500s: %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("request count = %d, want 3 (two failures + one success)", got)
+	}
+}
+
+func TestRetryGETExhaustsBudget(t *testing.T) {
+	ts, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+	})
+	c := fastRetry(ts.URL, 2)
+	_, err := c.ListFlows(context.Background())
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("want the final 500 APIError, got %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("request count = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestRetryDoesNotRetryPOST(t *testing.T) {
+	ts, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+	})
+	c := fastRetry(ts.URL, 3)
+	if err := c.do(context.Background(), http.MethodPost, "/v1/flows", map[string]string{}, nil); err == nil {
+		t.Fatal("want error from POST 500")
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("request count = %d, want 1 (mutations are never retried)", got)
+	}
+}
+
+func TestRetryDoesNotRetry4xx(t *testing.T) {
+	ts, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"not_found","message":"no flow"}}`, http.StatusNotFound)
+	})
+	c := fastRetry(ts.URL, 3)
+	_, err := c.GetFlow(context.Background(), "ghost")
+	if !IsNotFound(err) {
+		t.Fatalf("want not_found, got %v", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("request count = %d, want 1 (the server answered; 4xx is final)", got)
+	}
+}
+
+func TestRetryGETRecoversFromConnectionError(t *testing.T) {
+	var calls atomic.Int64
+	ts, _ := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"flows":[],"count":0}`))
+	})
+	real := http.DefaultTransport
+	c := fastRetry(ts.URL, 2)
+	c.hc = &http.Client{Transport: roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("connection reset by peer")
+		}
+		return real.RoundTrip(r)
+	})}
+	if _, err := c.ListFlows(context.Background()); err != nil {
+		t.Fatalf("ListFlows after transport error: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("attempt count = %d, want 2", got)
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	ts, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+	})
+	c := New(ts.URL)
+	if _, err := c.ListFlows(context.Background()); err == nil {
+		t.Fatal("want error")
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("request count = %d, want 1 without WithRetry", got)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

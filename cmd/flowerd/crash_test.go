@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/persist"
+)
+
+// TestCrashRecovery is the durability plane's integration test: a real
+// flowerd process with -data-dir is SIGKILLed mid-experiment — no
+// graceful shutdown, no flushing, plus a hand-torn WAL tail — and a
+// second incarnation over the same directory must recover every flow,
+// re-arm the pacers, and mark the in-flight experiment interrupted.
+//
+// On failure the data directory is copied to crashtest-artifacts/ (or
+// $CRASHTEST_ARTIFACT_DIR) so CI can upload the WAL that failed to
+// recover.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildFlowerd(t)
+	dataDir := t.TempDir()
+	defer preserveOnFailure(t, dataDir)
+
+	// --- first incarnation: create state, then die hard ---
+	addr := freeAddr(t)
+	first := startFlowerd(t, bin, addr, dataDir)
+	waitReady(t, addr)
+
+	mustPost(t, addr, "/v1/flows", `{"id":"crashflow","peak":1200,"pace":60,"step":"10s"}`)
+	mustPost(t, addr, "/v1/flows/crashflow/layers/ingestion/controller", `{"ref":82.5}`)
+	// A grid big enough that it is still running when the SIGKILL lands:
+	// each trial simulates 12h of flow.
+	mustPost(t, addr, "/v1/experiments",
+		`{"id":"doomed","spec":{"name":"doomed","peak":2000,"duration":"12h","step":"10s",
+		  "workloads":[{"name":"w","workload":{"pattern":"constant","base":900}}],
+		  "seeds":[1,2,3,4]}}`)
+
+	before := flowIDs(t, addr)
+	if err := first.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatalf("kill: %v", err)
+	}
+	first.Wait()
+
+	// A crash can also tear the final WAL record mid-append; recovery
+	// must shrug it off.
+	wal := filepath.Join(dataDir, persist.WALFileName)
+	fh, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if _, err := fh.WriteString(`w1 0000beef {"v":1,"seq":9999,"op":"flow.cre`); err != nil {
+		t.Fatalf("tear wal: %v", err)
+	}
+	fh.Close()
+
+	// --- second incarnation: recover ---
+	addr2 := freeAddr(t)
+	second := startFlowerd(t, bin, addr2, dataDir)
+	defer func() {
+		second.Process.Signal(syscall.SIGTERM)
+		second.Wait()
+	}()
+	waitReady(t, addr2)
+
+	after := flowIDs(t, addr2)
+	if strings.Join(after, ",") != strings.Join(before, ",") {
+		t.Fatalf("flows after recovery = %v, want %v", after, before)
+	}
+
+	// The recovered flow is paced and simulated time is actually moving.
+	var st1, st2 apiv1.Status
+	mustGet(t, addr2, "/v1/flows/crashflow/status", &st1)
+	time.Sleep(1200 * time.Millisecond)
+	mustGet(t, addr2, "/v1/flows/crashflow/status", &st2)
+	if st2.Ticks <= st1.Ticks {
+		t.Fatalf("recovered pacer not advancing: ticks %d -> %d", st1.Ticks, st2.Ticks)
+	}
+	var fd apiv1.FlowList
+	mustGet(t, addr2, "/v1/flows", &fd)
+	for _, f := range fd.Flows {
+		if f.ID == "crashflow" && (!f.Paced || f.Pace != 60) {
+			t.Fatalf("crashflow pacer = (paced %v, pace %v), want (true, 60)", f.Paced, f.Pace)
+		}
+	}
+
+	// The controller tuning survived.
+	var layers []apiv1.Layer
+	mustGet(t, addr2, "/v1/flows/crashflow/layers", &layers)
+	tuned := false
+	for _, l := range layers {
+		if string(l.Kind) == "ingestion" {
+			if l.Controller == nil || l.Controller.Ref != 82.5 {
+				t.Fatalf("recovered ingestion controller = %+v, want ref 82.5", l.Controller)
+			}
+			tuned = true
+		}
+	}
+	if !tuned {
+		t.Fatal("no ingestion layer in recovered flow")
+	}
+
+	// The in-flight experiment recovered as interrupted, terminal, with
+	// its grid intact.
+	var xs apiv1.ExperimentSummary
+	mustGet(t, addr2, "/v1/experiments/doomed", &xs)
+	if string(xs.Status) != "interrupted" {
+		t.Fatalf("experiment status = %q, want interrupted", xs.Status)
+	}
+	if xs.Trials != 4 {
+		t.Fatalf("experiment trials = %d, want 4", xs.Trials)
+	}
+
+	// Telemetry: the WAL metrics exist and the torn tail was counted.
+	tel := mustGetBody(t, addr2, "/v1/telemetry")
+	for _, metric := range []string{
+		"flower_persist_wal_records_total",
+		"flower_persist_wal_replayed_records_total",
+		"flower_persist_wal_checkpoints_total",
+	} {
+		if !strings.Contains(tel, metric) {
+			t.Fatalf("telemetry missing %s", metric)
+		}
+	}
+	if !tornTailCounted(tel) {
+		t.Fatalf("flower_persist_wal_torn_tails_total not >= 1 in telemetry:\n%s", grepLines(tel, "torn_tails"))
+	}
+}
+
+// --- harness helpers ---
+
+func buildFlowerd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "flowerd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func startFlowerd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-http", addr, "-data-dir", dataDir, "-pace", "60", "-flows", "1")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start flowerd: %v", err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("flowerd %s output:\n%s", addr, out.String())
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitReady(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/flows")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("flowerd on %s never became ready", addr)
+}
+
+func mustPost(t *testing.T, addr, path, body string) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, data)
+	}
+}
+
+func mustGet(t *testing.T, addr, path string, out any) {
+	t.Helper()
+	body := mustGetBody(t, addr, path)
+	if err := json.Unmarshal([]byte(body), out); err != nil {
+		t.Fatalf("GET %s: decode: %v (body %q)", path, err, body)
+	}
+}
+
+func mustGetBody(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d, %v", path, resp.StatusCode, err)
+	}
+	return string(data)
+}
+
+func flowIDs(t *testing.T, addr string) []string {
+	t.Helper()
+	var list apiv1.FlowList
+	mustGet(t, addr, "/v1/flows", &list)
+	ids := make([]string, 0, len(list.Flows))
+	for _, f := range list.Flows {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// tornTailCounted scans the exposition text for
+// flower_persist_wal_torn_tails_total with a value >= 1.
+func tornTailCounted(tel string) bool {
+	for _, line := range strings.Split(tel, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.Contains(line, "flower_persist_wal_torn_tails_total") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[len(fields)-1] != "0" {
+			return true
+		}
+	}
+	return false
+}
+
+func grepLines(text, substr string) string {
+	var hits []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			hits = append(hits, line)
+		}
+	}
+	return strings.Join(hits, "\n")
+}
+
+// preserveOnFailure copies the data dir where CI can upload it.
+func preserveOnFailure(t *testing.T, dataDir string) {
+	if !t.Failed() {
+		return
+	}
+	dest := os.Getenv("CRASHTEST_ARTIFACT_DIR")
+	if dest == "" {
+		dest = filepath.Join("..", "..", "crashtest-artifacts")
+	}
+	dest = filepath.Join(dest, fmt.Sprintf("%s-%d", t.Name(), os.Getpid()))
+	if err := os.MkdirAll(dest, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		t.Logf("artifact read: %v", err)
+		return
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dataDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		os.WriteFile(filepath.Join(dest, e.Name()), data, 0o644)
+	}
+	t.Logf("preserved data dir in %s", dest)
+}

@@ -35,8 +35,21 @@
 // continuously at that many simulated seconds per wall second; with
 // -pace 0, time only moves through POST /v1/flows/{id}/advance.
 //
+// With -data-dir, the control plane is durable: every mutation (flow
+// create/pace/tune/delete, experiment submit/cancel/finish) is appended
+// to a write-ahead log under the directory before it is acknowledged, and
+// periodically compacted into a checkpoint. On boot flowerd replays
+// checkpoint + WAL: flows come back with their tuned controllers, pacers
+// re-arm on the scheduler, and experiments that were running when the
+// process died are marked "interrupted" (-resume-experiments resubmits
+// them instead). If the WAL ever fails to write, the plane degrades to
+// read-only: mutations return 503 with code "unavailable" while reads and
+// watch streams keep serving. See API.md, "Durability & recovery".
+//
 // Without -http, flowerd performs a single-flow batch run and prints the
-// summary and dashboard.
+// summary and dashboard. flowerd exits non-zero when a durability
+// boundary fails at shutdown — a journal or WAL that cannot be flushed is
+// an error, not a log line.
 package main
 
 import (
@@ -83,6 +96,8 @@ func main() {
 	journalPath := flag.String("journal", "", "append the default flow's metric datapoints to this journal file (replayable with flowmon -replay)")
 	pprofOn := flag.Bool("pprof", false, "with -http: expose net/http/pprof under /debug/pprof/ on the same listener")
 	selfScrape := flag.Duration("selfscrape", 0, "with -http: ingest flowerd's own telemetry into the reserved "+httpapi.SelfScrapeFlow+" flow every interval (0 = off)")
+	dataDir := flag.String("data-dir", "", "with -http: durable control-plane directory (write-ahead log + checkpoint); flows, pacers and experiments survive restarts")
+	resumeExperiments := flag.Bool("resume-experiments", false, "with -data-dir: resubmit experiments interrupted by a crash instead of leaving them marked \"interrupted\"")
 	flag.Parse()
 
 	loadSpec := func(path string) flower.Spec {
@@ -101,13 +116,13 @@ func main() {
 		if *labWorkers != 0 {
 			log.Printf("-lab-workers is deprecated and ignored: experiments run on the shared execution plane (size it with -sched-shards/-sched-workers)")
 		}
-		serveHTTP(*httpAddr, serveConfig{
+		os.Exit(serveHTTP(*httpAddr, serveConfig{
 			specPaths: specPaths, loadSpec: loadSpec,
 			peak: *peak, step: *step, seed: *seed, pace: *pace,
 			replicas: *replicas, schedShards: *schedShards, schedWorkers: *schedWorkers,
 			journalPath: *journalPath, pprof: *pprofOn, selfScrape: *selfScrape,
-		})
-		return
+			dataDir: *dataDir, resumeExperiments: *resumeExperiments,
+		}))
 	}
 
 	// Batch mode: one flow, run to completion.
@@ -130,19 +145,14 @@ func main() {
 		log.Fatalf("manager: %v", err)
 	}
 
+	var journal *persist.Journal
 	if *journalPath != "" {
 		j, err := persist.OpenFileJournal(*journalPath)
 		if err != nil {
 			log.Fatalf("journal: %v", err)
 		}
 		j.Attach(mgr.Store())
-		defer func() {
-			if err := j.Close(); err != nil {
-				log.Printf("journal close: %v", err)
-			} else {
-				fmt.Printf("\n%d datapoints journaled to %s\n", j.Records(), *journalPath)
-			}
-		}()
+		journal = j
 	}
 
 	fmt.Printf("flower: managing flow %q for %v (step %v, seed %d)\n", spec.Name, *duration, *step, *seed)
@@ -184,30 +194,87 @@ func main() {
 		}
 		fmt.Printf("\nmetric history written to %s\n", *csvPath)
 	}
+
+	// A journal that cannot be flushed means datapoints were lost: that is
+	// a failed run, not a footnote.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Fatalf("journal close: %v", err)
+		}
+		fmt.Printf("\n%d datapoints journaled to %s\n", journal.Records(), *journalPath)
+	}
 }
 
 type serveConfig struct {
-	specPaths    []string
-	loadSpec     func(string) flower.Spec
-	peak         float64
-	step         time.Duration
-	seed         int64
-	pace         float64
-	replicas     int
-	schedShards  int
-	schedWorkers int
-	journalPath  string
-	pprof        bool
-	selfScrape   time.Duration
+	specPaths         []string
+	loadSpec          func(string) flower.Spec
+	peak              float64
+	step              time.Duration
+	seed              int64
+	pace              float64
+	replicas          int
+	schedShards       int
+	schedWorkers      int
+	journalPath       string
+	pprof             bool
+	selfScrape        time.Duration
+	dataDir           string
+	resumeExperiments bool
 }
 
+// walCompactEvery is how often the serve loop checks whether the control
+// WAL has grown enough to fold into a fresh checkpoint.
+const walCompactEvery = 15 * time.Second
+
 // serveHTTP registers the initial flows and serves the v1 control plane
-// until interrupted. One scheduler — the unified execution plane — paces
-// every flow and runs every experiment trial: -sched-shards and
-// -sched-workers are the whole server's capacity knob.
-func serveHTTP(addr string, cfg serveConfig) {
+// until interrupted, returning the process exit code. One scheduler — the
+// unified execution plane — paces every flow and runs every experiment
+// trial: -sched-shards and -sched-workers are the whole server's capacity
+// knob. With cfg.dataDir, state is recovered from the control WAL before
+// any initial flow is created, and every subsequent mutation is logged.
+func serveHTTP(addr string, cfg serveConfig) int {
 	plane := sched.New(sched.Config{Shards: cfg.schedShards, Workers: cfg.schedWorkers})
 	reg := registry.New(registry.WithScheduler(plane))
+	engine := lab.NewEngineOn(plane)
+
+	// Recovery runs before the WAL hooks attach and before any -spec
+	// flow is registered: replayed mutations must not be re-logged, and a
+	// recovered flow wins over the initial spec of the same id.
+	var clog *persist.ControlLog
+	checkpoint := func() *persist.ControlCheckpoint { return persist.CaptureControlState(reg, engine) }
+	if cfg.dataDir != "" {
+		var state *persist.RecoveredState
+		var err error
+		clog, state, err = persist.OpenControlLog(cfg.dataDir, persist.ControlLogOptions{})
+		if err != nil {
+			log.Fatalf("control log %s: %v", cfg.dataDir, err)
+		}
+		rep := persist.RecoverControlPlane(state, reg, engine, cfg.resumeExperiments)
+		if state.TornTail {
+			log.Printf("recovery: control WAL ended mid-record (torn tail); the unacknowledged final record was dropped")
+		}
+		for _, e := range rep.Errors {
+			log.Printf("recovery: %s", e)
+		}
+		if rep.ReplayedRecords > 0 || rep.FlowsRestored > 0 {
+			fmt.Printf("flower: recovered %d flows (%d pacers re-armed, %d tunes) and %d interrupted experiments from %s (%d WAL records)\n",
+				rep.FlowsRestored, rep.PacersRearmed, rep.TunesApplied, rep.ExperimentsInterrupted, cfg.dataDir, rep.ReplayedRecords)
+		}
+		// Fold the recovered state into a fresh checkpoint so the next
+		// crash replays from here, not from the old tail.
+		if err := clog.CompactWith(checkpoint); err != nil {
+			log.Printf("boot checkpoint: %v", err)
+		}
+		reg.SetWAL(clog)
+		engine.SetWAL(clog)
+		for _, r := range rep.Resumable {
+			if _, err := engine.Submit(r.ID, r.Spec); err != nil {
+				log.Printf("resume experiment %q: %v", r.ID, err)
+			} else {
+				fmt.Printf("flower: resumed interrupted experiment %q\n", r.ID)
+			}
+		}
+	}
 
 	var specs []flower.Spec
 	for _, path := range cfg.specPaths {
@@ -231,6 +298,14 @@ func serveHTTP(addr string, cfg serveConfig) {
 
 	defaultID := ""
 	for i, spec := range specs {
+		if f, ok := reg.Get(spec.Name); ok {
+			// Recovered from the WAL: keep its state (including whether
+			// it was paced) rather than resetting it to the -spec file.
+			if defaultID == "" {
+				defaultID = f.ID()
+			}
+			continue
+		}
 		f, err := reg.Create(spec.Name, spec, sim.Options{Step: cfg.step, Seed: cfg.seed + int64(i)})
 		if err != nil {
 			log.Fatalf("register flow %q: %v", spec.Name, err)
@@ -245,6 +320,7 @@ func serveHTTP(addr string, cfg serveConfig) {
 		}
 	}
 
+	var journal *persist.Journal
 	if cfg.journalPath != "" {
 		j, err := persist.OpenFileJournal(cfg.journalPath)
 		if err != nil {
@@ -253,16 +329,29 @@ func serveHTTP(addr string, cfg serveConfig) {
 		if f, ok := reg.Get(defaultID); ok {
 			f.View(func(m *flower.Manager) { j.Attach(m.Store()) })
 		}
-		defer func() {
-			if err := j.Close(); err != nil {
-				log.Printf("journal close: %v", err)
-			} else {
-				fmt.Printf("\n%d datapoints journaled to %s\n", j.Records(), cfg.journalPath)
-			}
-		}()
+		journal = j
 	}
 
-	engine := lab.NewEngineOn(plane)
+	// Background compaction: fold the WAL into a checkpoint once it has
+	// accumulated enough records. Runs as a batch-class periodic job on
+	// the same execution plane as everything else.
+	var compactTicket *sched.Ticket
+	if clog != nil {
+		tk, err := plane.Periodic("persist/wal-compact", sched.ClassBatch, walCompactEvery, func(int) error {
+			if clog.ShouldCompact() {
+				if err := clog.CompactWith(checkpoint); err != nil {
+					log.Printf("wal compact: %v", err)
+				}
+			}
+			return nil
+		}, nil)
+		if err != nil {
+			log.Printf("wal compact job: %v", err)
+		} else {
+			compactTicket = tk
+		}
+	}
+
 	srvOpts := []httpapi.Option{
 		httpapi.WithDefaultFlow(defaultID),
 		httpapi.WithLab(engine),
@@ -288,6 +377,9 @@ func serveHTTP(addr string, cfg serveConfig) {
 	if cfg.selfScrape > 0 {
 		fmt.Printf("  self-scrape: every %v into flow %q\n", cfg.selfScrape, httpapi.SelfScrapeFlow)
 	}
+	if clog != nil {
+		fmt.Printf("  durability:  WAL + checkpoint in %s (seq %d)\n", cfg.dataDir, clog.Seq())
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -305,8 +397,9 @@ func serveHTTP(addr string, cfg serveConfig) {
 	// stop accepting HTTP (bounded drain of in-flight requests — watch
 	// streams are force-closed when the deadline lapses), settle the lab's
 	// experiments while workers still run, stop every pacer, and only then
-	// drain the scheduler. The deferred journal close runs after all of
-	// it, so every datapoint recorded by the final ticks is flushed.
+	// drain the scheduler. The journal and WAL close after all of it, so
+	// every datapoint and mutation recorded by the final ticks is flushed
+	// — and a close that fails is a non-zero exit, not a log line.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -317,10 +410,39 @@ func serveHTTP(addr string, cfg serveConfig) {
 	// every served request, and before the registry closes so the reserved
 	// flow's store is still writable.
 	srv.StopSelfScrape()
+	// Checkpoint the final state while mutations are quiesced but pacers
+	// and experiments are still live: a graceful restart then replays
+	// paced flows as paced. The engine's finish records land in the WAL
+	// tail after this checkpoint, so cancelled experiments stay settled.
+	if compactTicket != nil {
+		compactTicket.Stop()
+	}
+	if clog != nil {
+		if err := clog.CompactWith(checkpoint); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+	}
 	engine.Close()
 	fmt.Println("flower: experiments settled")
 	reg.Close()
 	fmt.Println("flower: pacers stopped")
 	plane.Close()
 	fmt.Println("flower: scheduler drained")
+
+	exit := 0
+	if clog != nil {
+		if err := clog.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+			exit = 1
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+			exit = 1
+		} else {
+			fmt.Printf("\n%d datapoints journaled to %s\n", journal.Records(), cfg.journalPath)
+		}
+	}
+	return exit
 }

@@ -26,6 +26,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -124,7 +125,13 @@ func main() {
 	if *replayPath != "" {
 		store := metricstore.NewStore()
 		n, err := persist.ReplayFile(*replayPath, store)
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, persist.ErrTornTail):
+			// A crash mid-append leaves a truncated final line; every
+			// complete record before it replayed fine.
+			log.Printf("replay: %v (replayed the %d complete records)", err, n)
+		default:
 			log.Fatalf("replay: %v", err)
 		}
 		// Anchor the dashboard at the journal's last observation.

@@ -145,6 +145,24 @@
 // SDK exposes client.Telemetry and client.TelemetryTrace; `flowctl top`
 // renders the live terminal view. See API.md ("Telemetry").
 //
+// # Durability
+//
+// With `flowerd -data-dir`, the control plane survives crashes
+// (internal/persist): every mutation — flow create/pace/tune/delete,
+// experiment submit/cancel/finish — is appended to a CRC-framed,
+// fsynced write-ahead log before it is acknowledged, and periodically
+// compacted into a JSON checkpoint. On boot the daemon replays
+// checkpoint + WAL: flows come back with their tunings, pacers re-arm
+// on the scheduler, and experiments that were running at the crash are
+// marked interrupted (or resubmitted with -resume-experiments). A torn
+// final record — the residue of dying mid-append — is dropped and
+// counted; if the log itself ever fails to append, the plane degrades
+// to read-only (mutations answer 503 unavailable, reads and watch
+// streams keep serving) rather than acknowledge anything it cannot
+// make durable. The kill -9 crash-recovery integration test in
+// cmd/flowerd and the fault-injection filesystem (internal/injectfs)
+// keep the contract honest. See API.md ("Durability & recovery").
+//
 // # Static analysis
 //
 // The invariants above are machine-checked. internal/analysis is a
@@ -158,8 +176,8 @@
 // perfbench, telemetry, commands, examples and tests — the simulation is
 // single-clocked and wall time belongs to the packages that measure it),
 // stopleak (every created Scheduler, Ticket,
-// Subscription, lab Engine or Registry must reach Stop/Close or escape
-// to a new owner), and wirejson (exported fields of wire structs must
+// Subscription, lab Engine, Registry or persist WAL handle must reach
+// Stop/Close or escape to a new owner), and wirejson (exported fields of wire structs must
 // carry json tags; interface-typed fields are rejected). Run it with
 // `go run ./cmd/flowervet ./...` (exit non-zero on findings,
 // -list enumerates analyzers); `go test ./internal/analysis` runs the

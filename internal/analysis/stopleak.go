@@ -40,6 +40,11 @@ var tracked = map[string]trackedResource{
 	"repro/internal/lab.NewEngine":               {kind: "lab.Engine", cleanup: "Close"},
 	"repro/internal/lab.NewEngineOn":             {kind: "lab.Engine", cleanup: "Close"},
 	"repro/internal/registry.New":                {kind: "registry.Registry", cleanup: "Close"},
+	// The WAL handles hold open file descriptors with unsynced state; a
+	// dropped handle is acknowledged-but-maybe-not-durable mutations.
+	"repro/internal/persist.NewWAL":         {kind: "persist.WAL", cleanup: "Close"},
+	"repro/internal/persist.OpenFileWAL":    {kind: "persist.WAL", cleanup: "Close"},
+	"repro/internal/persist.OpenControlLog": {kind: "persist.ControlLog", cleanup: "Close"},
 }
 
 type trackedResource struct {

@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/flow"
+	"repro/internal/lab"
+	"repro/internal/persist"
+	"repro/internal/sim"
+)
+
+// degradedWAL refuses every mutation the way a persist.ControlLog does
+// after a write failure: with a sticky error wrapping ErrDegraded.
+type degradedWAL struct{ err error }
+
+func newDegradedWAL() *degradedWAL {
+	return &degradedWAL{err: fmt.Errorf("persist: %w: disk gone", persist.ErrDegraded)}
+}
+
+func (w *degradedWAL) FlowCreated(string, flow.Spec, sim.Options) error { return w.err }
+func (w *degradedWAL) FlowPaced(string, float64, time.Duration) error   { return w.err }
+func (w *degradedWAL) FlowTuned(string, flow.LayerKind, *float64, *float64, *time.Duration) error {
+	return w.err
+}
+func (w *degradedWAL) FlowDeleted(string) error                   { return w.err }
+func (w *degradedWAL) ExperimentSubmitted(string, lab.Spec) error { return w.err }
+func (w *degradedWAL) ExperimentCancelled(string) error           { return w.err }
+func (w *degradedWAL) ExperimentFinished(string, lab.Status) error {
+	return w.err
+}
+func (w *degradedWAL) ExperimentDeleted(string) error { return w.err }
+
+// TestDegradedModeMutations503ReadsServe: with the WAL degraded, every
+// mutating endpoint answers 503/unavailable and changes nothing, while
+// the read plane keeps serving.
+func TestDegradedModeMutations503ReadsServe(t *testing.T) {
+	eng := lab.NewEngine(2)
+	t.Cleanup(eng.Close)
+	s, reg := newTestServer(t, WithLab(eng))
+	w := newDegradedWAL()
+	reg.SetWAL(w)
+	eng.SetWAL(w)
+
+	// Mutations: refused with the typed 503.
+	rec := do(t, s, http.MethodPost, "/v1/flows", `{"id":"new","peak":1000}`, nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, apiv1.CodeUnavailable)
+	if _, ok := reg.Get("new"); ok {
+		t.Fatal("degraded create registered a flow")
+	}
+	rec = do(t, s, http.MethodPost, "/v1/flows/clicks/pace", `{"pace":60}`, nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, apiv1.CodeUnavailable)
+	rec = do(t, s, http.MethodPost, "/v1/flows/clicks/layers/ingestion/controller", `{"ref":80}`, nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, apiv1.CodeUnavailable)
+	rec = do(t, s, http.MethodDelete, "/v1/flows/clicks", "", nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, apiv1.CodeUnavailable)
+	if _, ok := reg.Get("clicks"); !ok {
+		t.Fatal("degraded delete removed the flow")
+	}
+	rec = do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id":"x","spec":{"name":"x","peak":600,"duration":"1m","workloads":[{"name":"w","workload":{"pattern":"constant","base":300}}]}}`, nil)
+	wantEnvelope(t, rec, http.StatusServiceUnavailable, apiv1.CodeUnavailable)
+	if _, ok := eng.Get("x"); ok {
+		t.Fatal("degraded submit registered an experiment")
+	}
+
+	// Reads: untouched.
+	var list apiv1.FlowList
+	if rec := get(t, s, "/v1/flows", &list); rec.Code != http.StatusOK || list.Count != 1 {
+		t.Fatalf("degraded read plane: %d, %+v", rec.Code, list)
+	}
+	var status apiv1.Status
+	if rec := get(t, s, "/v1/flows/clicks/status", &status); rec.Code != http.StatusOK {
+		t.Fatalf("status read = %d", rec.Code)
+	}
+	if rec := get(t, s, "/v1/telemetry", nil); rec.Code != http.StatusOK {
+		t.Fatalf("telemetry read = %d", rec.Code)
+	}
+
+	// Advancing simulated time is not a control-plane mutation — it
+	// mutates the flow's data, not its definition — and keeps working.
+	rec = do(t, s, http.MethodPost, "/v1/flows/clicks/advance", `{"duration":"1m"}`, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("advance while degraded = %d (%s)", rec.Code, rec.Body.String())
+	}
+}

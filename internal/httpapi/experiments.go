@@ -26,13 +26,16 @@ func (s *Server) handleCreateExperiment(w http.ResponseWriter, r *http.Request) 
 	}
 	x, err := s.lab.Submit(id, req.Spec)
 	switch {
+	case err == nil:
+	case wroteDegraded(w, err):
+		return
 	case errors.Is(err, lab.ErrExists):
 		writeError(w, http.StatusConflict, apiv1.CodeConflict, "%v", err)
 		return
 	case errors.Is(err, registry.ErrBadID):
 		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
 		return
-	case err != nil:
+	default:
 		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
 		return
 	}
@@ -60,7 +63,18 @@ func (s *Server) handleGetExperiment(w http.ResponseWriter, r *http.Request, x *
 }
 
 func (s *Server) handleCancelExperiment(w http.ResponseWriter, r *http.Request, x *lab.Experiment) {
-	x.Cancel()
+	// Through the engine, not x.Cancel() directly: the cancel is a
+	// control-plane mutation and must be WAL-appended before it lands.
+	if _, err := s.lab.Cancel(x.ID()); err != nil {
+		switch {
+		case wroteDegraded(w, err):
+		case errors.Is(err, lab.ErrNotFound):
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, "cancel: %v", err)
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, experimentSummary(x))
 }
 
@@ -76,7 +90,9 @@ func (s *Server) handleExperimentResults(w http.ResponseWriter, r *http.Request,
 
 func (s *Server) handleDeleteExperiment(w http.ResponseWriter, r *http.Request) {
 	if err := s.lab.Delete(r.PathValue("id")); err != nil {
-		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		if !wroteDegraded(w, err) {
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		}
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

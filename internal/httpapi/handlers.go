@@ -16,11 +16,26 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
+	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/timeseries"
 )
+
+// wroteDegraded maps a degraded-plane mutation failure onto its wire
+// shape — 503 with the typed "unavailable" code — and reports whether it
+// did. Every mutation handler calls it first on error: when the WAL can
+// no longer make mutations durable the plane is read-only, and refusing
+// with a retriable status beats acknowledging a mutation that would not
+// survive a restart. Reads and watch streams never take this path.
+func wroteDegraded(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, persist.ErrDegraded) {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, apiv1.CodeUnavailable, "%v", err)
+	return true
+}
 
 // maxAdvance bounds one advance request (a simulated year).
 const maxAdvance = 24 * 365 * time.Hour
@@ -77,19 +92,24 @@ func (s *Server) handleCreateFlow(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := s.reg.Create(id, spec, opts)
 	switch {
+	case err == nil:
+	case wroteDegraded(w, err):
+		return
 	case errors.Is(err, registry.ErrExists):
 		writeError(w, http.StatusConflict, apiv1.CodeConflict, "%v", err)
 		return
 	case errors.Is(err, registry.ErrBadID):
 		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "%v", err)
 		return
-	case err != nil:
+	default:
 		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "materialise: %v", err)
 		return
 	}
 	if req.Pace > 0 {
 		if err := f.StartPacing(req.Pace, defaultWallTick); err != nil {
-			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+			if !wroteDegraded(w, err) {
+				writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+			}
 			return
 		}
 	}
@@ -122,7 +142,9 @@ func (s *Server) handleLegacySpec(w http.ResponseWriter, r *http.Request, f *reg
 func (s *Server) handleDeleteFlow(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.reg.Delete(id); err != nil {
-		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		if !wroteDegraded(w, err) {
+			writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "%v", err)
+		}
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -330,27 +352,29 @@ func (s *Server) handleTuneController(w http.ResponseWriter, r *http.Request, f 
 	}
 
 	kind := r.PathValue("kind")
-	var out *apiv1.Controller
-	f.View(func(m *core.Manager) {
-		loop, ok := m.Harness().Loops[flow.LayerKind(kind)]
-		if !ok {
-			return
+	// The mutation goes through Flow.Tune — not straight to the loop —
+	// so it is WAL-appended before it is applied and survives a restart.
+	var windowPtr *time.Duration
+	if req.Window != nil {
+		windowPtr = &window
+	}
+	found, err := f.Tune(flow.LayerKind(kind), req.Ref, req.DeadBand, windowPtr)
+	if err != nil {
+		if !wroteDegraded(w, err) {
+			writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, "tune: %v", err)
 		}
-		if req.Ref != nil {
-			loop.SetRef(*req.Ref)
-		}
-		if req.Window != nil {
-			loop.SetWindow(window)
-		}
-		if req.DeadBand != nil {
-			loop.SetDeadBand(*req.DeadBand)
-		}
-		out = controllerJSON(loop)
-	})
-	if out == nil {
+		return
+	}
+	if !found {
 		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "no controller for layer %q", kind)
 		return
 	}
+	var out *apiv1.Controller
+	f.View(func(m *core.Manager) {
+		if loop, ok := m.Harness().Loops[flow.LayerKind(kind)]; ok {
+			out = controllerJSON(loop)
+		}
+	})
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -575,7 +599,12 @@ func (s *Server) handlePace(w http.ResponseWriter, r *http.Request, f *registry.
 		return
 	}
 	if req.Pace == 0 {
-		f.StopPacing()
+		if err := f.StopPacing(); err != nil {
+			if !wroteDegraded(w, err) {
+				writeError(w, http.StatusInternalServerError, apiv1.CodeInternal, "stop pacing: %v", err)
+			}
+			return
+		}
 		writeJSON(w, http.StatusOK, apiv1.PaceState{Running: false})
 		return
 	}
@@ -589,7 +618,9 @@ func (s *Server) handlePace(w http.ResponseWriter, r *http.Request, f *registry.
 		wallTick = d
 	}
 	if err := f.StartPacing(req.Pace, wallTick); err != nil {
-		writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+		if !wroteDegraded(w, err) {
+			writeError(w, http.StatusBadRequest, apiv1.CodeInvalidArgument, "pace: %v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, paceState(f))

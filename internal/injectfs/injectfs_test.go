@@ -1,0 +1,71 @@
+package injectfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthyFileAppends(t *testing.T) {
+	f := New()
+	for _, s := range []string{"one ", "two ", "three"} {
+		n, err := f.Write([]byte(s))
+		if err != nil || n != len(s) {
+			t.Fatalf("Write(%q) = (%d, %v)", s, n, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := string(f.Bytes()); got != "one two three" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := f.Write([]byte("late")); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+}
+
+func TestFailWritesAfterTearsTheStraddlingWrite(t *testing.T) {
+	f := New()
+	f.FailWritesAfter(5, nil)
+	if n, err := f.Write([]byte("abc")); err != nil || n != 3 {
+		t.Fatalf("in-budget write = (%d, %v)", n, err)
+	}
+	// 2 bytes of budget remain; this write persists a 2-byte prefix and
+	// fails — the torn tail.
+	n, err := f.Write([]byte("defgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write err = %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Fatalf("straddling write persisted %d bytes, want 2", n)
+	}
+	if got := string(f.Bytes()); got != "abcde" {
+		t.Fatalf("Bytes = %q, want the torn prefix %q", got, "abcde")
+	}
+	// Budget exhausted: further writes fail without persisting anything.
+	if n, err := f.Write([]byte("x")); err == nil || n != 0 {
+		t.Fatalf("post-budget write = (%d, %v), want (0, error)", n, err)
+	}
+}
+
+func TestSyncAndCloseFaults(t *testing.T) {
+	boom := errors.New("device gone")
+	f := New()
+	f.FailSync(boom)
+	f.FailClose(nil)
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want injected error", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close = %v, want ErrInjected", err)
+	}
+	if got := string(f.Bytes()); got != "data" {
+		t.Fatalf("Bytes after failing close = %q, want data preserved", got)
+	}
+}

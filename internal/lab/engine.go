@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/eventbus"
@@ -29,7 +30,33 @@ const (
 	StatusRunning   Status = "running"
 	StatusCompleted Status = "completed"
 	StatusCancelled Status = "cancelled"
+	// StatusInterrupted marks an experiment recovered after a crash:
+	// it was unfinished when the process died, its in-memory results
+	// are gone, and it is settled terminally with every trial
+	// cancelled. Resubmit it (or boot with -resume-experiments) to run
+	// it again.
+	StatusInterrupted Status = "interrupted"
 )
+
+// WAL is the engine's durability hook, mirroring registry.WAL: every
+// experiment mutation is appended — and made durable — before it is
+// applied and acknowledged. The engine defines the interface rather
+// than importing persist (persist imports lab for recovery);
+// persist.ControlLog implements both hooks.
+type WAL interface {
+	ExperimentSubmitted(id string, spec Spec) error
+	ExperimentCancelled(id string) error
+	// ExperimentFinished records a terminal status. It is appended
+	// best-effort by the supervisor after the fact (a finish is an
+	// outcome, not a request to acknowledge), so errors are not
+	// propagated anywhere — a missed finish record merely recovers the
+	// experiment as interrupted.
+	ExperimentFinished(id string, status Status) error
+	ExperimentDeleted(id string) error
+}
+
+// walBox wraps the WAL for atomic publication; see registry.walBox.
+type walBox struct{ w WAL }
 
 // Engine executes experiments on the shared execution plane
 // (internal/sched): every trial is a chunked batch-class scheduler job,
@@ -46,6 +73,10 @@ type Engine struct {
 
 	mu   sync.Mutex
 	exps map[string]*Experiment
+
+	// wal, once set, makes every experiment mutation durable before it
+	// is acknowledged; attached at boot after recovery replay.
+	wal atomic.Pointer[walBox]
 }
 
 // NewEngine returns an engine on a private scheduler with the given
@@ -73,6 +104,25 @@ func NewEngineOn(s *sched.Scheduler) *Engine {
 		bus:   eventbus.New(0),
 		exps:  make(map[string]*Experiment),
 	}
+}
+
+// SetWAL attaches the durability hook: from now on every experiment
+// mutation (submit, cancel, finish, delete) is appended to w before it
+// is applied. Attach after recovery replay. Passing nil detaches.
+func (e *Engine) SetWAL(w WAL) {
+	if w == nil {
+		e.wal.Store(nil)
+		return
+	}
+	e.wal.Store(&walBox{w: w})
+}
+
+// walHook returns the attached WAL, or nil.
+func (e *Engine) walHook() WAL {
+	if b := e.wal.Load(); b != nil {
+		return b.w
+	}
+	return nil
 }
 
 // Workers returns the execution capacity trials draw on: the scheduler's
@@ -117,6 +167,17 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		cancel()
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
 	}
+	// Durable before acknowledged, under e.mu after the duplicate check
+	// — mirroring registry.Create — so the log's submit/delete order
+	// matches the engine's and a WAL failure refuses the submission
+	// with nothing registered and no trial queued.
+	if w := e.walHook(); w != nil {
+		if err := w.ExperimentSubmitted(id, spec); err != nil {
+			e.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("experiment %q: %w", id, err)
+		}
+	}
 	e.exps[id] = x
 	telExperiments.Inc()
 	// Under e.mu, like Delete's event, so experiment.deleted can never
@@ -153,11 +214,83 @@ func (e *Engine) Submit(id string, spec Spec) (*Experiment, error) {
 		} else {
 			x.status = StatusCompleted
 		}
+		status := x.status
 		x.mu.Unlock()
+		// Best-effort finish record: recovery drops finished
+		// experiments from the durable state (their results lived in
+		// memory); a missed record only re-recovers this one as
+		// interrupted.
+		if w := e.walHook(); w != nil {
+			_ = w.ExperimentFinished(id, status)
+		}
 		cancel()
 		close(x.done)
 		x.publishState(EventExperimentState)
 	}()
+	return x, nil
+}
+
+// Cancel durably cancels the experiment registered as id: the cancel is
+// WAL-appended before the experiment's context is cut, so a degraded
+// plane refuses it (the HTTP layer maps the error onto 503) rather than
+// cancelling un-durably. Prefer this over Experiment.Cancel wherever
+// the caller serves the control plane.
+func (e *Engine) Cancel(id string) (*Experiment, error) {
+	x, ok := e.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if w := e.walHook(); w != nil {
+		if err := w.ExperimentCancelled(id); err != nil {
+			return nil, fmt.Errorf("experiment %q: %w", id, err)
+		}
+	}
+	x.Cancel()
+	return x, nil
+}
+
+// Restore registers a crash-recovered experiment in the terminal
+// StatusInterrupted state without running anything: the grid is
+// re-expanded so the trial list is faithful, but every trial settles as
+// cancelled (the original results lived in memory and died with the
+// process). Used by persist's recovery; submit anew — or boot with
+// -resume-experiments — to actually re-run the grid.
+func (e *Engine) Restore(id string, spec Spec) (*Experiment, error) {
+	if err := registry.ValidateID(id); err != nil {
+		return nil, err
+	}
+	trials, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+
+	_, cancel := context.WithCancel(context.Background())
+	cancel() // settled on arrival: nothing may ever run
+	x := &Experiment{
+		id:      id,
+		spec:    spec,
+		created: time.Now(), //flowervet:allow wallclock(experiment creation timestamps are operator metadata)
+		trials:  trials,
+		bus:     e.bus,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		status:  StatusInterrupted,
+		results: make([]TrialSummary, len(trials)),
+	}
+	for i, t := range trials {
+		x.results[i] = TrialSummary{Trial: t, Status: TrialCancelled, Error: "interrupted: process crashed mid-run"}
+	}
+	close(x.done)
+
+	e.mu.Lock()
+	if _, dup := e.exps[id]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	e.exps[id] = x
+	x.publishState(EventExperimentCreated)
+	e.mu.Unlock()
 	return x, nil
 }
 
@@ -183,12 +316,20 @@ func (e *Engine) List() []*Experiment {
 
 // Delete cancels the experiment and removes it from the store. Trials
 // already simulating notice the cancellation at their next chunk
-// boundary and exit harmlessly on the detached experiment.
+// boundary and exit harmlessly on the detached experiment. The delete
+// is WAL-appended before anything is removed, so a degraded plane
+// refuses it with the experiment intact.
 func (e *Engine) Delete(id string) error {
 	e.mu.Lock()
 	x, ok := e.exps[id]
-	delete(e.exps, id)
 	if ok {
+		if w := e.walHook(); w != nil {
+			if err := w.ExperimentDeleted(id); err != nil {
+				e.mu.Unlock()
+				return fmt.Errorf("experiment %q: %w", id, err)
+			}
+		}
+		delete(e.exps, id)
 		x.publishState(EventExperimentDeleted)
 	}
 	e.mu.Unlock()

@@ -1,0 +1,161 @@
+package lab
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeWAL records hook calls and can be told to fail, standing in for a
+// degraded persist.ControlLog.
+type fakeWAL struct {
+	mu      sync.Mutex
+	ops     []string
+	entries map[string]string // id -> last finish status
+	err     error
+}
+
+func newFakeWAL() *fakeWAL { return &fakeWAL{entries: map[string]string{}} }
+
+func (w *fakeWAL) log(op string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.ops = append(w.ops, op)
+	return nil
+}
+
+func (w *fakeWAL) fail(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.err = err
+}
+
+func (w *fakeWAL) seen() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.ops...)
+}
+
+func (w *fakeWAL) finishStatus(id string) (string, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.entries[id]
+	return s, ok
+}
+
+func (w *fakeWAL) ExperimentSubmitted(id string, spec Spec) error { return w.log("submit:" + id) }
+func (w *fakeWAL) ExperimentCancelled(id string) error            { return w.log("cancel:" + id) }
+func (w *fakeWAL) ExperimentFinished(id string, status Status) error {
+	if err := w.log("finish:" + id); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.entries[id] = string(status)
+	w.mu.Unlock()
+	return nil
+}
+func (w *fakeWAL) ExperimentDeleted(id string) error { return w.log("delete:" + id) }
+
+func TestEngineWALLifecycle(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	w := newFakeWAL()
+	e.SetWAL(w)
+
+	x, err := e.Submit("run", quickSpec("run", 1, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := x.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The supervisor appends the finish record before Done closes... it
+	// closes Done after the append, so by here it is visible.
+	if status, ok := w.finishStatus("run"); !ok || status != string(StatusCompleted) {
+		t.Fatalf("finish record = (%q, %v), want completed", status, ok)
+	}
+	if err := e.Delete("run"); err != nil {
+		t.Fatal(err)
+	}
+	seen := w.seen()
+	if len(seen) != 3 || seen[0] != "submit:run" || seen[1] != "finish:run" || seen[2] != "delete:run" {
+		t.Fatalf("WAL saw %v", seen)
+	}
+}
+
+func TestEngineWALFailureAbortsSubmit(t *testing.T) {
+	e := NewEngine(2)
+	defer e.Close()
+	w := newFakeWAL()
+	e.SetWAL(w)
+	boom := errors.New("disk full")
+	w.fail(boom)
+
+	if _, err := e.Submit("x", quickSpec("x", 1, time.Minute)); !errors.Is(err, boom) {
+		t.Fatalf("Submit on failing WAL = %v, want the WAL error", err)
+	}
+	if _, ok := e.Get("x"); ok {
+		t.Fatal("unlogged experiment was registered")
+	}
+	if len(e.List()) != 0 {
+		t.Fatal("List shows the refused experiment")
+	}
+}
+
+func TestEngineCancelIsLogged(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	w := newFakeWAL()
+	e.SetWAL(w)
+	// Plenty of trials so the cancel lands while the grid is still going.
+	if _, err := e.Submit("big", quickSpec("big", 6, 30*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	x, err := e.Cancel("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-x.Done()
+	seen := w.seen()
+	if len(seen) < 2 || seen[0] != "submit:big" || seen[1] != "cancel:big" {
+		t.Fatalf("WAL saw %v, want submit then cancel", seen)
+	}
+	if _, err := e.Cancel("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(ghost) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRestoreIsNotLogged(t *testing.T) {
+	e := NewEngine(1)
+	defer e.Close()
+	w := newFakeWAL()
+	e.SetWAL(w)
+	x, err := e.Restore("ghosted", quickSpec("ghosted", 2, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Status() != StatusInterrupted {
+		t.Fatalf("restored status = %q", x.Status())
+	}
+	// Restore replays history; replay must never re-log itself.
+	if seen := w.seen(); len(seen) != 0 {
+		t.Fatalf("WAL saw %v during restore", seen)
+	}
+	// Terminal invariant: every trial is terminal too.
+	for _, tr := range x.Results().Trials {
+		if tr.Status != TrialCancelled {
+			t.Fatalf("trial %q = %q, want cancelled", tr.Name, tr.Status)
+		}
+	}
+	// A restored id still collides like a live one.
+	if _, err := e.Restore("ghosted", quickSpec("ghosted", 1, time.Minute)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Restore = %v, want ErrExists", err)
+	}
+}

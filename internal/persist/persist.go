@@ -183,11 +183,14 @@ func (j *Journal) Attach(store *metricstore.Store) {
 
 // Replay reads a journal and applies every record to the store, returning
 // the number of datapoints applied. Blank lines are skipped. A malformed
-// *final* line is tolerated silently: an append-only journal cut off by a
-// crash or kill legitimately ends mid-record, and recovery up to the last
-// complete record is the expected WAL semantics. Malformed content
-// followed by more records — mid-file corruption — still aborts with an
-// error identifying the offending line, as does an unsupported version.
+// *final* line is tolerated: an append-only journal cut off by a crash or
+// kill legitimately ends mid-record, and recovery up to the last complete
+// record is the expected WAL semantics. The applied count is returned
+// together with a wrapped ErrTornTail (and the event counted in
+// telemetry) so callers can log the truncation instead of losing it
+// silently. Malformed content followed by more records — mid-file
+// corruption — still aborts with an error identifying the offending
+// line, as does an unsupported version.
 func Replay(r io.Reader, store *metricstore.Store) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -234,6 +237,10 @@ func Replay(r io.Reader, store *metricstore.Store) (int, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return applied, fmt.Errorf("persist: journal read: %w", err)
+	}
+	if pending != nil {
+		telTornTails.Inc()
+		return applied, fmt.Errorf("%v: %w", pending, ErrTornTail)
 	}
 	return applied, nil
 }

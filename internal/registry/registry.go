@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -27,6 +28,30 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
+
+// WAL is the registry's durability hook: every control-plane mutation is
+// appended — and made durable — through it *before* the mutation is
+// applied and acknowledged. An append error aborts the mutation and is
+// returned to the caller (the HTTP layer maps persist.ErrDegraded onto
+// 503). The registry defines the interface rather than importing the
+// persist package, so persist can depend on registry for recovery
+// without a cycle; persist.ControlLog is the production implementation.
+// Reads, advances and watch streams never touch the WAL: only mutations
+// of control-plane *state* (what exists, how it is paced, how its
+// controllers are tuned) are durable.
+type WAL interface {
+	FlowCreated(id string, spec flow.Spec, opts sim.Options) error
+	// FlowPaced records a pacing change; pace 0 is a stop.
+	FlowPaced(id string, pace float64, wallTick time.Duration) error
+	// FlowTuned records a controller tuning; nil fields were untouched.
+	FlowTuned(id string, kind flow.LayerKind, ref, deadBand *float64, window *time.Duration) error
+	FlowDeleted(id string) error
+}
+
+// walBox wraps the WAL for atomic.Pointer publication: SetWAL is called
+// once at boot after recovery, possibly while pacers already tick, so
+// readers must not need a lock.
+type walBox struct{ w WAL }
 
 // Errors returned by registry operations; the HTTP layer maps them onto
 // status codes (409, 404, 400).
@@ -69,6 +94,8 @@ type Flow struct {
 	created time.Time
 	bus     *eventbus.Bus    // the owning registry's event bus (nil in tests that build flows directly)
 	sched   *sched.Scheduler // the owning registry's execution plane (nil likewise)
+	reg     *Registry        // the owning registry, for its WAL hook (nil likewise)
+	opts    sim.Options      // the options the flow was materialised under (for checkpoints)
 
 	// mu serialises every touch of mgr (the simulation harness is
 	// single-threaded by design). deleting rides under it so Delete can
@@ -96,6 +123,18 @@ func (f *Flow) ID() string { return f.id }
 
 // Created returns when the flow was registered (wall clock).
 func (f *Flow) Created() time.Time { return f.created }
+
+// Options returns the sim.Options the flow was materialised under —
+// what a checkpoint needs to re-create it faithfully.
+func (f *Flow) Options() sim.Options { return f.opts }
+
+// walHook returns the owning registry's WAL, or nil.
+func (f *Flow) walHook() WAL {
+	if f.reg == nil {
+		return nil
+	}
+	return f.reg.walHook()
+}
 
 // View runs fn with exclusive access to the flow's manager. The manager and
 // everything reachable from it (harness, store, loops) must only be touched
@@ -170,6 +209,16 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
+	// Durability first: the pace change is appended to the WAL before
+	// the old pacer is disturbed or the new one armed, so a WAL failure
+	// (degraded plane) leaves the running state exactly as it was. A
+	// record logged just before a racing Delete's fence is harmless:
+	// replay ignores pace records for deleted flows.
+	if w := f.walHook(); w != nil {
+		if err := w.FlowPaced(f.id, pace, wallTick); err != nil {
+			return err
+		}
+	}
 	f.stopPacerLocked()
 	// Re-read the delete fence now that pacerMu is held: Delete sets it
 	// (under f.mu) strictly before draining the pacer under pacerMu, so a
@@ -245,8 +294,32 @@ func (f *Flow) StartPacing(pace float64, wallTick time.Duration) error {
 // pacer tick to finish: after it returns, the pacer will never advance the
 // flow or publish again. The pace event is published under pacerMu, like
 // StartPacing's, so the stream's pace events appear in the order the
-// transitions happened.
-func (f *Flow) StopPacing() {
+// transitions happened. Stopping a flow that is not pacing is a no-op.
+// Like every control-plane mutation, the stop is WAL-appended before it
+// is applied; a degraded WAL refuses it and the pacer keeps running.
+func (f *Flow) StopPacing() error {
+	f.pacerMu.Lock()
+	defer f.pacerMu.Unlock()
+	if f.ticket == nil {
+		return nil // nothing running: no state change to make durable
+	}
+	if w := f.walHook(); w != nil {
+		if err := w.FlowPaced(f.id, 0, 0); err != nil {
+			return err
+		}
+	}
+	f.stopPacerLocked()
+	if f.bus != nil {
+		f.bus.Publish(EventFlowPace, f.id, FlowPace{ID: f.id, Running: false})
+	}
+	return nil
+}
+
+// stopPacingQuiet stops the pacer without a WAL append: Delete's record
+// subsumes the stop, and Close is a process shutdown, not a mutation —
+// a paced flow must still be paced after recovery. The stop event is
+// still published for live watchers.
+func (f *Flow) stopPacingQuiet() {
 	f.pacerMu.Lock()
 	defer f.pacerMu.Unlock()
 	had := f.ticket != nil
@@ -284,6 +357,41 @@ func (f *Flow) PaceError() error {
 	return f.pacerErr
 }
 
+// Tune atomically updates the controller parameters of one layer's loop;
+// nil arguments leave that parameter unchanged. It reports whether the
+// layer has a controller at all (found false: nothing to tune), and —
+// because a tuning is control-plane state that must survive a restart —
+// appends the change to the WAL before applying it: a degraded WAL
+// refuses the tune with the loop untouched. Callers validate ranges
+// before calling; the registry only orders durability against
+// application.
+func (f *Flow) Tune(kind flow.LayerKind, ref, deadBand *float64, window *time.Duration) (found bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	loop, ok := f.mgr.Harness().Loops[kind]
+	if !ok {
+		return false, nil
+	}
+	if ref == nil && deadBand == nil && window == nil {
+		return true, nil // nothing changes: nothing to log
+	}
+	if w := f.walHook(); w != nil {
+		if err := w.FlowTuned(f.id, kind, ref, deadBand, window); err != nil {
+			return true, err
+		}
+	}
+	if ref != nil {
+		loop.SetRef(*ref)
+	}
+	if window != nil {
+		loop.SetWindow(*window)
+	}
+	if deadBand != nil {
+		loop.SetDeadBand(*deadBand)
+	}
+	return true, nil
+}
+
 // Registry is a concurrency-safe collection of named flows sharing one
 // execution plane.
 type Registry struct {
@@ -292,6 +400,11 @@ type Registry struct {
 	bus      *eventbus.Bus
 	sched    *sched.Scheduler
 	ownSched bool // New created the scheduler, so Close releases it
+
+	// wal, once set, makes every mutation durable-before-acknowledged.
+	// Atomic (not under mu) because boot attaches it after recovery
+	// replay while recovered pacers may already be ticking.
+	wal atomic.Pointer[walBox]
 }
 
 // Option configures a Registry.
@@ -322,6 +435,26 @@ func New(opts ...Option) *Registry {
 // Scheduler returns the execution plane the registry's pacers run on.
 func (r *Registry) Scheduler() *sched.Scheduler { return r.sched }
 
+// SetWAL attaches the durability hook: from now on every mutation
+// (create, pace, tune, delete) is appended to w before it is applied.
+// Attach after recovery replay — replaying through a registry with the
+// WAL already attached would re-log every record. Passing nil detaches.
+func (r *Registry) SetWAL(w WAL) {
+	if w == nil {
+		r.wal.Store(nil)
+		return
+	}
+	r.wal.Store(&walBox{w: w})
+}
+
+// walHook returns the attached WAL, or nil.
+func (r *Registry) walHook() WAL {
+	if b := r.wal.Load(); b != nil {
+		return b.w
+	}
+	return nil
+}
+
 // Create materialises spec under opts and registers it as id. It fails with
 // ErrBadID for unusable ids, ErrExists for duplicates, and passes through
 // materialisation errors (invalid specs).
@@ -336,12 +469,21 @@ func (r *Registry) Create(id string, spec flow.Spec, opts sim.Options) (*Flow, e
 		return nil, err
 	}
 	//flowervet:allow wallclock(flow creation timestamps are operator metadata, not simulation state)
-	f := &Flow{id: id, created: time.Now(), bus: r.bus, sched: r.sched, mgr: mgr}
+	f := &Flow{id: id, created: time.Now(), bus: r.bus, sched: r.sched, reg: r, opts: opts, mgr: mgr}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.flows[id]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	// Durable before acknowledged: the create is WAL-appended under r.mu
+	// — after the duplicate check, before the map insert — so the log's
+	// create/delete order for one id matches the registry's, and a WAL
+	// failure refuses the create with nothing registered.
+	if w := r.walHook(); w != nil {
+		if err := w.FlowCreated(id, spec, opts); err != nil {
+			return nil, fmt.Errorf("flow %q: %w", id, err)
+		}
 	}
 	r.flows[id] = f
 	telFlows.Inc()
@@ -394,13 +536,24 @@ func (r *Registry) Delete(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 
+	// Durable before destructive: the delete is WAL-appended before the
+	// fence lands, so a WAL failure refuses the delete with the flow
+	// fully intact. (Two racing Deletes may both append; replaying a
+	// delete of an absent flow is a no-op.)
+	if w := r.walHook(); w != nil {
+		if err := w.FlowDeleted(id); err != nil {
+			return fmt.Errorf("flow %q: %w", id, err)
+		}
+	}
+
 	// Fence under f.mu: any Advance that already holds the flow lock
 	// publishes before this acquires it; every later one sees the flag.
 	f.mu.Lock()
 	f.deleting = true
 	f.mu.Unlock()
 
-	f.StopPacing() // waits for an in-flight pacer tick; publishes the stop
+	// Quiet stop: the delete record subsumes the pace stop in the log.
+	f.stopPacingQuiet() // waits for an in-flight pacer tick; publishes the stop
 
 	r.mu.Lock()
 	if _, still := r.flows[id]; !still {
@@ -426,7 +579,9 @@ func (r *Registry) Delete(id string) error {
 // fails with the scheduler's ErrClosed.
 func (r *Registry) Close() {
 	for _, f := range r.List() {
-		f.StopPacing()
+		// Quiet: shutdown is not a mutation — a flow paced at crash or
+		// shutdown must come back paced after recovery.
+		f.stopPacingQuiet()
 	}
 	if r.ownSched {
 		r.sched.Close()
