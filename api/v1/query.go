@@ -1,0 +1,51 @@
+package apiv1
+
+import "repro/internal/query"
+
+// Query plane wire types: POST /v1/query evaluates one pipeline query —
+// pipe syntax or JSON AST — against every flow in the registry and
+// returns columnar results, batch-query style. POST /v1/query?explain=1
+// returns the plan instead of running it. See API.md ("Query plane").
+
+// QueryRequest is the POST /v1/query payload: exactly one of Q (the pipe
+// syntax) or Plan (the equivalent JSON AST). When both are set, Q wins.
+type QueryRequest struct {
+	Q    string          `json:"q,omitempty"`
+	Plan *query.Pipeline `json:"plan,omitempty"`
+}
+
+// QuerySeries is one result series: parallel unix-nano/value columns,
+// like ColumnSeries. Right and Vs2 are set for join results: Right names
+// the joined right-side series as "ns/name", and Vs2 carries its column
+// when the join had no combining expression.
+type QuerySeries struct {
+	Flow      string            `json:"flow"`
+	Namespace string            `json:"ns"`
+	Name      string            `json:"name"`
+	Dims      map[string]string `json:"dims,omitempty"`
+	Right     string            `json:"right,omitempty"`
+	Ts        []int64           `json:"ts"`
+	Vs        []float64         `json:"vs"`
+	Vs2       []float64         `json:"vs2,omitempty"`
+}
+
+// QueryStats summarises one execution.
+type QueryStats struct {
+	Series    int   `json:"series"`
+	Rows      int   `json:"rows"`
+	PlanNanos int64 `json:"plan_nanos"`
+	ExecNanos int64 `json:"exec_nanos"`
+}
+
+// QueryResponse is the POST /v1/query response.
+type QueryResponse struct {
+	Results []QuerySeries `json:"results"`
+	Stats   QueryStats    `json:"stats"`
+}
+
+// QueryExplainResponse is the POST /v1/query?explain=1 response: the
+// planner's ordered steps plus a preformatted text rendering.
+type QueryExplainResponse struct {
+	Steps []query.ExplainStep `json:"steps"`
+	Text  string              `json:"text"`
+}

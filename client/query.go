@@ -1,0 +1,39 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/query"
+)
+
+// Query plane: POST /v1/query evaluates one pipeline query — pipe syntax
+// or a JSON AST — across every flow on the server and streams back
+// columnar results. See API.md ("Query plane") for the syntax.
+
+// Query evaluates the pipe-syntax query q and returns the columnar
+// results plus execution stats. Syntax, stage-order and limit violations
+// come back as *APIError with code invalid_argument; a selector matching
+// nothing is an empty result, not an error.
+func (c *Client) Query(ctx context.Context, q string) (apiv1.QueryResponse, error) {
+	var out apiv1.QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/query", apiv1.QueryRequest{Q: q}, &out)
+	return out, err
+}
+
+// QueryPlan evaluates a pre-built JSON AST pipeline — the programmatic
+// alternative to the pipe syntax.
+func (c *Client) QueryPlan(ctx context.Context, plan *query.Pipeline) (apiv1.QueryResponse, error) {
+	var out apiv1.QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/query", apiv1.QueryRequest{Plan: plan}, &out)
+	return out, err
+}
+
+// QueryExplain plans q without executing it and returns the planner's
+// ordered steps plus a preformatted text rendering.
+func (c *Client) QueryExplain(ctx context.Context, q string) (apiv1.QueryExplainResponse, error) {
+	var out apiv1.QueryExplainResponse
+	err := c.do(ctx, http.MethodPost, "/v1/query?explain=1", apiv1.QueryRequest{Q: q}, &out)
+	return out, err
+}

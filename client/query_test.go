@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	apiv1 "repro/api/v1"
+	"repro/internal/query"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	mustCreate(t, c, "web", 15*time.Minute)
+
+	resp, err := c.Query(ctx, "select flow=web ns=Ingestion/Stream name=IncomingRecords | window 10m | resample 1m avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("%d series, want 1", len(resp.Results))
+	}
+	ser := resp.Results[0]
+	if ser.Flow != "web" || len(ser.Ts) == 0 || len(ser.Ts) != len(ser.Vs) {
+		t.Fatalf("series = %+v", ser)
+	}
+	if resp.Stats.Rows != len(ser.Ts) {
+		t.Fatalf("stats.rows = %d, want %d", resp.Stats.Rows, len(ser.Ts))
+	}
+
+	// The JSON AST entry point answers identically.
+	plan := &query.Pipeline{Stages: []query.Stage{
+		{Op: "select", Flow: "web", Namespace: "Ingestion/Stream", Name: "IncomingRecords"},
+		{Op: "window", Window: "10m"},
+		{Op: "resample", Period: "1m", Stat: "avg"},
+	}}
+	fromPlan, err := c.QueryPlan(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromPlan.Results) != 1 || len(fromPlan.Results[0].Ts) != len(ser.Ts) {
+		t.Fatalf("plan results = %+v", fromPlan.Results)
+	}
+	for i := range ser.Ts {
+		if fromPlan.Results[0].Ts[i] != ser.Ts[i] || fromPlan.Results[0].Vs[i] != ser.Vs[i] {
+			t.Fatalf("point %d: plan (%d, %v), pipe (%d, %v)", i,
+				fromPlan.Results[0].Ts[i], fromPlan.Results[0].Vs[i], ser.Ts[i], ser.Vs[i])
+		}
+	}
+}
+
+func TestQueryExplainAndErrors(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	mustCreate(t, c, "web", 5*time.Minute)
+
+	ex, err := c.QueryExplain(ctx, "select flow=web ns=Ingestion/Stream name=IncomingRecords | resample 1m avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Steps) == 0 || !strings.Contains(ex.Text, "select") {
+		t.Fatalf("explain = %+v", ex)
+	}
+
+	// A malformed pipeline surfaces as a typed API error.
+	_, err = c.Query(ctx, "resample 1m avg | select flow=web ns=A name=B")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if ae.Code != apiv1.CodeInvalidArgument {
+		t.Fatalf("code = %q, want invalid_argument", ae.Code)
+	}
+
+	// Matching nothing is success with zero series.
+	resp, err := c.Query(ctx, "select flow=nope ns=A name=B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 0 {
+		t.Fatalf("empty match returned %d series", len(resp.Results))
+	}
+}

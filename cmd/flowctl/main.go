@@ -20,6 +20,7 @@
 //	flowctl delete -url http://host:8080 -flow web
 //	flowctl watch -url http://host:8080 [-flow web | -experiment sweep | -flows a,b -experiments x]
 //	              [-types flow.advanced,flow.decision] [-after 0] [-json]
+//	flowctl query -url http://host:8080 [-explain] [-json] 'select flow=web ns=Ingestion/Stream name=IncomingRecords | window 30m | resample 1m avg'
 //	flowctl sched -url http://host:8080 [-json]    execution-plane stats (GET /v1/scheduler)
 //	flowctl top -url http://host:8080 [-interval 2s] [-once]   live self-telemetry view
 //
@@ -57,45 +58,59 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowctl: ")
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "flowctl: a subcommand is required")
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches one invocation and returns the process exit code. It is
+// the testable seam: the usage paths (missing, unknown and requested
+// help) never call os.Exit themselves, so tests can pin the exit-code
+// contract — unknown subcommands must fail — without forking a process.
+// Individual subcommands still exit directly via log.Fatal on errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "flowctl: a subcommand is required")
+		printUsage(stderr)
+		return 2
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "init":
-		cmdInit(os.Args[2:])
+		cmdInit(args[1:])
 	case "validate":
-		cmdValidate(os.Args[2:])
+		cmdValidate(args[1:])
 	case "show":
-		cmdShow(os.Args[2:])
+		cmdShow(args[1:])
 	case "plan":
-		cmdPlan(os.Args[2:])
+		cmdPlan(args[1:])
 	case "create":
-		cmdCreate(os.Args[2:])
+		cmdCreate(args[1:])
 	case "list":
-		cmdList(os.Args[2:])
+		cmdList(args[1:])
 	case "status":
-		cmdStatus(os.Args[2:])
+		cmdStatus(args[1:])
 	case "advance":
-		cmdAdvance(os.Args[2:])
+		cmdAdvance(args[1:])
 	case "tune":
-		cmdTune(os.Args[2:])
+		cmdTune(args[1:])
 	case "delete":
-		cmdDelete(os.Args[2:])
+		cmdDelete(args[1:])
 	case "watch":
-		cmdWatch(os.Args[2:])
+		cmdWatch(args[1:])
+	case "query":
+		cmdQuery(args[1:])
 	case "sched":
-		cmdSched(os.Args[2:])
+		cmdSched(args[1:])
 	case "top":
-		cmdTop(os.Args[2:])
+		cmdTop(args[1:])
 	case "experiments":
-		cmdExperiments(os.Args[2:])
+		cmdExperiments(args[1:])
 	case "help", "-h", "-help", "--help":
-		printUsage(os.Stdout) // requested help is a success
+		printUsage(stdout) // requested help is a success
 	default:
-		fmt.Fprintf(os.Stderr, "flowctl: unknown subcommand %q\n", os.Args[1])
-		usage()
+		fmt.Fprintf(stderr, "flowctl: unknown subcommand %q\n", args[0])
+		printUsage(stderr)
+		return 2
 	}
+	return 0
 }
 
 // usage enumerates every subcommand on stderr and exits non-zero, so
@@ -123,6 +138,7 @@ remote (against flowerd -http; all take -url):
   tune        adjust a layer controller at runtime
   delete      stop and remove a flow
   watch       stream live events (flows, experiments) to the terminal
+  query       run one streaming pipeline query across every flow (-explain, -json)
   sched       execution-plane stats: shards, capacity, queues, tick latency
   top         live self-telemetry view: HTTP, scheduler, bus, store, lab
 

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	apiv1 "repro/api/v1"
+)
+
+// flowctl query: one streaming pipeline query against the control plane's
+// query engine (POST /v1/query). The default rendering is a per-series
+// table; -json prints the raw response and -explain prints the plan
+// instead of executing it.
+
+func cmdQuery(args []string) {
+	fs, url := remoteFlags("query")
+	explain := fs.Bool("explain", false, "print the query plan instead of executing it")
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	tail := fs.Int("tail", 10, "points shown per series in table mode (0: all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal(`query: exactly one pipeline argument is required, e.g. 'select flow=web ns=Ingestion/Stream name=IncomingRecords | resample 1m avg'`)
+	}
+	q := fs.Arg(0)
+	c := dial(*url)
+
+	if *explain {
+		ex, err := c.QueryExplain(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *asJSON {
+			writeIndented(os.Stdout, ex)
+			return
+		}
+		fmt.Print(ex.Text)
+		return
+	}
+
+	resp, err := c.Query(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		writeIndented(os.Stdout, resp)
+		return
+	}
+	renderQueryTable(os.Stdout, resp, *tail)
+}
+
+func writeIndented(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// renderQueryTable prints one block per result series: an identity
+// header, then the trailing `tail` points as aligned timestamp/value
+// rows (joins with no expression carry a second value column).
+func renderQueryTable(w io.Writer, resp apiv1.QueryResponse, tail int) {
+	for i, ser := range resp.Results {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s  %s/%s%s%s  (%d points)\n",
+			ser.Flow, ser.Namespace, ser.Name, formatDims(ser.Dims), formatJoin(ser.Right), len(ser.Ts))
+		start := 0
+		if tail > 0 && len(ser.Ts) > tail {
+			start = len(ser.Ts) - tail
+			fmt.Fprintf(w, "  ... %d earlier points elided (-tail 0 shows all)\n", start)
+		}
+		for j := start; j < len(ser.Ts); j++ {
+			t := time.Unix(0, ser.Ts[j]).UTC().Format(time.RFC3339)
+			if ser.Vs2 != nil {
+				fmt.Fprintf(w, "  %s  %14.4f  %14.4f\n", t, ser.Vs[j], ser.Vs2[j])
+				continue
+			}
+			fmt.Fprintf(w, "  %s  %14.4f\n", t, ser.Vs[j])
+		}
+	}
+	fmt.Fprintf(w, "%d series, %d rows (plan %s, exec %s)\n",
+		resp.Stats.Series, resp.Stats.Rows,
+		time.Duration(resp.Stats.PlanNanos), time.Duration(resp.Stats.ExecNanos))
+}
+
+func formatDims(dims map[string]string) string {
+	if len(dims) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(dims))
+	for k := range dims {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + dims[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatJoin(right string) string {
+	if right == "" {
+		return ""
+	}
+	return "  joined " + right
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	apiv1 "repro/api/v1"
+)
+
+// TestRunExitCodes pins the dispatch contract: unknown subcommands and a
+// missing subcommand fail with exit code 2 and print the usage (which
+// must enumerate query), while requested help succeeds.
+func TestRunExitCodes(t *testing.T) {
+	var stdout, stderr strings.Builder
+
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown subcommand "frobnicate"`) {
+		t.Errorf("stderr missing diagnostic:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "query") {
+		t.Errorf("usage does not enumerate the query subcommand:\n%s", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing subcommand: exit %d, want 2", code)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"help"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("help: exit %d, want 0", code)
+	}
+	for _, want := range []string{"query", "sched", "experiments"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("help output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRenderQueryTable(t *testing.T) {
+	resp := apiv1.QueryResponse{
+		Results: []apiv1.QuerySeries{
+			{
+				Flow: "web", Namespace: "Ingestion/Stream", Name: "IncomingRecords",
+				Dims: map[string]string{"StreamName": "web"},
+				Ts:   []int64{1_700_000_000_000_000_000, 1_700_000_060_000_000_000},
+				Vs:   []float64{12.5, 14.25},
+			},
+			{
+				Flow: "web", Namespace: "Analytics/Compute", Name: "CPUUtilization",
+				Right: "Ingestion/Stream/IncomingRecords",
+				Ts:    []int64{1_700_000_000_000_000_000},
+				Vs:    []float64{70},
+				Vs2:   []float64{12.5},
+			},
+		},
+		Stats: apiv1.QueryStats{Series: 2, Rows: 3, PlanNanos: 1000, ExecNanos: 2000},
+	}
+	var out strings.Builder
+	renderQueryTable(&out, resp, 10)
+	got := out.String()
+	for _, want := range []string{
+		"web  Ingestion/Stream/IncomingRecords{StreamName=web}  (2 points)",
+		"joined Ingestion/Stream/IncomingRecords",
+		"14.2500",
+		"2 series, 3 rows",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q in:\n%s", want, got)
+		}
+	}
+	// The dual-column join row carries both values.
+	if !strings.Contains(got, "70.0000") || !strings.Contains(got, "12.5000") {
+		t.Errorf("join columns missing:\n%s", got)
+	}
+
+	// Tail elision: only the trailing point plus a marker.
+	out.Reset()
+	renderQueryTable(&out, resp, 1)
+	if !strings.Contains(out.String(), "1 earlier points elided") {
+		t.Errorf("tail elision marker missing:\n%s", out.String())
+	}
+}

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	flowerbench                          run every suite, write BENCH_REPORT.json
-//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf|sched|obs
+//	flowerbench -suite controllers       one suite: controllers|windows|gamma|workloads|pareto|perf|sched|obs|query
 //	flowerbench -suite perf,sched        comma-separated selection
 //	flowerbench -suite perf              metric-pipeline micro-benchmarks only (ns/op, B/op,
 //	                                     allocs/op + speedups vs the pre-rebuild implementations)
@@ -21,6 +21,9 @@
 //	                                     allocation budgets (counter update/read: 0 and <=1
 //	                                     allocs/op, asserted — over-budget exits non-zero);
 //	                                     writes the final telemetry snapshot to -telemetry-o
+//	flowerbench -suite query             query plane: the streaming iterator engine vs the
+//	                                     frozen materialize-everything evaluator on the same
+//	                                     16-series scan and join+aggregate queries
 //	flowerbench -workers 8 -seed 7       pool width and experiment seed
 //	flowerbench -o report.json           report path ('-' for stdout, '' to skip)
 //
@@ -71,6 +74,12 @@ type report struct {
 	// scrape cost and the allocation budgets of the hot-path instruments
 	// (counter updates and reads must stay allocation-free).
 	Obs *obsReport `json:"obs,omitempty"`
+	// Query holds the query-plane suite (suite "query"): the streaming
+	// iterator engine versus the frozen materialize-everything evaluator
+	// on the same 16-series queries, with speedup and B/op / allocs/op
+	// factors (the two evaluators are proven bit-for-bit equivalent by
+	// internal/perfbench's tests).
+	Query *perfReport `json:"query,omitempty"`
 }
 
 // obsReport is the obs suite's section of the report.
@@ -213,11 +222,23 @@ type benchResult struct {
 // runPerfSuite executes the perfbench micro-benchmarks through
 // testing.Benchmark and derives the vs-legacy ratios.
 func runPerfSuite() *perfReport {
+	return runBenchSuite("perf: metric-pipeline micro-benchmarks", perfbench.Suite())
+}
+
+// runQuerySuite executes the query-plane benchmarks: the streaming
+// engine against the materialize-everything baseline evaluator.
+func runQuerySuite() *perfReport {
+	return runBenchSuite("query: streaming engine vs materializing baseline", perfbench.QuerySuite())
+}
+
+// runBenchSuite executes one named set of micro-benchmarks and derives
+// the vs-baseline ratio columns.
+func runBenchSuite(title string, benches []perfbench.Bench) *perfReport {
 	start := time.Now()
-	fmt.Println("=== suite perf: metric-pipeline micro-benchmarks ===")
+	fmt.Printf("=== suite %s ===\n", title)
 	byName := map[string]benchResult{}
 	rep := &perfReport{}
-	for _, bench := range perfbench.Suite() {
+	for _, bench := range benches {
 		r := testing.Benchmark(bench.F)
 		br := benchResult{
 			Name:        bench.Name,
@@ -232,7 +253,7 @@ func runPerfSuite() *perfReport {
 				// A baseline must precede its comparisons in the suite;
 				// a silent miss would drop the vs-legacy columns from the
 				// trajectory artifact.
-				log.Fatalf("perf suite: benchmark %q names baseline %q, which has not run", bench.Name, bench.Baseline)
+				log.Fatalf("bench suite: benchmark %q names baseline %q, which has not run", bench.Name, bench.Baseline)
 			}
 			if br.NsPerOp > 0 {
 				br.Speedup = base.NsPerOp / br.NsPerOp
@@ -260,7 +281,7 @@ func runPerfSuite() *perfReport {
 		fmt.Println(line)
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
-	fmt.Printf("  perf suite completed in %.1fs\n\n", rep.WallSeconds)
+	fmt.Printf("  suite completed in %.1fs\n\n", rep.WallSeconds)
 	return rep
 }
 
@@ -276,7 +297,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("flowerbench: ")
 
-	suite := flag.String("suite", "all", "comma-separated suites: all|controllers|windows|gamma|workloads|pareto|perf|sched|obs")
+	suite := flag.String("suite", "all", "comma-separated suites: all|controllers|windows|gamma|workloads|pareto|perf|sched|obs|query")
 	telemetryOut := flag.String("telemetry-o", "TELEMETRY_SNAPSHOT.prom", "with the obs suite: write the process's final telemetry snapshot (Prometheus text) to this path ('' to skip)")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool width (0: GOMAXPROCS)")
@@ -302,23 +323,25 @@ func main() {
 
 	// Parse the comma-separated selection; "all" is every lab suite plus
 	// the perf and sched measurement suites.
-	runPerf, runSched, runObs := false, false, false
+	runPerf, runSched, runObs, runQuery := false, false, false, false
 	var selected []string
 	for _, name := range strings.Split(*suite, ",") {
 		switch name = strings.TrimSpace(name); name {
 		case "":
 		case "all":
 			selected = append(selected, order...)
-			runPerf, runSched, runObs = true, true, true
+			runPerf, runSched, runObs, runQuery = true, true, true, true
 		case "perf":
 			runPerf = true
 		case "sched":
 			runSched = true
 		case "obs":
 			runObs = true
+		case "query":
+			runQuery = true
 		default:
 			if _, ok := suites[name]; !ok {
-				fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", name, "controllers|windows|gamma|workloads|pareto|perf|sched|obs")
+				fmt.Fprintf(os.Stderr, "flowerbench: unknown suite %q (want all|%s)\n", name, "controllers|windows|gamma|workloads|pareto|perf|sched|obs|query")
 				os.Exit(2)
 			}
 			selected = append(selected, name)
@@ -394,6 +417,9 @@ func main() {
 	}
 	if runObs {
 		rep.Obs = runObsSuite()
+	}
+	if runQuery {
+		rep.Query = runQuerySuite()
 	}
 	rep.WallSeconds = time.Since(start).Seconds()
 	fmt.Printf("farm completed in %v\n", time.Since(start).Round(time.Millisecond))

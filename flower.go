@@ -125,6 +125,27 @@
 // `flowctl watch` / `flowmon -follow` bring the streams to the terminal.
 // See API.md ("Read plane").
 //
+// # Query plane
+//
+// Ad-hoc analysis goes through a streaming query engine (internal/query)
+// exposed at POST /v1/query: composable pipelines — select (flow/ns/name
+// globs + exact dimensions), window, filter, map, epoch-aligned
+// resample, cross-flow/cross-metric join on bucket starts, topk, limit
+// and agg — written in a pipe syntax or the equivalent JSON AST.
+// Operator chains iterate zero-copy views of the columnar store under
+// each flow's lock (timeseries.View.Align yields per-bucket sub-views
+// without copying), a terminal aggregate fuses into the streaming pass,
+// and a greedy planner resolves selects once, pushes window/resample
+// down to the View layer and evaluates the more selective join side
+// first — ?explain=1 reports every decision without running. batchQuery
+// and the single-metric route are now sugar over the same executor, so
+// every read surface agrees bucket for bucket. The SDK exposes
+// Query/QueryPlan/QueryExplain, `flowctl query` renders the tables, and
+// `flowerbench -suite query` holds the bar: the engine must beat the
+// frozen materialize-everything evaluator on bytes and allocations for
+// the 16-series join+aggregate query while staying bit-for-bit
+// identical to it. See API.md ("Query plane").
+//
 // # Self-telemetry
 //
 // The plane watches itself with a zero-dependency metrics registry

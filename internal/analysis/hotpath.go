@@ -25,7 +25,9 @@ func (*hotPath) Doc() string {
 
 // hotPathPackages are the packages on the per-tick path: every simulated
 // platform publisher plus the control loop and the simulation harness
-// that drives them.
+// that drives them — and the query engine, whose executor runs under
+// entry locks while pacers append, so per-row resolution or map-keyed
+// reads there would stall every writer.
 var hotPathPackages = map[string]bool{
 	"repro/internal/stream":   true,
 	"repro/internal/compute":  true,
@@ -34,6 +36,7 @@ var hotPathPackages = map[string]bool{
 	"repro/internal/billing":  true,
 	"repro/internal/control":  true,
 	"repro/internal/sim":      true,
+	"repro/internal/query":    true,
 }
 
 // storeWrappers are the map-keyed compatibility methods of

@@ -8,15 +8,19 @@ import (
 	apiv1 "repro/api/v1"
 	"repro/internal/core"
 	"repro/internal/metricstore"
+	"repro/internal/query"
 	"repro/internal/timeseries"
 )
 
 // Columnar batch queries: POST /v1/metrics:batchQuery evaluates many
 // (flow, metric, window, resample) selectors in one request. Selectors
 // are grouped by flow so each flow's lock is taken once per batch, every
-// series is answered from the columnar store and serialized as parallel
-// ts/vs arrays (no per-point structs), and per-selector failures are
-// reported inline instead of failing the batch. The HTML dashboard's
+// series is answered as parallel ts/vs arrays (no per-point structs),
+// and per-selector failures are reported inline instead of failing the
+// batch. Since the query plane landed, batchQuery is sugar over the
+// engine: each selector is a one-select pipeline evaluated by
+// query.EvalSelector — the same zero-copy streaming chain POST /v1/query
+// runs, with epoch-aligned resample buckets. The HTML dashboard's
 // sparkline collection runs through the same evaluation, so a dashboard
 // render is one grouped pass rather than one store query per panel.
 
@@ -40,10 +44,12 @@ type colResult struct {
 	err *apiv1.Error
 }
 
-// evalSelectorsLocked answers every selector against the manager's store.
-// It must run under the flow lock (inside Flow.View); the returned columns
-// belong to freshly materialised series, so they stay valid after the
-// lock is released.
+// evalSelectorsLocked answers every selector against the manager's store
+// through the query engine's streaming executor. It must run under the
+// flow lock (inside Flow.View); the returned columns are freshly owned,
+// so they stay valid after the lock is released. A selector naming a
+// metric the flow never published gets a typed not_found entry instead
+// of failing the batch.
 func evalSelectorsLocked(m *core.Manager, sels []selector) []colResult {
 	out := make([]colResult, len(sels))
 	now := m.Harness().Clock.Now()
@@ -55,13 +61,8 @@ func evalSelectorsLocked(m *core.Manager, sels []selector) []colResult {
 			out[i].err = &apiv1.Error{Code: apiv1.CodeNotFound, Message: "no such metric " + id.String()}
 			continue
 		}
-		series := h.Window(metricstore.WindowQuery{
-			From:   now.Add(-sel.window),
-			To:     now.Add(time.Nanosecond),
-			Period: sel.period,
-			Stat:   sel.stat,
-		})
-		out[i].ts, out[i].vs = series.Columns()
+		out[i].ts, out[i].vs = query.EvalSelector(h,
+			now.Add(-sel.window), now.Add(time.Nanosecond), sel.period, sel.stat)
 	}
 	return out
 }

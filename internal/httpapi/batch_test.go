@@ -119,7 +119,15 @@ func TestBatchQueryPerSelectorErrors(t *testing.T) {
 			t.Errorf("selector %d: healthy selector returned no data", i)
 		case want != "" && (res.Error == nil || res.Error.Code != want):
 			t.Errorf("selector %d: error = %+v, want code %q", i, res.Error, want)
+		case want != "" && len(res.Ts) != 0:
+			t.Errorf("selector %d: failed selector carries %d points; error entries must stay empty", i, len(res.Ts))
 		}
+	}
+	// The failed selectors must still serialize empty (non-null) columns so
+	// columnar consumers can zip ts/vs without nil checks.
+	raw := do(t, s, http.MethodPost, "/v1/metrics:batchQuery", body, nil)
+	if !strings.Contains(raw.Body.String(), `"ts":[]`) {
+		t.Fatalf("error entries lost their empty ts columns: %.300s", raw.Body.String())
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metricstore"
 	"repro/internal/monitor"
 	"repro/internal/persist"
+	"repro/internal/query"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -471,25 +472,27 @@ func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request, f *r
 		}
 	}
 
-	var series *timeseries.Series
+	// Evaluated by the query engine's streaming chain, so the single-metric
+	// endpoint, batchQuery, and /v1/query all agree — including the
+	// engine's epoch-aligned resample buckets.
+	var ts []int64
+	var vs []float64
+	found := false
 	f.View(func(m *core.Manager) {
 		now := m.Harness().Clock.Now()
 		if h, ok := m.Store().Lookup(ns, name, dims); ok {
-			series = h.Window(metricstore.WindowQuery{
-				From:   now.Add(-window),
-				To:     now.Add(time.Nanosecond),
-				Period: period,
-				Stat:   stat,
-			})
+			found = true
+			ts, vs = query.EvalSelector(h,
+				now.Add(-window), now.Add(time.Nanosecond), period, stat)
 		}
 	})
-	if series == nil {
+	if !found {
 		id := metricstore.MetricID{Namespace: ns, Name: name, Dimensions: dims}
 		writeError(w, http.StatusNotFound, apiv1.CodeNotFound, "query: no such metric %s", id)
 		return
 	}
 
-	total := series.Len()
+	total := len(ts)
 	resp := apiv1.Series{
 		Namespace: ns, Name: name,
 		Stat: stat.String(), Period: period.String(),
@@ -503,8 +506,7 @@ func (s *Server) handleQueryMetrics(w http.ResponseWriter, r *http.Request, f *r
 		resp.NextOffset = &next
 	}
 	for i := offset; i < end; i++ {
-		p := series.At(i)
-		resp.Points = append(resp.Points, apiv1.Point{T: p.T, V: p.V})
+		resp.Points = append(resp.Points, apiv1.Point{T: time.Unix(0, ts[i]).UTC(), V: vs[i]})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,103 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestQueryUnderLoad streams long pipeline queries — glob selects fanning
+// out across every flow, a cross-metric join, and a fused aggregate —
+// while 200 flows pace on the shared scheduler and a lab grid settles.
+// The engine reads each flow's store under its flow lock while the pacers
+// append through the same locks; run with -race to prove the iterator
+// chains never observe a torn View. Without -race the test still asserts
+// every query answers 200 and the query-plane counters move.
+func TestQueryUnderLoad(t *testing.T) {
+	reg := registry.New()
+	t.Cleanup(reg.Close)
+
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 200
+	for i := 0; i < flows; i++ {
+		id := fmt.Sprintf("qload-%03d", i)
+		spec.Name = id
+		f, err := reg.Create(id, spec, sim.Options{Step: 10 * time.Second, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.StartPacing(600, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewServer(reg)
+	t.Cleanup(s.Lab().Close)
+
+	// A small experiment grid runs alongside the pacers, same as the
+	// telemetry race test, so lab trial workers contend too.
+	rec := do(t, s, http.MethodPost, "/v1/experiments",
+		`{"id": "query-load", "spec": `+labSpecJSON("query-load", 5)+`}`, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create experiment: %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	queries := []string{
+		// Fan out over every paced flow, stream a filtered resample.
+		`select flow=qload-* ns=Ingestion/Stream name=IncomingRecords | window 30m | filter v >= 0 | resample 1m avg`,
+		// Cross-metric join with an expression, fused aggregate sink.
+		`select flow=qload-* ns=Analytics/Compute name=CPUUtilization | window 30m | resample 1m avg | join 1m l/r (select flow=qload-* ns=Ingestion/Stream name=IncomingRecords | resample 1m avg) | agg max`,
+		// Percentile aggregation plus ranking sinks.
+		`select flow=qload-* ns=Storage/KVStore name=ConsumedWriteCapacityUnits | window 30m | resample 1m p99 | topk 10 | limit 5`,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := queries[w%len(queries)]
+			body := `{"q": ` + fmt.Sprintf("%q", q) + `}`
+			for i := 0; i < 40; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+				rr := httptest.NewRecorder()
+				s.ServeHTTP(rr, req)
+				if rr.Code != http.StatusOK {
+					t.Errorf("query %q: status %d (%s)", q, rr.Code, rr.Body.String())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitExperiment(t, s, "query-load")
+
+	if counterValue(t, "flower_query_rows_total") == 0 {
+		t.Fatal("query plane streamed no rows under load")
+	}
+	snap := telemetry.Default().Snapshot()
+	queriesTotal := snap.Find("flower_query_queries_total")
+	if queriesTotal == nil {
+		t.Fatal("flower_query_queries_total not registered")
+	}
+	var ok float64
+	for _, m := range queriesTotal.Metrics {
+		if len(m.LabelValues) == 1 && m.LabelValues[0] == "ok" {
+			ok = m.Value
+		}
+	}
+	if ok < 240 {
+		t.Fatalf("flower_query_queries_total{outcome=ok} = %v, want >= 240", ok)
+	}
+}

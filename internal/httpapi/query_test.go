@@ -1,0 +1,181 @@
+package httpapi
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	apiv1 "repro/api/v1"
+)
+
+// postQuery POSTs a query-plane request body and decodes the response.
+func postQuery(t *testing.T, s *Server, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	return do(t, s, http.MethodPost, path, body, out)
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	var resp apiv1.QueryResponse
+	rec := postQuery(t, s, "/v1/query",
+		`{"q": "select flow=clicks ns=Ingestion/Stream name=IncomingRecords | window 10m | resample 1m avg"}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("%d series, want 1", len(resp.Results))
+	}
+	ser := resp.Results[0]
+	if ser.Flow != "clicks" || ser.Namespace != "Ingestion/Stream" || ser.Name != "IncomingRecords" {
+		t.Fatalf("series identity = %+v", ser)
+	}
+	if len(ser.Ts) == 0 || len(ser.Ts) != len(ser.Vs) {
+		t.Fatalf("columns: %d ts, %d vs", len(ser.Ts), len(ser.Vs))
+	}
+	if resp.Stats.Series != 1 || resp.Stats.Rows != len(ser.Ts) {
+		t.Fatalf("stats = %+v, want series 1 rows %d", resp.Stats, len(ser.Ts))
+	}
+	if resp.Stats.PlanNanos <= 0 || resp.Stats.ExecNanos <= 0 {
+		t.Fatalf("stats timings = %+v, want both positive", resp.Stats)
+	}
+	if strings.Contains(rec.Body.String(), "\n  ") {
+		t.Fatal("query response is indented; the bulk path must stay compact")
+	}
+}
+
+// TestQueryMatchesBatchQuery pins the sugar relationship: a one-selector
+// batch query and the equivalent pipeline return identical columns,
+// because batchQuery now evaluates through the engine.
+func TestQueryMatchesBatchQuery(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	var q apiv1.QueryResponse
+	rec := postQuery(t, s, "/v1/query",
+		`{"q": "select flow=clicks ns=Analytics/Compute name=CPUUtilization dim.Topology=clicks | window 15m | resample 1m avg"}`, &q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var batch apiv1.BatchQueryResponse
+	rec = do(t, s, http.MethodPost, "/v1/metrics:batchQuery",
+		`{"queries": [{"flow": "clicks", "ns": "Analytics/Compute", "name": "CPUUtilization", "dims": {"Topology": "clicks"}, "stat": "avg", "window": "15m", "period": "1m"}]}`, &batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if len(q.Results) != 1 || len(batch.Results) != 1 {
+		t.Fatalf("series counts: query %d, batch %d", len(q.Results), len(batch.Results))
+	}
+	qs, bs := q.Results[0], batch.Results[0]
+	if len(qs.Ts) == 0 || len(qs.Ts) != len(bs.Ts) {
+		t.Fatalf("column lengths: query %d, batch %d", len(qs.Ts), len(bs.Ts))
+	}
+	for i := range qs.Ts {
+		if qs.Ts[i] != bs.Ts[i] || qs.Vs[i] != bs.Vs[i] {
+			t.Fatalf("point %d: query (%d, %v), batch (%d, %v)", i, qs.Ts[i], qs.Vs[i], bs.Ts[i], bs.Vs[i])
+		}
+	}
+}
+
+func TestQueryJSONPlan(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	pipe := `{"q": "select flow=clicks ns=Ingestion/Stream name=IncomingRecords | window 10m | resample 1m max"}`
+	ast := `{"plan": {"stages": [
+		{"op": "select", "flow": "clicks", "ns": "Ingestion/Stream", "name": "IncomingRecords"},
+		{"op": "window", "window": "10m"},
+		{"op": "resample", "period": "1m", "stat": "max"}
+	]}}`
+	var fromPipe, fromAST apiv1.QueryResponse
+	if rec := postQuery(t, s, "/v1/query", pipe, &fromPipe); rec.Code != http.StatusOK {
+		t.Fatalf("pipe query: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if rec := postQuery(t, s, "/v1/query", ast, &fromAST); rec.Code != http.StatusOK {
+		t.Fatalf("AST query: %d (%s)", rec.Code, rec.Body.String())
+	}
+	a, _ := json.Marshal(fromPipe.Results)
+	b, _ := json.Marshal(fromAST.Results)
+	if string(a) != string(b) {
+		t.Fatalf("pipe and AST results differ:\npipe: %.300s\nast:  %.300s", a, b)
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	var resp apiv1.QueryExplainResponse
+	rec := postQuery(t, s, "/v1/query?explain=1",
+		`{"q": "select flow=clicks ns=Ingestion/Stream name=IncomingRecords | window 10m | resample 1m avg | topk 2"}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if len(resp.Steps) == 0 || resp.Text == "" {
+		t.Fatalf("explain = %+v", resp)
+	}
+	for _, want := range []string{"select", "[pushdown]", "topk"} {
+		if !strings.Contains(resp.Text, want) {
+			t.Errorf("explain text missing %q:\n%s", want, resp.Text)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty body", `{}`},
+		{"bad json", `{`},
+		{"syntax error", `{"q": "select flow=clicks | bogus 1m"}`},
+		{"stage order", `{"q": "window 10m | select flow=clicks ns=A name=B"}`},
+		{"bad plan", `{"plan": {"stages": [{"op": "window", "window": "10m"}]}}`},
+	} {
+		rec := postQuery(t, s, "/v1/query", tc.body, nil)
+		wantEnvelope(t, rec, http.StatusBadRequest, apiv1.CodeInvalidArgument)
+		if t.Failed() {
+			t.Fatalf("case %q", tc.name)
+		}
+	}
+
+	// A selector matching nothing is an empty result, not an error.
+	var resp apiv1.QueryResponse
+	rec := postQuery(t, s, "/v1/query", `{"q": "select flow=nope ns=A name=B"}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty match: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if len(resp.Results) != 0 || resp.Stats.Rows != 0 {
+		t.Fatalf("empty match returned data: %+v", resp)
+	}
+}
+
+func TestQueryGzip(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	body := `{"q": "select flow=clicks ns=Ingestion/Stream name=IncomingRecords | window 15m"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+	req.Header.Set("Accept-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d (%s)", rec.Code, rec.Body.String())
+	}
+	if enc := rec.Header().Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", enc)
+	}
+	gz, err := gzip.NewReader(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gz.Close()
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("decompressed query body is not valid JSON")
+	}
+}

@@ -164,6 +164,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/watch", s.handleWatchMux)
 	s.mux.HandleFunc("POST /v1/metrics:batchQuery", withGzip(s.handleBatchQuery))
 
+	// The query plane: pipeline queries over every flow's metric store,
+	// streamed by internal/query; ?explain=1 returns the plan. Columnar
+	// compact JSON, gzip like the batch route.
+	s.mux.HandleFunc("POST /v1/query", withGzip(s.handleQuery))
+
 	// The execution plane: live scheduler shape and counters.
 	s.mux.HandleFunc("GET /v1/scheduler", s.handleSchedulerStats)
 

@@ -112,6 +112,20 @@ func (h *Handle) Window(q WindowQuery) *timeseries.Series {
 	return h.s.window(h.e, q.From, q.To, q.Period, q.Stat)
 }
 
+// ViewWindow runs fn with a zero-copy view of the datapoints in [from, to)
+// — a zero to means "through the newest datapoint" — plus the entry's
+// reusable percentile scratch, all under the metric's lock. This is the
+// query engine's evaluation hook: an operator chain streams over the view
+// in place and materialises only its (usually much smaller) output. fn
+// must not retain the view or the scratch past the call, and must not call
+// back into the store for the same metric.
+func (h *Handle) ViewWindow(from, to time.Time, fn func(v timeseries.View, sc *timeseries.AggScratch)) {
+	e := h.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn(e.ts.View(from, e.resolveTo(to)), &e.scratch)
+}
+
 // WindowValues appends the raw values in [from, to) to dst and returns the
 // extended slice — a zero To means "through the newest datapoint", as for
 // Stat and Window — so repeat pollers reuse one buffer instead of

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metricstore"
 	"repro/internal/telemetry"
 )
 
@@ -32,6 +33,11 @@ func ObsSuite() []ObsBench {
 		{Name: "vec_with_inc", MaxAllocs: 0, F: benchVecWithInc},
 		{Name: "histogram_observe", MaxAllocs: 0, F: benchHistogramObserve},
 		{Name: "tracer_begin_unsampled", MaxAllocs: 0, F: benchTracerBeginUnsampled},
+		// The full hot write — Handle.Append on a warmed ring under
+		// retention, instruments included. Query-plane reads share the
+		// entry lock with this path, so the budget doubles as a guard
+		// that read-side changes never push allocations into the writer.
+		{Name: "handle_append_hot", MaxAllocs: 0, F: benchHandleAppendHot},
 		// The read side: one counter read may spend at most one allocation
 		// (the acceptance budget; the implementation spends none).
 		{Name: "counter_read", MaxAllocs: 1, F: benchCounterRead},
@@ -109,6 +115,27 @@ func benchTracerBeginUnsampled(b *testing.B) {
 	for b.Loop() {
 		if t := tr.Begin("bench"); t != nil {
 			telemetry.Traces.Abandon(t)
+		}
+	}
+}
+
+// benchHandleAppendHot measures the steady-state hot write: a ring warmed
+// past its growth phase under a 10-minute retention window, so every
+// iteration is lock + ring write + telemetry and nothing else.
+func benchHandleAppendHot(b *testing.B) {
+	s := metricstore.NewStore()
+	s.SetRetention(10 * time.Minute)
+	h := s.MustHandle("Ingestion/Stream", "IncomingRecords", benchDims)
+	const warm = 2048 // > retention at 1 Hz: the ring has wrapped
+	for i := 0; i < warm; i++ {
+		if err := h.Append(benchTime(i), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := warm; b.Loop(); i++ {
+		if err := h.Append(benchTime(i), float64(i)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -9,6 +9,7 @@ func BenchmarkObsCounterRead(b *testing.B)          { RunObs(b, "counter_read") 
 func BenchmarkObsVecWithInc(b *testing.B)           { RunObs(b, "vec_with_inc") }
 func BenchmarkObsHistogramObserve(b *testing.B)     { RunObs(b, "histogram_observe") }
 func BenchmarkObsTracerBeginUnsampled(b *testing.B) { RunObs(b, "tracer_begin_unsampled") }
+func BenchmarkObsHandleAppendHot(b *testing.B)      { RunObs(b, "handle_append_hot") }
 func BenchmarkObsScrapeSnapshot(b *testing.B)       { RunObs(b, "scrape_snapshot") }
 func BenchmarkObsScrapeProm(b *testing.B)           { RunObs(b, "scrape_prom_text") }
 

@@ -1,0 +1,260 @@
+package perfbench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metricstore"
+	"repro/internal/query"
+	"repro/internal/simtime"
+	"repro/internal/timeseries"
+)
+
+// Query-plane benchmarks: the streaming iterator engine (internal/query)
+// versus a frozen materialize-everything evaluator — the style every
+// read-path caller used before the engine existed: materialise the whole
+// raw window per series, materialise every resample bucket, materialise
+// both join sides, then aggregate. Both evaluators answer the same
+// 16-series queries over the same stores, and TestQueryEngineMatchesNaive
+// asserts their outputs are bit-for-bit identical, so the speedup columns
+// compare two provably equivalent implementations.
+
+const (
+	queryFlows  = 16
+	queryPoints = 600 // 1 Hz history per series
+	queryNS     = "Analytics/Cluster"
+	queryLeft   = "RequestLatencyMs"
+	queryRight  = "AllocatedVMs"
+)
+
+// The two benchmark shapes. Scan+agg is the cheapest useful query (the
+// engine streams it without materialising anything); join+agg is the
+// acceptance-bar query: 16 series resampled, joined per flow and fused
+// into one aggregate point each.
+const (
+	queryScanAggQ = "select flow=qb-* ns=" + queryNS + " name=" + queryLeft +
+		" | window 10m | agg avg"
+	queryJoinAggQ = "select flow=qb-* ns=" + queryNS + " name=" + queryLeft +
+		" | window 10m | resample 1m avg" +
+		" | join 1m l/r (select flow=qb-* ns=" + queryNS + " name=" + queryRight +
+		" | window 10m | resample 1m avg)" +
+		" | agg max"
+)
+
+var (
+	querySrcOnce sync.Once
+	querySrcInst query.StaticSource
+	querySrcErr  error
+)
+
+// getQuerySource builds (once) the 16-flow static source both evaluators
+// read: per flow, queryPoints of 1 Hz latency history plus a small
+// step-shaped VM count, all ending at the shared "now".
+func getQuerySource() (query.StaticSource, error) {
+	querySrcOnce.Do(func() { querySrcInst, querySrcErr = buildQuerySource() })
+	return querySrcInst, querySrcErr
+}
+
+func buildQuerySource() (query.StaticSource, error) {
+	base := simtime.Epoch
+	now := base.Add((queryPoints - 1) * time.Second)
+	src := make(query.StaticSource, queryFlows)
+	for f := 0; f < queryFlows; f++ {
+		s := metricstore.NewStore()
+		lat := s.MustHandle(queryNS, queryLeft, nil)
+		vms := s.MustHandle(queryNS, queryRight, nil)
+		for i := 0; i < queryPoints; i++ {
+			t := base.Add(time.Duration(i) * time.Second)
+			if err := lat.Append(t, 100+float64(f)+float64(i%60)); err != nil {
+				return nil, err
+			}
+			if err := vms.Append(t, float64(2+(f+i/200)%3)); err != nil {
+				return nil, err
+			}
+		}
+		src[fmt.Sprintf("qb-%02d", f)] = query.StaticFlow{Store: s, Now: now}
+	}
+	return src, nil
+}
+
+// NaiveSeries is one series of a naive evaluation, in the engine's
+// column shape so equivalence checks compare directly.
+type NaiveSeries struct {
+	Flow string
+	Ts   []int64
+	Vs   []float64
+}
+
+// naiveWindow materialises the raw [now-window, now] datapoints of one
+// metric as an independent series — the legacy read pattern.
+func naiveWindow(h *metricstore.Handle, now time.Time, window time.Duration) *timeseries.Series {
+	return h.Window(metricstore.WindowQuery{
+		From: now.Add(-window),
+		To:   now.Add(time.Nanosecond),
+	})
+}
+
+// naiveResample buckets a materialised series into epoch-aligned periods
+// the materialising way: one []float64 per bucket, then one Apply per
+// bucket.
+func naiveResample(s *timeseries.Series, period time.Duration, stat timeseries.Agg) (ts []int64, vs []float64) {
+	buckets := make(map[int64][]float64)
+	var order []int64
+	for i := 0; i < s.Len(); i++ {
+		p := s.At(i)
+		b := timeseries.BucketStart(p.T.UnixNano(), period)
+		if _, ok := buckets[b]; !ok {
+			order = append(order, b) // points arrive in time order
+		}
+		buckets[b] = append(buckets[b], p.V)
+	}
+	for _, b := range order {
+		ts = append(ts, b)
+		vs = append(vs, stat.Apply(buckets[b]))
+	}
+	return ts, vs
+}
+
+// NaiveScanAgg evaluates queryScanAggQ by materialisation: the full raw
+// window per flow, copied again into a values slice, one aggregate point
+// at the window's last timestamp.
+func NaiveScanAgg(src query.StaticSource) []NaiveSeries {
+	var out []NaiveSeries
+	for _, id := range src.FlowIDs() {
+		src.WithFlow(id, func(store *metricstore.Store, now time.Time) {
+			h, ok := store.Lookup(queryNS, queryLeft, nil)
+			if !ok {
+				return
+			}
+			raw := naiveWindow(h, now, 10*time.Minute)
+			if raw.Len() == 0 {
+				return
+			}
+			vals := make([]float64, raw.Len())
+			for i := range vals {
+				vals[i] = raw.At(i).V
+			}
+			out = append(out, NaiveSeries{
+				Flow: id,
+				Ts:   []int64{raw.At(raw.Len() - 1).T.UnixNano()},
+				Vs:   []float64{timeseries.AggMean.Apply(vals)},
+			})
+		})
+	}
+	return out
+}
+
+// NaiveJoinAgg evaluates queryJoinAggQ by materialisation: both raw
+// windows, both resampled bucket sets, a map-backed join, and one final
+// aggregate per flow.
+func NaiveJoinAgg(src query.StaticSource) []NaiveSeries {
+	var out []NaiveSeries
+	for _, id := range src.FlowIDs() {
+		src.WithFlow(id, func(store *metricstore.Store, now time.Time) {
+			left, lok := store.Lookup(queryNS, queryLeft, nil)
+			right, rok := store.Lookup(queryNS, queryRight, nil)
+			if !lok || !rok {
+				return
+			}
+			lts, lvs := naiveResample(naiveWindow(left, now, 10*time.Minute), time.Minute, timeseries.AggMean)
+			rts, rvs := naiveResample(naiveWindow(right, now, 10*time.Minute), time.Minute, timeseries.AggMean)
+			byBucket := make(map[int64]float64, len(rts))
+			for i, t := range rts {
+				byBucket[t] = rvs[i]
+			}
+			var joined []float64
+			var lastT int64
+			for i, t := range lts {
+				if rv, ok := byBucket[t]; ok {
+					joined = append(joined, lvs[i]/rv)
+					lastT = t
+				}
+			}
+			if len(joined) == 0 {
+				return
+			}
+			out = append(out, NaiveSeries{
+				Flow: id,
+				Ts:   []int64{lastT},
+				Vs:   []float64{timeseries.AggMax.Apply(joined)},
+			})
+		})
+	}
+	return out
+}
+
+// QuerySuite returns the query-plane benchmarks in report order: each
+// engine benchmark against its materialize-everything baseline.
+func QuerySuite() []Bench {
+	return []Bench{
+		{Name: "query_scan_agg_x16_naive", F: benchQueryScanAggNaive},
+		{Name: "query_scan_agg_x16", Baseline: "query_scan_agg_x16_naive", F: benchQueryScanAggEngine},
+		{Name: "query_join_agg_x16_naive", F: benchQueryJoinAggNaive},
+		{Name: "query_join_agg_x16", Baseline: "query_join_agg_x16_naive", F: benchQueryJoinAggEngine},
+	}
+}
+
+// RunQuery executes the named query benchmark; it reports failure on an
+// unknown name.
+func RunQuery(b *testing.B, name string) {
+	b.Helper()
+	for _, bench := range QuerySuite() {
+		if bench.Name == name {
+			bench.F(b)
+			return
+		}
+	}
+	b.Fatalf("perfbench: no query benchmark named %q", name)
+}
+
+func benchQuerySource(b *testing.B) query.StaticSource {
+	b.Helper()
+	src, err := getQuerySource()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+func benchEngineQuery(b *testing.B, q string, wantSeries int) {
+	src := benchQuerySource(b)
+	b.ReportAllocs()
+	for b.Loop() {
+		pl, err := query.Prepare(src, q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := pl.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) != wantSeries {
+			b.Fatalf("%d series, want %d", len(res.Series), wantSeries)
+		}
+	}
+}
+
+func benchQueryScanAggEngine(b *testing.B) { benchEngineQuery(b, queryScanAggQ, queryFlows) }
+func benchQueryJoinAggEngine(b *testing.B) { benchEngineQuery(b, queryJoinAggQ, queryFlows) }
+
+func benchQueryScanAggNaive(b *testing.B) {
+	src := benchQuerySource(b)
+	b.ReportAllocs()
+	for b.Loop() {
+		if out := NaiveScanAgg(src); len(out) != queryFlows {
+			b.Fatalf("%d series, want %d", len(out), queryFlows)
+		}
+	}
+}
+
+func benchQueryJoinAggNaive(b *testing.B) {
+	src := benchQuerySource(b)
+	b.ReportAllocs()
+	for b.Loop() {
+		if out := NaiveJoinAgg(src); len(out) != queryFlows {
+			b.Fatalf("%d series, want %d", len(out), queryFlows)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package perfbench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// The query suite doubles as go-test benchmarks.
+func BenchmarkQueryScanAggNaive(b *testing.B)  { RunQuery(b, "query_scan_agg_x16_naive") }
+func BenchmarkQueryScanAggEngine(b *testing.B) { RunQuery(b, "query_scan_agg_x16") }
+func BenchmarkQueryJoinAggNaive(b *testing.B)  { RunQuery(b, "query_join_agg_x16_naive") }
+func BenchmarkQueryJoinAggEngine(b *testing.B) { RunQuery(b, "query_join_agg_x16") }
+
+// TestQueryEngineMatchesNaive is the equivalence proof behind the speedup
+// columns: for both benchmark shapes, the streaming engine and the
+// materialize-everything evaluator must produce bit-for-bit identical
+// series — same flows, same timestamps, same float64 bit patterns.
+func TestQueryEngineMatchesNaive(t *testing.T) {
+	src, err := getQuerySource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		q     string
+		naive func(query.StaticSource) []NaiveSeries
+	}{
+		{"scan_agg", queryScanAggQ, NaiveScanAgg},
+		{"join_agg", queryJoinAggQ, NaiveJoinAgg},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pl, err := query.Prepare(src, tc.q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pl.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.naive(src)
+			if len(res.Series) != len(want) {
+				t.Fatalf("engine %d series, naive %d", len(res.Series), len(want))
+			}
+			for i, ser := range res.Series {
+				ns := want[i]
+				if ser.Flow != ns.Flow {
+					t.Fatalf("series %d: engine flow %q, naive %q", i, ser.Flow, ns.Flow)
+				}
+				if len(ser.Ts) != len(ns.Ts) {
+					t.Fatalf("series %s: engine %d points, naive %d", ser.Flow, len(ser.Ts), len(ns.Ts))
+				}
+				for j := range ser.Ts {
+					if ser.Ts[j] != ns.Ts[j] {
+						t.Errorf("series %s point %d: engine ts %d, naive %d", ser.Flow, j, ser.Ts[j], ns.Ts[j])
+					}
+					if math.Float64bits(ser.Vs[j]) != math.Float64bits(ns.Vs[j]) {
+						t.Errorf("series %s point %d: engine %v (%x), naive %v (%x)",
+							ser.Flow, j, ser.Vs[j], math.Float64bits(ser.Vs[j]), ns.Vs[j], math.Float64bits(ns.Vs[j]))
+					}
+				}
+			}
+		})
+	}
+}

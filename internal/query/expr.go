@@ -1,0 +1,224 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Arithmetic expressions for the map stage (over v, the point value) and
+// the join stage (over l and r, the two sides' bucket values). The
+// grammar is + - * / with unary minus and parentheses; an expression
+// compiles once at plan time to a small tree evaluated per point with no
+// allocation.
+
+var (
+	exprVarsV  = []string{"v"}
+	exprVarsLR = []string{"l", "r"}
+)
+
+// exprNode is one compiled expression node.
+type exprNode struct {
+	op   byte // 'n' literal, 'v' variable, '+', '-', '*', '/', 'g' negate
+	val  float64
+	idx  int // variable index: 0 = v or l, 1 = r
+	l, r *exprNode
+}
+
+// eval computes the expression; a is v (map) or l (join), b is r (join).
+func (e *exprNode) eval(a, b float64) float64 {
+	switch e.op {
+	case 'n':
+		return e.val
+	case 'v':
+		if e.idx == 0 {
+			return a
+		}
+		return b
+	case 'g':
+		return -e.l.eval(a, b)
+	case '+':
+		return e.l.eval(a, b) + e.r.eval(a, b)
+	case '-':
+		return e.l.eval(a, b) - e.r.eval(a, b)
+	case '*':
+		return e.l.eval(a, b) * e.r.eval(a, b)
+	default: // '/'
+		return e.l.eval(a, b) / e.r.eval(a, b)
+	}
+}
+
+// exprParser is a recursive-descent parser over a byte cursor.
+type exprParser struct {
+	src  string
+	pos  int
+	vars []string
+}
+
+func parseExpr(src string, vars []string) (*exprNode, error) {
+	p := &exprParser{src: src, vars: vars}
+	if strings.TrimSpace(src) == "" {
+		return nil, errf("empty expression (variables: %s)", strings.Join(vars, ", "))
+	}
+	n, err := p.addSub()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, errf("expression %q: unexpected %q at offset %d", src, p.src[p.pos:], p.pos)
+	}
+	return n, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) addSub() (*exprNode, error) {
+	n, err := p.mulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c != '+' && c != '-' {
+			return n, nil
+		}
+		p.pos++
+		r, err := p.mulDiv()
+		if err != nil {
+			return nil, err
+		}
+		n = &exprNode{op: c, l: n, r: r}
+	}
+}
+
+func (p *exprParser) mulDiv() (*exprNode, error) {
+	n, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c := p.peek()
+		if c != '*' && c != '/' {
+			return n, nil
+		}
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		n = &exprNode{op: c, l: n, r: r}
+	}
+}
+
+func (p *exprParser) unary() (*exprNode, error) {
+	if p.peek() == '-' {
+		p.pos++
+		n, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &exprNode{op: 'g', l: n}, nil
+	}
+	return p.primary()
+}
+
+func (p *exprParser) primary() (*exprNode, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		n, err := p.addSub()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, errf("expression %q: missing )", p.src)
+		}
+		p.pos++
+		return n, nil
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+				p.pos++
+				continue
+			}
+			// exponent sign
+			if (c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+				p.pos++
+				continue
+			}
+			break
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return nil, errf("expression %q: bad number %q", p.src, p.src[start:p.pos])
+		}
+		return &exprNode{op: 'n', val: v}, nil
+	case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		name := p.src[start:p.pos]
+		for i, v := range p.vars {
+			if name == v {
+				return &exprNode{op: 'v', idx: i}, nil
+			}
+		}
+		return nil, errf("expression %q: unknown variable %q (have: %s)", p.src, name, strings.Join(p.vars, ", "))
+	case c == 0:
+		return nil, errf("expression %q: unexpected end", p.src)
+	default:
+		return nil, errf("expression %q: unexpected %q", p.src, string(c))
+	}
+}
+
+// matchGlob matches s against a pattern where * matches any (possibly
+// empty) run of characters; an empty pattern matches everything. It is
+// the only wildcard the select stage supports.
+func matchGlob(pattern, s string) bool {
+	if pattern == "" || pattern == "*" {
+		return true
+	}
+	px, sx := 0, 0
+	star, mark := -1, 0
+	for sx < len(s) {
+		switch {
+		case px < len(pattern) && (pattern[px] == s[sx]):
+			px++
+			sx++
+		case px < len(pattern) && pattern[px] == '*':
+			star, mark = px, sx
+			px++
+		case star >= 0:
+			px = star + 1
+			mark++
+			sx = mark
+		default:
+			return false
+		}
+	}
+	for px < len(pattern) && pattern[px] == '*' {
+		px++
+	}
+	return px == len(pattern)
+}

@@ -1,0 +1,212 @@
+package query
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The pipe syntax: stages separated by | at parenthesis depth zero, each
+// stage an op name followed by its arguments. It is a thin concrete
+// syntax over the Pipeline AST — Parse produces the same AST a client
+// could POST as JSON, and Compile treats both identically.
+//
+//	select flow=web-* ns=Ingestion/Stream name=IncomingRecords dim.StreamName=clicks
+//	window 30m
+//	filter v > 100          (also: filter v>100)
+//	map v*2+1
+//	resample 10s p99        (stat defaults to avg)
+//	join 10s l/r (select ... | resample 10s avg)   (expr optional)
+//	topk 5
+//	limit 100
+//	agg p99
+
+// Parse parses the pipe syntax into the Pipeline AST. The result still
+// goes through Compile, which owns all semantic validation; Parse only
+// rejects what cannot be represented.
+func Parse(q string) (*Pipeline, error) {
+	if len(q) > MaxQueryLen {
+		return nil, errf("query text of %d bytes exceeds the %d-byte limit", len(q), MaxQueryLen)
+	}
+	if strings.TrimSpace(q) == "" {
+		return nil, errf("empty query")
+	}
+	return parsePipeline(q)
+}
+
+func parsePipeline(q string) (*Pipeline, error) {
+	parts, err := splitTop(q, '|')
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{}
+	for _, part := range parts {
+		st, err := parseStage(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Stages = append(p.Stages, st)
+	}
+	return p, nil
+}
+
+// splitTop splits s on sep at parenthesis depth zero, trimming each part
+// and rejecting empties and unbalanced parens.
+func splitTop(s string, sep byte) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, errf("unbalanced ) at offset %d", i)
+			}
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, errf("unbalanced ( in %q", s)
+	}
+	parts = append(parts, s[start:])
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+		if parts[i] == "" {
+			return nil, errf("empty stage (stray |?) in %q", s)
+		}
+	}
+	return parts, nil
+}
+
+func parseStage(s string) (Stage, error) {
+	op, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch op {
+	case "select":
+		return parseSelect(rest)
+	case "window":
+		if rest == "" {
+			return Stage{}, errf("window needs a duration, e.g. `window 30m`")
+		}
+		return Stage{Op: "window", Window: rest}, nil
+	case "filter":
+		return parseFilter(rest)
+	case "map":
+		if rest == "" {
+			return Stage{}, errf("map needs an expression over v, e.g. `map v*2+1`")
+		}
+		return Stage{Op: "map", Expr: rest}, nil
+	case "resample":
+		fields := strings.Fields(rest)
+		switch len(fields) {
+		case 1:
+			return Stage{Op: "resample", Period: fields[0], Stat: "avg"}, nil
+		case 2:
+			return Stage{Op: "resample", Period: fields[0], Stat: fields[1]}, nil
+		default:
+			return Stage{}, errf("resample wants `resample <period> [stat]`, got %q", s)
+		}
+	case "join":
+		return parseJoin(rest)
+	case "topk":
+		k, err := strconv.Atoi(rest)
+		if err != nil {
+			return Stage{}, errf("topk wants an integer, got %q", rest)
+		}
+		return Stage{Op: "topk", K: k}, nil
+	case "limit":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return Stage{}, errf("limit wants an integer, got %q", rest)
+		}
+		return Stage{Op: "limit", N: n}, nil
+	case "agg":
+		return Stage{Op: "agg", Stat: rest}, nil
+	default:
+		return Stage{}, errf("unknown stage %q (want select, window, filter, map, resample, join, topk, limit, agg)", op)
+	}
+}
+
+func parseSelect(rest string) (Stage, error) {
+	st := Stage{Op: "select"}
+	for _, f := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || v == "" {
+			return Stage{}, errf("select argument %q is not key=value", f)
+		}
+		switch {
+		case k == "flow":
+			st.Flow = v
+		case k == "ns":
+			st.Namespace = v
+		case k == "name":
+			st.Name = v
+		case strings.HasPrefix(k, "dim."):
+			dim := strings.TrimPrefix(k, "dim.")
+			if dim == "" {
+				return Stage{}, errf("select dimension %q has no name", f)
+			}
+			if st.Dims == nil {
+				st.Dims = make(map[string]string)
+			}
+			st.Dims[dim] = v
+		default:
+			return Stage{}, errf("unknown select key %q (want flow, ns, name, dim.<K>)", k)
+		}
+	}
+	return st, nil
+}
+
+// parseFilter accepts `v > 100` in any spacing, including `v>100`.
+func parseFilter(rest string) (Stage, error) {
+	compact := strings.ReplaceAll(strings.ReplaceAll(rest, " ", ""), "\t", "")
+	if !strings.HasPrefix(compact, "v") {
+		return Stage{}, errf("filter wants `filter v <cmp> <number>`, got %q", rest)
+	}
+	compact = compact[1:]
+	var cmp string
+	for _, c := range []string{">=", "<=", "==", "!=", ">", "<"} {
+		if strings.HasPrefix(compact, c) {
+			cmp = c
+			break
+		}
+	}
+	if cmp == "" {
+		return Stage{}, errf("filter %q: no comparison operator (want > >= < <= == !=)", rest)
+	}
+	val, err := strconv.ParseFloat(compact[len(cmp):], 64)
+	if err != nil {
+		return Stage{}, errf("filter %q: bad threshold %q", rest, compact[len(cmp):])
+	}
+	return Stage{Op: "filter", Cmp: cmp, Value: val}, nil
+}
+
+// parseJoin accepts `join <period> [expr] (<pipeline>)`.
+func parseJoin(rest string) (Stage, error) {
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return Stage{}, errf("join wants `join <period> [expr] (select ...)`, got %q", rest)
+	}
+	sub := rest[open+1 : len(rest)-1]
+	head := strings.Fields(rest[:open])
+	st := Stage{Op: "join"}
+	switch len(head) {
+	case 1:
+		st.Period = head[0]
+	case 2:
+		st.Period, st.Expr = head[0], head[1]
+	default:
+		return Stage{}, errf("join wants `join <period> [expr] (select ...)`, got %q", rest)
+	}
+	right, err := parsePipeline(sub)
+	if err != nil {
+		return Stage{}, err
+	}
+	st.Right = right
+	return st, nil
+}

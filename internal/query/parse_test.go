@@ -1,0 +1,200 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePipeline(t *testing.T) {
+	q := `select flow=web-* ns=Ingestion/Stream name=IncomingRecords dim.StreamName=clicks | window 30m | filter v > 100 | map v*2+1 | resample 10s p99 | topk 5 | limit 100`
+	p, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		ops[i] = s.Op
+	}
+	want := []string{"select", "window", "filter", "map", "resample", "topk", "limit"}
+	if strings.Join(ops, ",") != strings.Join(want, ",") {
+		t.Fatalf("ops %v, want %v", ops, want)
+	}
+	sel := p.Stages[0]
+	if sel.Flow != "web-*" || sel.Namespace != "Ingestion/Stream" || sel.Name != "IncomingRecords" || sel.Dims["StreamName"] != "clicks" {
+		t.Fatalf("select parsed as %+v", sel)
+	}
+	if p.Stages[2].Cmp != ">" || p.Stages[2].Value != 100 {
+		t.Fatalf("filter parsed as %+v", p.Stages[2])
+	}
+	if p.Stages[4].Period != "10s" || p.Stages[4].Stat != "p99" {
+		t.Fatalf("resample parsed as %+v", p.Stages[4])
+	}
+	if p.Stages[5].K != 5 || p.Stages[6].N != 100 {
+		t.Fatalf("sinks parsed as %+v %+v", p.Stages[5], p.Stages[6])
+	}
+	if _, err := Compile(p); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	q := `select flow=a name=lat | resample 10s p99 | join 10s l/r (select flow=a name=vms | resample 10s avg) | agg avg`
+	p, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join *Stage
+	for i := range p.Stages {
+		if p.Stages[i].Op == "join" {
+			join = &p.Stages[i]
+		}
+	}
+	if join == nil {
+		t.Fatal("no join stage parsed")
+	}
+	if join.Period != "10s" || join.Expr != "l/r" {
+		t.Fatalf("join parsed as %+v", join)
+	}
+	if join.Right == nil || len(join.Right.Stages) != 2 {
+		t.Fatalf("join right side parsed as %+v", join.Right)
+	}
+	if _, err := Compile(p); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestParseFilterSpacing(t *testing.T) {
+	for _, q := range []string{
+		"select flow=a | filter v>100",
+		"select flow=a | filter v > 100",
+		"select flow=a | filter v >=100",
+	} {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("%q: %v", q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ q, wantSub string }{
+		{"", "empty query"},
+		{"select flow=a | | window 3m", "empty stage"},
+		{"frobnicate", "unknown stage"},
+		{"select flow=a | filter v ~ 3", "comparison"},
+		{"select flow=a | join 10s (select flow=b", "unbalanced"},
+		{"select bogus", "not key=value"},
+		{"select k=v", "unknown select key"},
+		{strings.Repeat("x", MaxQueryLen+1), "byte limit"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.q)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%.40q) = %v, want error containing %q", c.q, err, c.wantSub)
+		}
+		if err != nil {
+			var qe *Error
+			if !errorAs(err, &qe) {
+				t.Errorf("Parse(%.40q) error is %T, want *query.Error", c.q, err)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ q, wantSub string }{
+		{"window 3m", "must start with select"},
+		{"select flow=a | select flow=b", "first stage"},
+		{"select flow=a | window 3m | window 4m", "once"},
+		{"select flow=a | topk 0", "topk k"},
+		{"select flow=a | limit 0", "limit n"},
+		{"select flow=a | resample 10s bogus", "unknown stat"},
+		{"select flow=a | resample 5s avg | join 10s (select flow=b)", "does not match"},
+		{"select flow=a | join 10s (select flow=b | join 5s (select flow=c))", "join inside a join side"},
+		{"select flow=a | join 10s (select flow=b | topk 3)", "join side"},
+		{"select flow=a | join 10s (select flow=b) | agg avg", "expression-less join"},
+		{"select flow=a | topk 3 | join 10s (select flow=b)", "one join per pipeline"},
+		{"select flow=a | agg avg | agg sum", "duplicate sink"},
+		{"select flow=a | map v+q", "unknown variable"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.q)
+		if err == nil {
+			_, err = Compile(p)
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Compile(%q) = %v, want error containing %q", c.q, err, c.wantSub)
+		}
+	}
+}
+
+func TestExpr(t *testing.T) {
+	cases := []struct {
+		src  string
+		a, b float64
+		want float64
+	}{
+		{"v", 3, 0, 3},
+		{"v*2+1", 3, 0, 7},
+		{"-v", 3, 0, -3},
+		{"(v+1)*(v-1)", 3, 0, 8},
+		{"1e3 + v", 2, 0, 1002},
+		{"l/r", 10, 4, 2.5},
+		{"l - r*2", 10, 4, 2},
+	}
+	for _, c := range cases {
+		vars := exprVarsV
+		if strings.ContainsAny(c.src, "lr") && !strings.Contains(c.src, "v") {
+			vars = exprVarsLR
+		}
+		e, err := parseExpr(c.src, vars)
+		if err != nil {
+			t.Fatalf("parseExpr(%q): %v", c.src, err)
+		}
+		if got := e.eval(c.a, c.b); got != c.want {
+			t.Errorf("%q eval(%v,%v) = %v, want %v", c.src, c.a, c.b, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "v+", "(v", "v x", "1.2.3", "v**2"} {
+		if _, err := parseExpr(bad, exprVarsV); err == nil {
+			t.Errorf("parseExpr(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMatchGlob(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"", "anything", true},
+		{"*", "anything", true},
+		{"web-*", "web-01", true},
+		{"web-*", "db-01", false},
+		{"*latency*", "request_latency_ms", true},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXbYY", false},
+		{"exact", "exact", true},
+		{"exact", "exac", false},
+	}
+	for _, c := range cases {
+		if got := matchGlob(c.pat, c.s); got != c.want {
+			t.Errorf("matchGlob(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+// errorAs avoids importing errors just for one assertion.
+func errorAs(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
