@@ -22,6 +22,17 @@ type SchedulerStats struct {
 	ExecutedBatch uint64 `json:"executed_batch"`
 	LateRuns      uint64 `json:"late_runs"`
 	SkippedTicks  uint64 `json:"skipped_ticks"`
+	// Steals counts run batches idle workers took from sibling shards;
+	// non-zero means work stealing is actively levelling load imbalance.
+	Steals uint64 `json:"steals"`
+	// Batches / BatchJobs count executed run batches and the jobs they
+	// carried; MeanBatch = batch_jobs / batches is how much shard-lock
+	// amortisation batched execution is winning, and MaxBatch is the
+	// largest batch any worker ran (capped by the scheduler's MaxBatch).
+	Batches   uint64  `json:"batches"`
+	BatchJobs uint64  `json:"batch_jobs"`
+	MeanBatch float64 `json:"mean_batch"`
+	MaxBatch  int     `json:"max_batch"`
 
 	PerShard []SchedulerShard `json:"per_shard"`
 }
@@ -44,6 +55,16 @@ type SchedulerShard struct {
 	// the bounded catch-up policy.
 	LateRuns     uint64 `json:"late_runs"`
 	SkippedTicks uint64 `json:"skipped_ticks"`
+	// Steals counts batches this shard's workers took from siblings;
+	// Stolen counts batches siblings took from this shard's queues.
+	Steals uint64 `json:"steals"`
+	Stolen uint64 `json:"stolen"`
+	// Batches / BatchJobs / MaxBatch describe the run batches this shard's
+	// workers executed (executions land where the work ran, so under
+	// stealing these can differ from where the jobs were queued).
+	Batches   uint64 `json:"batches"`
+	BatchJobs uint64 `json:"batch_jobs"`
+	MaxBatch  int    `json:"max_batch"`
 	// Latency is the shard's run-latency histogram.
 	Latency LatencyHistogram `json:"latency"`
 }

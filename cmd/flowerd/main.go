@@ -408,8 +408,9 @@ func serveHTTP(addr string, cfg serveConfig) int {
 	fmt.Println("flower: http drained")
 	// The final self-scrape runs after the drain so its snapshot counts
 	// every served request, and before the registry closes so the reserved
-	// flow's store is still writable.
-	srv.StopSelfScrape()
+	// flow's store is still writable. Close also releases the query plan
+	// cache's event subscription.
+	srv.Close()
 	// Checkpoint the final state while mutations are quiesced but pacers
 	// and experiments are still live: a graceful restart then replays
 	// paced flows as paced. The engine's finish records land in the WAL

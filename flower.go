@@ -74,17 +74,30 @@
 // (internal/sched): per-shard hashed timer wheels arm periodic jobs in
 // O(1), per-shard run queues feed a fixed worker pool, and the process
 // goroutine count stays O(shards) no matter how many flows are paced.
-// Flow pacing and experiment grids are co-scheduled under a weighted
-// fairness policy (a big grid cannot starve live flows), pacers that
-// fall behind wall time degrade via a bounded catch-up policy (dropped
-// ticks are counted, backlogs never grow), and the whole plane is
-// observable — queue depths, late and skipped ticks, run-latency
-// histograms — at GET /v1/scheduler, `flowctl sched`, and
-// Scheduler.Stats. Size it with flowerd's -sched-shards/-sched-workers;
-// shards × workers is the one capacity knob of the whole server. The
-// `flowerbench -suite sched` benchmark pair records advances/sec and
-// goroutine count against the retired goroutine-per-flow pacing design
-// in BENCH_REPORT.json.
+// Execution is batched: each wheel advance drains everything it fired
+// into per-class run batches handed to workers in one queue operation,
+// so the shard lock is taken per advance rather than per fired job, and
+// a batch's stats flush back in one acquisition — the drain loop is
+// allocation-free at steady state. Batches are capped (256 jobs by
+// default) so thundering herds split into chunks that idle workers
+// steal from the hottest sibling shard before sleeping; stolen periodic
+// batches still re-arm on their home shard, so timer ownership never
+// migrates. First fires are hash-spread across each job's interval,
+// which keeps 100k co-created paced flows from colliding in one wheel
+// slot. Flow pacing and experiment grids are co-scheduled under a
+// weighted fairness policy (a big grid cannot starve live flows),
+// pacers that fall behind wall time degrade via a bounded catch-up
+// policy (dropped ticks are counted, backlogs never grow), and the
+// whole plane is observable — queue depths, late and skipped ticks,
+// steal and batch-shape counters, run-latency histograms — at
+// GET /v1/scheduler, `flowctl sched`, and Scheduler.Stats. Size it with
+// flowerd's -sched-shards/-sched-workers; shards × workers is the one
+// capacity knob of the whole server. The `flowerbench -suite sched`
+// benchmark pair records advances/sec and goroutine count against the
+// retired goroutine-per-flow pacing design in BENCH_REPORT.json, and
+// its scale grid registers 100k paced jobs (the -sched-flows axis) with
+// recorded setup-time, delivered-tick-fidelity and steal thresholds
+// that fail the run when missed.
 //
 // # Metric pipeline
 //
@@ -137,7 +150,10 @@
 // without copying), a terminal aggregate fuses into the streaming pass,
 // and a greedy planner resolves selects once, pushes window/resample
 // down to the View layer and evaluates the more selective join side
-// first — ?explain=1 reports every decision without running. batchQuery
+// first — ?explain=1 reports every decision without running. The
+// planner's glob-to-flow resolution is memoised per server and
+// invalidated by flow lifecycle events, so repeated queries do not
+// re-walk large registries at plan time. batchQuery
 // and the single-metric route are now sugar over the same executor, so
 // every read surface agrees bucket for bucket. The SDK exposes
 // Query/QueryPlan/QueryExplain, `flowctl query` renders the tables, and

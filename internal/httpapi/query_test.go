@@ -8,8 +8,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	apiv1 "repro/api/v1"
+	"repro/internal/flow"
+	"repro/internal/sim"
 )
 
 // postQuery POSTs a query-plane request body and decodes the response.
@@ -45,6 +48,48 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 	if strings.Contains(rec.Body.String(), "\n  ") {
 		t.Fatal("query response is indented; the bulk path must stay compact")
+	}
+}
+
+// TestQueryPlanCacheTracksFlows pins the plan cache's invalidation
+// end-to-end: the server memoises flow-glob resolution across requests,
+// and registry create/delete events (not request-time re-walks) are what
+// keep repeated queries in sync with the flow set.
+func TestQueryPlanCacheTracksFlows(t *testing.T) {
+	s, reg := newTestServer(t)
+	const q = `{"q": "select flow=* ns=Ingestion/Stream name=IncomingRecords | window 10m"}`
+
+	var resp apiv1.QueryResponse
+	for i := 0; i < 2; i++ { // second request plans from cache
+		postQuery(t, s, "/v1/query", q, &resp)
+		if len(resp.Results) != 1 || resp.Results[0].Flow != "clicks" {
+			t.Fatalf("request %d: results = %+v, want clicks only", i, resp.Results)
+		}
+	}
+
+	spec, err := flow.DefaultClickstream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Name = "clicks2"
+	f, err := reg.Create("clicks2", spec, sim.Options{Step: 10 * time.Second, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Advance(15 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	postQuery(t, s, "/v1/query", q, &resp)
+	if len(resp.Results) != 2 {
+		t.Fatalf("after create: %d series, want 2 (stale plan cache?)", len(resp.Results))
+	}
+
+	if err := reg.Delete("clicks2"); err != nil {
+		t.Fatal(err)
+	}
+	postQuery(t, s, "/v1/query", q, &resp)
+	if len(resp.Results) != 1 || resp.Results[0].Flow != "clicks" {
+		t.Fatalf("after delete: results = %+v, want clicks only", resp.Results)
 	}
 }
 

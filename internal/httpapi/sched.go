@@ -33,6 +33,11 @@ func schedulerStatsJSON(st sched.Stats) apiv1.SchedulerStats {
 		ExecutedBatch:   st.ExecutedBatch,
 		LateRuns:        st.LateRuns,
 		SkippedTicks:    st.SkippedTicks,
+		Steals:          st.Steals,
+		Batches:         st.Batches,
+		BatchJobs:       st.BatchJobs,
+		MeanBatch:       st.MeanBatch(),
+		MaxBatch:        st.MaxBatch,
 		PerShard:        make([]apiv1.SchedulerShard, 0, len(st.PerShard)),
 	}
 	for _, row := range st.PerShard {
@@ -46,6 +51,11 @@ func schedulerStatsJSON(st sched.Stats) apiv1.SchedulerStats {
 			ExecutedBatch: row.ExecutedBatch,
 			LateRuns:      row.LateRuns,
 			SkippedTicks:  row.SkippedTicks,
+			Steals:        row.Steals,
+			Stolen:        row.Stolen,
+			Batches:       row.Batches,
+			BatchJobs:     row.BatchJobs,
+			MaxBatch:      row.MaxBatch,
 			Latency: apiv1.LatencyHistogram{
 				BoundsUS: make([]int64, 0, len(row.Latency.Bounds)),
 				Counts:   append([]uint64(nil), row.Latency.Counts...),

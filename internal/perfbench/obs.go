@@ -38,6 +38,10 @@ func ObsSuite() []ObsBench {
 		// entry lock with this path, so the budget doubles as a guard
 		// that read-side changes never push allocations into the writer.
 		{Name: "handle_append_hot", MaxAllocs: 0, F: benchHandleAppendHot},
+		// The scheduler's worker drain loop — pop batch, execute, flush,
+		// re-queue — must also stay allocation-free: it runs once per batch
+		// for every paced flow in the process.
+		{Name: "sched_drain_hot", MaxAllocs: 0, F: BenchSchedDrainHot},
 		// The read side: one counter read may spend at most one allocation
 		// (the acceptance budget; the implementation spends none).
 		{Name: "counter_read", MaxAllocs: 1, F: benchCounterRead},

@@ -1,0 +1,152 @@
+package query
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/eventbus"
+	"repro/internal/metricstore"
+	"repro/internal/registry"
+)
+
+// flowMatcher is an optional Source refinement: a source that answers
+// "which flows match this glob" directly. resolveSelect uses it when
+// present instead of filtering FlowIDs() per select — the hook PlanCache
+// plugs its memoised resolution into.
+type flowMatcher interface {
+	FlowsMatching(glob string) []string
+}
+
+// PlanCache wraps a Source and memoises the planner's flow-glob
+// resolution: which flow IDs each select glob matches. Planning used to
+// re-walk every registered flow per request; with tens of thousands of
+// flows that walk — and its glob match per flow — dominated plan time for
+// the common case of a repeated dashboard query. The flow set only
+// changes on flow creation and deletion, so the cache subscribes to those
+// eventbus events and invalidates wholesale on each one; per-flow series
+// resolution stays live (metrics appear at runtime without any flow
+// lifecycle event), which keeps the cache safe by construction.
+//
+// A PlanCache is safe for concurrent use. Close releases its bus
+// subscription, after which the cache degrades to a pass-through (every
+// lookup recomputes) rather than serving sets nothing can invalidate.
+type PlanCache struct {
+	src Source
+	sub *eventbus.Subscription
+
+	mu       sync.Mutex
+	gen      uint64 // bumped on every invalidation
+	disabled bool   // no bus, or the bus closed: recompute every time
+	flows    map[string][]string
+}
+
+// NewPlanCache wraps src with glob-resolution memoisation invalidated by
+// flow.created/flow.deleted events on bus. A nil bus yields a permanent
+// pass-through (valid, but caching nothing).
+func NewPlanCache(src Source, bus *eventbus.Bus) *PlanCache {
+	c := &PlanCache{src: src, flows: map[string][]string{}}
+	if bus == nil {
+		c.disabled = true
+		return c
+	}
+	c.sub = bus.Subscribe(256, eventbus.Live, func(ev eventbus.Event) bool {
+		return ev.Type == registry.EventFlowCreated || ev.Type == registry.EventFlowDeleted
+	})
+	return c
+}
+
+// Close releases the cache's bus subscription. The cache remains usable
+// as a pass-through afterwards.
+func (c *PlanCache) Close() {
+	if c.sub == nil {
+		return
+	}
+	c.mu.Lock()
+	c.disabled = true
+	c.flows = map[string][]string{}
+	c.mu.Unlock()
+	c.sub.Close()
+}
+
+// FlowIDs delegates to the wrapped source.
+func (c *PlanCache) FlowIDs() []string { return c.src.FlowIDs() }
+
+// WithFlow delegates to the wrapped source.
+func (c *PlanCache) WithFlow(id string, fn func(store *metricstore.Store, now time.Time)) bool {
+	return c.src.WithFlow(id, fn)
+}
+
+// FlowsMatching returns the flow IDs matching glob, from cache when the
+// entry is still valid. Invalidation events (and any subscription drops —
+// a drop means an unknown invalidation may have been missed) are drained
+// first, so a lookup never returns a set older than the last observed
+// lifecycle event.
+func (c *PlanCache) FlowsMatching(glob string) []string {
+	c.mu.Lock()
+	c.drainLocked()
+	if ids, ok := c.flows[glob]; ok {
+		c.mu.Unlock()
+		telPlanCacheHits.Inc()
+		return ids
+	}
+	gen := c.gen
+	disabled := c.disabled
+	c.mu.Unlock()
+	telPlanCacheMisses.Inc()
+
+	// Compute outside the cache lock: FlowIDs takes registry locks, and a
+	// slow walk must not block concurrent cached lookups.
+	var ids []string
+	for _, id := range c.src.FlowIDs() {
+		if matchGlob(glob, id) {
+			ids = append(ids, id)
+		}
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	if disabled {
+		return ids
+	}
+	c.mu.Lock()
+	// Store only if no invalidation raced the walk — a flow created or
+	// deleted mid-walk may or may not be in ids, so caching it would pin a
+	// set no event will ever invalidate again.
+	if c.drainLocked(); c.gen == gen && !c.disabled {
+		c.flows[glob] = ids
+	}
+	c.mu.Unlock()
+	return ids
+}
+
+// drainLocked consumes pending invalidation events without blocking and
+// clears the cache if any arrived (or were dropped); c.mu must be held.
+func (c *PlanCache) drainLocked() {
+	if c.disabled {
+		return
+	}
+	invalidate := false
+drain:
+	for {
+		select {
+		case _, ok := <-c.sub.Events():
+			invalidate = true
+			if !ok {
+				// Subscription closed (Close raced this lookup): no further
+				// invalidations will ever arrive, so serving from cache
+				// would mean serving stale sets forever.
+				c.disabled = true
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	if c.sub.Dropped() > 0 {
+		invalidate = true
+	}
+	if invalidate {
+		c.flows = map[string][]string{}
+		c.gen++
+	}
+}

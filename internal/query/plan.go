@@ -122,12 +122,21 @@ func (p *Plan) Explain() *Explain {
 
 // resolveSelect matches one select stage against the source: flows by
 // glob, then each flow's published metrics by ns/name glob and dimension
-// subset, interning one handle per matched series.
+// subset, interning one handle per matched series. A source that
+// implements flowMatcher (the PlanCache) answers the flow-glob step
+// directly — memoised across queries — so only the per-flow series
+// resolution runs per request.
 func resolveSelect(src Source, sel selectSpec) (side, error) {
 	var sd side
 	exactNS := sel.ns != "" && !strings.ContainsRune(sel.ns, '*')
-	for _, flowID := range src.FlowIDs() {
-		if !matchGlob(sel.flow, flowID) {
+	flowIDs, prefiltered := []string(nil), false
+	if fm, ok := src.(flowMatcher); ok {
+		flowIDs, prefiltered = fm.FlowsMatching(sel.flow), true
+	} else {
+		flowIDs = src.FlowIDs()
+	}
+	for _, flowID := range flowIDs {
+		if !prefiltered && !matchGlob(sel.flow, flowID) {
 			continue
 		}
 		var g flowGroup

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,11 @@ type job struct {
 	tick     TickFunc
 	run      ChunkFunc
 	onStop   func(error)
+	// home is the shard the periodic job's id hashes to: the wheel it
+	// always re-arms into, even when a steal executed it elsewhere — so
+	// timer placement stays stable under work stealing. Nil for chunked
+	// jobs, which re-queue by load instead.
+	home *shard
 
 	mu      sync.Mutex
 	stopped bool
@@ -30,6 +36,17 @@ type job struct {
 	nextAt time.Time
 }
 
+// batch is the unit the run queues hold and workers execute: one or more
+// same-class jobs drained from a single wheel advance (or a single
+// submitted chunk). Executing per batch instead of per job amortises the
+// shard lock — one pop, one stats flush, one re-arm pass per batch — from
+// O(fired jobs) down to O(advances). Batches are recycled through a
+// per-shard freelist so the steady-state drain loop never allocates.
+type batch struct {
+	class Class
+	jobs  []*job
+}
+
 // wheelEntry is one armed timer: rounds counts full wheel revolutions
 // still to wait before the entry is due.
 type wheelEntry struct {
@@ -37,21 +54,21 @@ type wheelEntry struct {
 	rounds int
 }
 
-// fifo is a slice-backed queue of jobs with an amortised-O(1) pop.
+// fifo is a slice-backed queue of run batches with an amortised-O(1) pop.
 type fifo struct {
 	head  int
-	items []*job
+	items []*batch
 }
 
 func (q *fifo) len() int { return len(q.items) - q.head }
 
-func (q *fifo) push(j *job) { q.items = append(q.items, j) }
+func (q *fifo) push(b *batch) { q.items = append(q.items, b) }
 
-func (q *fifo) pop() *job {
+func (q *fifo) pop() *batch {
 	if q.head == len(q.items) {
 		return nil
 	}
-	j := q.items[q.head]
+	b := q.items[q.head]
 	q.items[q.head] = nil
 	q.head++
 	// Compact once the dead prefix dominates, so the backing array does
@@ -61,20 +78,71 @@ func (q *fifo) pop() *job {
 		q.items = q.items[:n]
 		q.head = 0
 	}
-	return j
+	return b
+}
+
+// batchStats is the per-batch accumulator a worker fills while executing a
+// batch's jobs, flushed into the shard stats and process telemetry in one
+// lock acquisition and a handful of atomic adds — instead of a shard lock
+// and two atomics per execution. A batch is single-class by construction,
+// so one accumulator covers it.
+type batchStats struct {
+	executed     uint64
+	lateRuns     uint64
+	skippedTicks uint64
+	latCounts    [numLatencyBuckets]uint64
+	latSum       time.Duration
+	latMax       time.Duration
+}
+
+func (bs *batchStats) observe(d time.Duration) {
+	bs.executed++
+	bs.latCounts[latencyBucket(d)]++
+	bs.latSum += d
+	if d > bs.latMax {
+		bs.latMax = d
+	}
+}
+
+// batchRun is a worker's reusable scratch for one batch execution: the
+// stats accumulator plus the periodic re-arms and chunk re-queues the
+// batch produced. Reused across iterations so the drain loop stays
+// allocation-free at steady state.
+type batchRun struct {
+	stats   batchStats
+	rearm   []*job
+	requeue []*job
+}
+
+func (br *batchRun) reset() {
+	br.stats = batchStats{}
+	for i := range br.rearm {
+		br.rearm[i] = nil
+	}
+	br.rearm = br.rearm[:0]
+	for i := range br.requeue {
+		br.requeue[i] = nil
+	}
+	br.requeue = br.requeue[:0]
 }
 
 // shard is one slice of the execution plane: a hashed timer wheel, class
-// run queues, and the stats its workers accumulate.
+// run queues of batches, and the stats its workers accumulate.
 type shard struct {
 	idx int
 	sc  *Scheduler
 
+	// qdepth mirrors the total queued job count (both classes) so the
+	// steal scan can find the hottest shard without touching any lock.
+	qdepth atomic.Int64
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	queues     [numClasses]fifo
-	flowCredit int // weighted-fairness credit left for the flow class
-	execBatch  int // batch chunks executing right now (load metric)
+	queued     [numClasses]int // jobs queued per class (batches hold many)
+	flowCredit int             // weighted-fairness credit left for the flow class, in jobs
+	execBatch  int             // batch-class jobs executing right now (load metric)
+	free       []*batch        // recycled batch headers + job slices
 	closed     bool
 
 	// Timer wheel, also guarded by mu. cur/curAt track the cursor slot and
@@ -89,6 +157,11 @@ type shard struct {
 	executed     [numClasses]uint64
 	lateRuns     uint64
 	skippedTicks uint64
+	steals       uint64 // batches this shard's workers stole from siblings
+	stolen       uint64 // batches siblings' workers took from this shard
+	batches      uint64 // batches executed by this shard's workers
+	batchJobs    uint64 // jobs across those batches
+	maxBatch     int    // largest batch executed here
 	latCounts    [numLatencyBuckets]uint64
 	latSum       time.Duration
 	latMax       time.Duration
@@ -107,17 +180,51 @@ func newShard(sc *Scheduler, idx int) *shard {
 	return sh
 }
 
-// insertTimer arms a periodic job at j.nextAt, reporting false on a
-// closed shard. Due and past times land in the next slot: the wheel
-// never fires early, and a behind-schedule job fires on the next
-// advance.
-func (sh *shard) insertTimer(j *job) bool {
-	tick := sh.sc.cfg.WheelTick
-	sh.mu.Lock()
-	if sh.closed {
-		sh.mu.Unlock()
-		return false
+// maxFreeBatches bounds the per-shard batch freelist; maxFreeBatchCap
+// bounds the job-slice capacity a recycled batch may retain, so one
+// 100k-flow herd does not pin megabytes per shard forever.
+const (
+	maxFreeBatches   = 8
+	maxFreeBatchCap  = 16384
+	initialBatchJobs = 64
+)
+
+// getBatchLocked takes a recycled batch (or makes one) for class c.
+func (sh *shard) getBatchLocked(c Class) *batch {
+	if n := len(sh.free); n > 0 {
+		b := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		b.class = c
+		return b
 	}
+	return &batch{class: c, jobs: make([]*job, 0, initialBatchJobs)}
+}
+
+// putBatchLocked recycles a drained batch.
+func (sh *shard) putBatchLocked(b *batch) {
+	if len(sh.free) >= maxFreeBatches || cap(b.jobs) > maxFreeBatchCap {
+		return
+	}
+	for i := range b.jobs {
+		b.jobs[i] = nil
+	}
+	b.jobs = b.jobs[:0]
+	sh.free = append(sh.free, b)
+}
+
+// pushLocked queues a batch and maintains the job-depth accounting.
+func (sh *shard) pushLocked(b *batch) {
+	sh.queues[b.class].push(b)
+	sh.queued[b.class] += len(b.jobs)
+	sh.qdepth.Add(int64(len(b.jobs)))
+}
+
+// insertTimerLocked arms a periodic job at j.nextAt; sh.mu must be held.
+// Due and past times land in the next slot: the wheel never fires early,
+// and a behind-schedule job fires on the next advance.
+func (sh *shard) insertTimerLocked(j *job) {
+	tick := sh.sc.cfg.WheelTick
 	if sh.timers == 0 {
 		// The wheel was idle, so the cursor stopped tracking wall time;
 		// re-anchor it at now before placing the first entry.
@@ -130,20 +237,53 @@ func (sh *shard) insertTimer(j *job) bool {
 	slot := (sh.cur + offset) % len(sh.slots)
 	sh.slots[slot] = append(sh.slots[slot], wheelEntry{j: j, rounds: (offset - 1) / len(sh.slots)})
 	sh.timers++
+}
+
+// insertTimer arms one periodic job, reporting false on a closed shard.
+func (sh *shard) insertTimer(j *job) bool {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.insertTimerLocked(j)
 	sh.mu.Unlock()
+	sh.wakeTimerLoop()
+	return true
+}
+
+// insertTimers re-arms a whole batch's periodic jobs in one lock
+// acquisition. On a closed shard the re-arms are dropped: the scheduler is
+// shutting down and periodic jobs are lifecycle-managed via Ticket.Stop.
+func (sh *shard) insertTimers(jobs []*job) {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	for _, j := range jobs {
+		sh.insertTimerLocked(j)
+	}
+	sh.mu.Unlock()
+	sh.wakeTimerLoop()
+}
+
+func (sh *shard) wakeTimerLoop() {
 	select {
 	case sh.timerWake <- struct{}{}:
 	default:
 	}
-	return true
 }
 
 // timerLoop advances the wheel: it sleeps to the next slot boundary while
-// timers are armed (and parks on timerWake when none are), moving due
-// entries onto the run queues.
+// timers are armed (and parks on timerWake when none are), draining each
+// advance's due entries into per-class run batches pushed in the same lock
+// acquisition the advance already holds — the fire path costs O(advances)
+// lock work, not O(fired jobs).
 func (sh *shard) timerLoop() {
 	defer sh.sc.wg.Done()
 	tick := sh.sc.cfg.WheelTick
+	maxBatch := sh.sc.cfg.MaxBatch
 	timer := time.NewTimer(time.Hour) //flowervet:allow wallclock(the timer loop is the wall-time heart of the scheduler)
 	timer.Stop()
 	for {
@@ -153,7 +293,9 @@ func (sh *shard) timerLoop() {
 			return
 		}
 		now := time.Now() //flowervet:allow wallclock(wheel advancement measures real elapsed time)
-		fired := 0
+		backlog := sh.queued[ClassFlow]+sh.queued[ClassBatch] > 0
+		var fired [numClasses]*batch
+		pushed := 0
 		for sh.timers > 0 && !sh.curAt.Add(tick).After(now) {
 			sh.cur = (sh.cur + 1) % len(sh.slots)
 			sh.curAt = sh.curAt.Add(tick)
@@ -166,17 +308,34 @@ func (sh *shard) timerLoop() {
 					continue
 				}
 				sh.timers--
-				sh.queues[e.j.class].push(e.j)
-				fired++
+				c := e.j.class
+				if fired[c] == nil {
+					fired[c] = sh.getBatchLocked(c)
+				}
+				fired[c].jobs = append(fired[c].jobs, e.j)
+				if len(fired[c].jobs) >= maxBatch {
+					// Cap batch granularity: sibling workers (and steals)
+					// can then pick up the rest of a huge herd in parallel
+					// instead of serialising behind one mega-batch.
+					sh.pushLocked(fired[c])
+					pushed++
+					fired[c] = nil
+				}
 			}
 			for i := len(keep); i < len(slot); i++ {
 				slot[i] = wheelEntry{}
 			}
 			sh.slots[sh.cur] = keep
 		}
-		if fired == 1 {
+		for c := range fired {
+			if fired[c] != nil {
+				sh.pushLocked(fired[c])
+				pushed++
+			}
+		}
+		if pushed == 1 {
 			sh.cond.Signal()
-		} else if fired > 1 {
+		} else if pushed > 1 {
 			sh.cond.Broadcast()
 		}
 		armed := sh.timers > 0
@@ -186,6 +345,11 @@ func (sh *shard) timerLoop() {
 		}
 		sh.mu.Unlock()
 
+		if pushed > 0 && backlog {
+			// This advance queued behind work the local workers have not
+			// drained yet: give an idle sibling a chance to steal it.
+			sh.sc.wakeSibling(sh.idx)
+		}
 		if !armed {
 			<-sh.timerWake
 			continue
@@ -202,24 +366,32 @@ func (sh *shard) timerLoop() {
 	}
 }
 
-// enqueue appends a job to the shard's run queue and wakes one worker.
+// enqueue wraps a submitted job into a single-job batch on the shard's run
+// queue and wakes one worker.
 func (sh *shard) enqueue(j *job) bool {
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
 		return false
 	}
-	sh.queues[j.class].push(j)
+	backlog := sh.queued[ClassFlow]+sh.queued[ClassBatch] > 0
+	b := sh.getBatchLocked(j.class)
+	b.jobs = append(b.jobs, j)
+	sh.pushLocked(b)
 	sh.cond.Signal()
 	sh.mu.Unlock()
+	if backlog {
+		sh.sc.wakeSibling(sh.idx)
+	}
 	return true
 }
 
 // popLocked applies the weighted-fairness drain: with both queues
-// non-empty, FlowWeight flow jobs run per batch job; with one queue empty,
-// the other drains freely (work-conserving).
-func (sh *shard) popLocked() *job {
-	nf, nb := sh.queues[ClassFlow].len(), sh.queues[ClassBatch].len()
+// non-empty, FlowWeight flow-class jobs run per batch-class job (credit is
+// spent per job, so a many-job flow batch consumes that much credit); with
+// one queue empty, the other drains freely (work-conserving).
+func (sh *shard) popLocked() *batch {
+	nf, nb := sh.queued[ClassFlow], sh.queued[ClassBatch]
 	var c Class
 	switch {
 	case nf == 0 && nb == 0:
@@ -230,154 +402,227 @@ func (sh *shard) popLocked() *job {
 		c = ClassBatch
 	case sh.flowCredit > 0:
 		c = ClassFlow
-		sh.flowCredit--
 	default:
 		c = ClassBatch
 		sh.flowCredit = sh.sc.cfg.FlowWeight
 	}
-	return sh.queues[c].pop()
+	b := sh.queues[c].pop()
+	if b == nil {
+		return nil
+	}
+	if c == ClassFlow && nb > 0 {
+		sh.flowCredit -= len(b.jobs)
+	}
+	sh.queued[c] -= len(b.jobs)
+	sh.qdepth.Add(int64(-len(b.jobs)))
+	return b
 }
 
-// workerLoop drains the shard's run queues.
+// workerLoop drains the shard's run queues batch by batch and, when its
+// own shard is dry, steals a queued batch from the hottest sibling before
+// going to sleep — closing the imbalance window skewed job durations open
+// between shards.
 func (sh *shard) workerLoop() {
 	defer sh.sc.wg.Done()
+	var br batchRun
 	sh.mu.Lock()
 	for {
 		if sh.closed {
 			sh.mu.Unlock()
 			return
 		}
-		j := sh.popLocked()
-		if j == nil {
-			sh.cond.Wait()
-			continue
+		b := sh.popLocked()
+		stolen := false
+		if b == nil {
+			sh.mu.Unlock()
+			if b = sh.sc.steal(sh); b == nil {
+				sh.mu.Lock()
+				// Re-check under the lock: work may have arrived (or the
+				// shard closed) between the failed steal and here.
+				if !sh.closed && sh.queued[ClassFlow]+sh.queued[ClassBatch] == 0 {
+					sh.cond.Wait()
+				}
+				continue
+			}
+			stolen = true
+			sh.mu.Lock()
 		}
-		if j.class == ClassBatch {
-			sh.execBatch++
+		if b.class == ClassBatch {
+			sh.execBatch += len(b.jobs)
 		}
 		sh.mu.Unlock()
 
-		requeue := sh.runJob(j)
+		sh.runBatch(b, &br)
 
+		class := b.class
+		size := len(b.jobs)
+		rearmSame := len(br.rearm) > 0 && br.rearm[0].home == sh
 		sh.mu.Lock()
-		if j.class == ClassBatch {
-			sh.execBatch--
+		if class == ClassBatch {
+			sh.execBatch -= size
 		}
-		if requeue {
-			sh.mu.Unlock()
+		sh.flushStatsLocked(class, &br.stats, size, stolen)
+		if rearmSame && !sh.closed {
+			// The common, unstolen case: the whole batch re-arms into this
+			// shard's own wheel under the lock the flush already holds.
+			for _, j := range br.rearm {
+				sh.insertTimerLocked(j)
+			}
+		}
+		sh.putBatchLocked(b)
+		sh.mu.Unlock()
+
+		if rearmSame {
+			sh.wakeTimerLoop()
+		} else if len(br.rearm) > 0 {
+			// A stolen batch re-arms on its home shard (all jobs of one
+			// timer batch share it), keeping wheel placement stable.
+			br.rearm[0].home.insertTimers(br.rearm)
+		}
+		sh.flushTelemetry(class, &br.stats, size, stolen)
+		for _, j := range br.requeue {
 			// Chunked jobs re-queue through the least-loaded scan so long
 			// jobs drift toward idle shards instead of pinning where they
 			// started. A false return means the scheduler is closing: the
 			// job is abandoned, and its onStop (if any) is told so the
-			// submitter can settle whatever the job was driving instead
-			// of waiting forever.
+			// submitter can settle whatever the job was driving instead of
+			// waiting forever.
 			if !sh.sc.enqueueBatch(j) {
 				j.mu.Lock()
+				already := j.stopped
 				j.stopped = true
 				j.mu.Unlock()
-				if j.onStop != nil {
+				if !already && j.onStop != nil {
 					j.onStop(ErrClosed)
 				}
 			}
-			sh.mu.Lock()
+		}
+		sh.mu.Lock()
+	}
+}
+
+// runBatch executes every runnable job of one dequeued batch, accumulating
+// stats, periodic re-arms and chunk re-queues into br for the caller to
+// flush. The clock is read once per job boundary (the end of one run is
+// the start of the next), halving hot-loop clock reads.
+func (sh *shard) runBatch(b *batch, br *batchRun) {
+	br.reset()
+	maxCatchUp := sh.sc.cfg.MaxCatchUp
+	prev := time.Now() //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
+	for _, j := range b.jobs {
+		j.mu.Lock()
+		if j.stopped {
+			j.mu.Unlock()
+			continue
+		}
+		j.running = true
+		n := 0
+		if j.periodic {
+			// Fixed-rate catch-up, bounded: deliver every interval owed since
+			// nextAt in this one call, but never more than MaxCatchUp — the
+			// excess is dropped (and counted), so overload degrades the tick
+			// rate instead of growing a backlog.
+			owed := 1
+			if behind := prev.Sub(j.nextAt); behind > 0 {
+				owed += int(behind / j.interval)
+			}
+			n = owed
+			if n > maxCatchUp {
+				br.stats.skippedTicks += uint64(n - maxCatchUp)
+				n = maxCatchUp
+			}
+			if owed > 1 {
+				br.stats.lateRuns++
+			}
+			j.nextAt = j.nextAt.Add(time.Duration(owed) * j.interval)
+			j.mu.Unlock()
+		} else {
+			j.mu.Unlock()
+		}
+
+		var err error
+		done := false
+		if j.periodic {
+			err = j.tick(n)
+		} else {
+			done = j.run()
+		}
+		now := time.Now() //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
+		br.stats.observe(now.Sub(prev))
+		prev = now
+
+		j.mu.Lock()
+		j.running = false
+		ws := j.waiters
+		j.waiters = nil
+		errExit := false
+		if !j.stopped && (err != nil || (!j.periodic && done)) {
+			j.stopped = true
+			errExit = err != nil
+		}
+		alive := !j.stopped
+		j.mu.Unlock()
+		for _, ch := range ws {
+			close(ch)
+		}
+		if errExit && j.onStop != nil {
+			// After the waiters are released: a Stop racing the failing tick
+			// has already returned, so onStop can take the locks Stop's caller
+			// held without deadlocking.
+			j.onStop(err)
+		}
+		if !alive {
+			continue
+		}
+		if j.periodic {
+			br.rearm = append(br.rearm, j)
+		} else {
+			br.requeue = append(br.requeue, j)
 		}
 	}
 }
 
-// runJob executes one dequeued job and reports whether a chunked job wants
-// re-queueing. Periodic jobs re-arm themselves into the wheel here.
-func (sh *shard) runJob(j *job) (requeue bool) {
-	j.mu.Lock()
-	if j.stopped {
-		j.mu.Unlock()
-		return false
+// flushStatsLocked folds one batch's accumulated stats into the shard;
+// sh.mu must be held. Executed counts land on the shard whose worker ran
+// the batch, so per-shard rows show where work actually happened under
+// stealing.
+func (sh *shard) flushStatsLocked(c Class, bs *batchStats, size int, stolen bool) {
+	sh.executed[c] += bs.executed
+	sh.lateRuns += bs.lateRuns
+	sh.skippedTicks += bs.skippedTicks
+	sh.latSum += bs.latSum
+	if bs.latMax > sh.latMax {
+		sh.latMax = bs.latMax
 	}
-	j.running = true
-	n := 0
-	if j.periodic {
-		// Fixed-rate catch-up, bounded: deliver every interval owed since
-		// nextAt in this one call, but never more than MaxCatchUp — the
-		// excess is dropped (and counted), so overload degrades the tick
-		// rate instead of growing a backlog.
-		owed := 1
-		if behind := time.Since(j.nextAt); behind > 0 { //flowervet:allow wallclock(catch-up accounting measures real schedule slip)
-			owed += int(behind / j.interval)
-		}
-		n = owed
-		skipped := 0
-		if m := sh.sc.cfg.MaxCatchUp; n > m {
-			skipped = n - m
-			n = m
-		}
-		j.nextAt = j.nextAt.Add(time.Duration(owed) * j.interval)
-		j.mu.Unlock()
-		if owed > 1 || skipped > 0 {
-			sh.mu.Lock()
-			if owed > 1 {
-				sh.lateRuns++
-			}
-			sh.skippedTicks += uint64(skipped)
-			sh.mu.Unlock()
-			if owed > 1 {
-				telLateRuns.Inc()
-			}
-			telSkippedTicks.Add(uint64(skipped))
-		}
-	} else {
-		j.mu.Unlock()
+	for i, n := range bs.latCounts {
+		sh.latCounts[i] += n
 	}
-
-	start := time.Now() //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
-	var err error
-	done := false
-	if j.periodic {
-		err = j.tick(n)
-	} else {
-		done = j.run()
+	sh.batches++
+	sh.batchJobs += uint64(size)
+	if size > sh.maxBatch {
+		sh.maxBatch = size
 	}
-	sh.observe(j.class, time.Since(start)) //flowervet:allow wallclock(per-class tick-duration histograms measure real execution cost)
-
-	j.mu.Lock()
-	j.running = false
-	ws := j.waiters
-	j.waiters = nil
-	errExit := false
-	if !j.stopped && (err != nil || (!j.periodic && done)) {
-		j.stopped = true
-		errExit = err != nil
+	if stolen {
+		sh.steals++
 	}
-	alive := !j.stopped
-	j.mu.Unlock()
-	for _, ch := range ws {
-		close(ch)
-	}
-	if errExit && j.onStop != nil {
-		// After the waiters are released: a Stop racing the failing tick
-		// has already returned, so onStop can take the locks Stop's caller
-		// held without deadlocking.
-		j.onStop(err)
-	}
-	if !alive {
-		return false
-	}
-	if j.periodic {
-		sh.insertTimer(j)
-		return false
-	}
-	return true
 }
 
-// observe records one execution into the shard's latency stats and the
-// process-wide telemetry (atomic adds, outside the shard lock).
-func (sh *shard) observe(c Class, d time.Duration) {
-	sh.mu.Lock()
-	sh.executed[c]++
-	sh.latSum += d
-	if d > sh.latMax {
-		sh.latMax = d
+// flushTelemetry mirrors one batch's stats into the process-wide
+// instruments — a handful of atomic adds per batch, outside any lock.
+func (sh *shard) flushTelemetry(c Class, bs *batchStats, size int, stolen bool) {
+	if bs.executed > 0 {
+		telExecutedByClass[c].Add(bs.executed)
+		telRunSecondsByClass[c].Merge(bs.latCounts[:], bs.latSum, bs.latMax)
 	}
-	sh.latCounts[latencyBucket(d)]++
-	sh.mu.Unlock()
-	telExecutedByClass[c].Inc()
-	telRunSecondsByClass[c].Observe(d)
+	if bs.lateRuns > 0 {
+		telLateRuns.Add(bs.lateRuns)
+	}
+	if bs.skippedTicks > 0 {
+		telSkippedTicks.Add(bs.skippedTicks)
+	}
+	telBatchesByClass[c].Inc()
+	telBatchJobsByClass[c].Observe(time.Duration(size) * batchJobUnit)
+	if stolen {
+		telSteals.Inc()
+	}
 }

@@ -70,6 +70,15 @@ type ShardStats struct {
 	// bounded catch-up policy dropped.
 	LateRuns     uint64
 	SkippedTicks uint64
+	// Steals counts batches this shard's workers took from siblings;
+	// Stolen counts batches siblings took from this shard's queues.
+	Steals uint64
+	Stolen uint64
+	// Batches / BatchJobs count run batches executed by this shard's
+	// workers and the jobs they carried; MaxBatch is the largest batch.
+	Batches   uint64
+	BatchJobs uint64
+	MaxBatch  int
 	// Latency is the shard's run-latency histogram (for pacer jobs, the
 	// duration of the flow advance each tick performed).
 	Latency Histogram
@@ -93,8 +102,21 @@ type Stats struct {
 	ExecutedBatch uint64
 	LateRuns      uint64
 	SkippedTicks  uint64
+	Steals        uint64
+	Batches       uint64
+	BatchJobs     uint64
+	MaxBatch      int
 	// PerShard holds each shard's row.
 	PerShard []ShardStats
+}
+
+// MeanBatch returns the average jobs per executed run batch (0 with none)
+// — the direct measure of how much lock amortisation batching is buying.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchJobs) / float64(s.Batches)
 }
 
 // Stats snapshots every shard. Shards are locked one at a time, so the
@@ -116,12 +138,17 @@ func (s *Scheduler) Stats() Stats {
 		row := ShardStats{
 			Shard:         sh.idx,
 			Timers:        sh.timers,
-			FlowQueue:     sh.queues[ClassFlow].len(),
-			BatchQueue:    sh.queues[ClassBatch].len(),
+			FlowQueue:     sh.queued[ClassFlow],
+			BatchQueue:    sh.queued[ClassBatch],
 			ExecutedFlow:  sh.executed[ClassFlow],
 			ExecutedBatch: sh.executed[ClassBatch],
 			LateRuns:      sh.lateRuns,
 			SkippedTicks:  sh.skippedTicks,
+			Steals:        sh.steals,
+			Stolen:        sh.stolen,
+			Batches:       sh.batches,
+			BatchJobs:     sh.batchJobs,
+			MaxBatch:      sh.maxBatch,
 			Latency: Histogram{
 				Bounds: bounds,
 				Counts: append([]uint64(nil), sh.latCounts[:]...),
@@ -140,6 +167,12 @@ func (s *Scheduler) Stats() Stats {
 		out.ExecutedBatch += row.ExecutedBatch
 		out.LateRuns += row.LateRuns
 		out.SkippedTicks += row.SkippedTicks
+		out.Steals += row.Steals
+		out.Batches += row.Batches
+		out.BatchJobs += row.BatchJobs
+		if row.MaxBatch > out.MaxBatch {
+			out.MaxBatch = row.MaxBatch
+		}
 		out.PerShard = append(out.PerShard, row)
 	}
 	return out

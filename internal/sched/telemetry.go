@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -24,12 +25,40 @@ var (
 	telRunSeconds = telemetry.Default().HistogramVec("flower_sched_run_seconds",
 		"Run latency of executed jobs, by class.", latencyBounds[:], "class")
 	telRunSecondsByClass [numClasses]*telemetry.Histogram
+
+	telSteals = telemetry.Default().Counter("flower_sched_steals_total",
+		"Run batches idle workers stole from sibling shards.")
+
+	telBatches = telemetry.Default().CounterVec("flower_sched_batches_total",
+		"Run batches executed, by class.", "class")
+	telBatchesByClass [numClasses]*telemetry.Counter
+
+	telBatchJobs = telemetry.Default().HistogramVec("flower_sched_batch_jobs",
+		"Jobs carried per executed run batch, by class (bucket bounds are job counts).",
+		batchSizeBounds[:], "class")
+	telBatchJobsByClass [numClasses]*telemetry.Histogram
 )
+
+// batchJobUnit encodes one job as one second in the batch-size histogram,
+// so the exposition's `le` bounds render as whole job counts (1, 4, 16, …)
+// instead of nanosecond fractions.
+const batchJobUnit = time.Second
+
+var batchSizeBounds = [...]time.Duration{
+	1 * batchJobUnit,
+	4 * batchJobUnit,
+	16 * batchJobUnit,
+	64 * batchJobUnit,
+	256 * batchJobUnit,
+	1024 * batchJobUnit,
+}
 
 func init() {
 	for c := Class(0); c < numClasses; c++ {
 		telExecutedByClass[c] = telExecuted.With(c.String())
 		telRunSecondsByClass[c] = telRunSeconds.With(c.String())
+		telBatchesByClass[c] = telBatches.With(c.String())
+		telBatchJobsByClass[c] = telBatchJobs.With(c.String())
 	}
 	telemetry.Default().GaugeFunc("flower_sched_timers",
 		"Armed periodic jobs across all live schedulers.",
@@ -38,7 +67,7 @@ func init() {
 		"Queued runnable jobs across all live schedulers.",
 		func() int64 {
 			return sumShards(func(sh *shard) int {
-				return sh.queues[ClassFlow].len() + sh.queues[ClassBatch].len()
+				return sh.queued[ClassFlow] + sh.queued[ClassBatch]
 			})
 		})
 }

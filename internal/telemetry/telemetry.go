@@ -129,6 +129,36 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Merge folds a locally-accumulated distribution into the histogram in a
+// handful of atomic adds: counts must align with the histogram's buckets
+// (len(bounds)+1 entries, the last being overflow). Hot loops that execute
+// work in batches accumulate per-bucket counts on the stack and flush once
+// per batch through Merge instead of paying one Observe per item.
+func (h *Histogram) Merge(counts []uint64, sum, max time.Duration) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("telemetry: Merge with %d buckets into a %d-bucket histogram", len(counts), len(h.counts)))
+	}
+	var total uint64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		h.counts[i].Add(n)
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	h.count.Add(total)
+	h.sum.Add(int64(sum))
+	for {
+		cur := h.max.Load()
+		if int64(max) <= cur || h.max.CompareAndSwap(cur, int64(max)) {
+			return
+		}
+	}
+}
+
 // snapshot freezes the histogram's state.
 func (h *Histogram) snapshot() *HistogramSnapshot {
 	s := &HistogramSnapshot{
